@@ -1,0 +1,69 @@
+// Command whbench regenerates every table and figure of the Wormhole
+// paper's evaluation (§4) at a configurable scale.
+//
+// Usage:
+//
+//	whbench -exp all                      # everything, laptop scale
+//	whbench -exp fig10 -keys 1000000      # one figure, bigger keysets
+//	whbench -exp fig09,fig17 -threads 16 -duration 2s
+//	whbench -list                         # show experiment ids
+//
+// Absolute numbers depend on the host; the paper's shapes (ordering of
+// indexes, rough ratios, crossover points) are the reproduction target.
+// See EXPERIMENTS.md for a captured run and the paper-vs-measured notes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/repro/wormhole/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		keys     = flag.Int("keys", 200_000, "base keys per keyset")
+		threads  = flag.Int("threads", 0, "worker threads (default: min(GOMAXPROCS, 16))")
+		duration = flag.Duration("duration", time.Second, "measurement window per cell")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		batch    = flag.Int("batch", 800, "netkv request batch size (fig12)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	cfg := &bench.Config{
+		Keys: *keys, Threads: *threads, Duration: *duration,
+		Seed: *seed, Batch: *batch, Out: os.Stdout,
+	}
+	cfg.Normalize()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	ran := 0
+	for _, e := range bench.Experiments() {
+		if !want["all"] && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Desc)
+		start := time.Now()
+		e.Run(cfg)
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "whbench: no experiment matches %q; use -list\n", *exp)
+		os.Exit(2)
+	}
+}

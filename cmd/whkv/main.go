@@ -1,0 +1,168 @@
+// Command whkv runs the networked key-value store of Figure 12: a server
+// hosting any of the registered indexes behind the batched binary
+// protocol, plus a small client for ad-hoc operations and load testing.
+//
+// Usage:
+//
+//	whkv serve -addr 127.0.0.1:7070 -index wormhole
+//	whkv set   -addr 127.0.0.1:7070 -key a -val 1
+//	whkv get   -addr 127.0.0.1:7070 -key a
+//	whkv scan  -addr 127.0.0.1:7070 -key a -limit 10
+//	whkv bench -addr 127.0.0.1:7070 -keys 100000 -batch 800 -duration 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/repro/wormhole/internal/adapters"
+	"github.com/repro/wormhole/internal/bench"
+	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/netkv"
+)
+
+func main() {
+	_ = adapters.Baselines() // link the registry
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "serve":
+		serve(args)
+	case "get", "set", "del", "scan":
+		oneShot(cmd, args)
+	case "bench":
+		clientBench(args)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: whkv serve|get|set|del|scan|bench [flags]")
+	os.Exit(2)
+}
+
+func serve(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+	name := fs.String("index", "wormhole", "index implementation")
+	fs.Parse(args)
+	info, ok := index.Lookup(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "whkv: unknown index %q\n", *name)
+		os.Exit(2)
+	}
+	srv, err := netkv.Serve(*addr, info.New())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("whkv: serving %s on %s\n", *name, srv.Addr())
+	select {} // run until killed
+}
+
+func oneShot(cmd string, args []string) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	key := fs.String("key", "", "key")
+	val := fs.String("val", "", "value (set)")
+	limit := fs.Int("limit", 10, "scan limit")
+	fs.Parse(args)
+	cl, err := netkv.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	switch cmd {
+	case "get":
+		cl.QueueGet([]byte(*key))
+	case "set":
+		cl.QueueSet([]byte(*key), []byte(*val))
+	case "del":
+		cl.QueueDel([]byte(*key))
+	case "scan":
+		cl.QueueScan([]byte(*key), *limit)
+	}
+	rs, err := cl.Flush()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	r := rs[0]
+	switch cmd {
+	case "get":
+		if r.Status == netkv.StatusOK {
+			fmt.Printf("%s\n", r.Val)
+		} else {
+			fmt.Println("(not found)")
+		}
+	case "set":
+		fmt.Println("ok")
+	case "del":
+		if r.Status == netkv.StatusOK {
+			fmt.Println("deleted")
+		} else {
+			fmt.Println("(not found)")
+		}
+	case "scan":
+		for i := range r.Keys {
+			fmt.Printf("%s = %s\n", r.Keys[i], r.Vals[i])
+		}
+	}
+}
+
+func clientBench(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	keys := fs.Int("keys", 100_000, "keys to load before measuring")
+	batch := fs.Int("batch", netkv.DefaultBatch, "requests per batch")
+	dur := fs.Duration("duration", 2*time.Second, "measurement window")
+	fs.Parse(args)
+	cl, err := netkv.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	for i := 0; i < *keys; i++ {
+		cl.QueueSet([]byte(fmt.Sprintf("bench:%08d", i)), []byte("v"))
+		if cl.Pending() >= *batch {
+			if _, err := cl.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "whkv:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if _, err := cl.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d keys; measuring GETs for %v (batch %d)\n", *keys, *dur, *batch)
+	r := bench.NewRng(1)
+	start := time.Now()
+	ops := 0
+	for time.Since(start) < *dur {
+		for i := 0; i < *batch; i++ {
+			cl.QueueGet([]byte(fmt.Sprintf("bench:%08d", r.Intn(*keys))))
+		}
+		rs, err := cl.Flush()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whkv:", err)
+			os.Exit(1)
+		}
+		for _, rp := range rs {
+			if rp.Status != netkv.StatusOK {
+				fmt.Fprintln(os.Stderr, "whkv: missing key during bench")
+				os.Exit(1)
+			}
+		}
+		ops += *batch
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("%d lookups in %.2fs = %.2f MOPS\n", ops, el, float64(ops)/el/1e6)
+}

@@ -1,0 +1,81 @@
+// NetStore: the networked key-value store of Figure 12 in miniature — a
+// Wormhole-backed server on TCP loopback and a batching client, the HERD
+// substitution described in DESIGN.md. Run it to see how request batching
+// (the paper uses batches of 800) amortizes network cost until the
+// host-side index is the bottleneck again.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/repro/wormhole/internal/adapters"
+	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/netkv"
+)
+
+func main() {
+	_ = adapters.Baselines() // link the index registry
+	info, _ := index.Lookup("wormhole")
+	srv, err := netkv.Serve("127.0.0.1:0", info.New())
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("wormhole KV server on %s\n", srv.Addr())
+
+	cl, err := netkv.Dial(srv.Addr())
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	// Load 50k keys in batches.
+	const n = 50000
+	for i := 0; i < n; i++ {
+		cl.QueueSet([]byte(fmt.Sprintf("user:%06d", i)), []byte(fmt.Sprintf("profile-%d", i)))
+		if cl.Pending() == netkv.DefaultBatch {
+			if _, err := cl.Flush(); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if _, err := cl.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("loaded %d keys over the wire\n", n)
+
+	// Point lookups at two batch sizes, showing the batching effect.
+	for _, batch := range []int{1, 800} {
+		start := time.Now()
+		ops := 0
+		for time.Since(start) < 300*time.Millisecond {
+			for i := 0; i < batch; i++ {
+				cl.QueueGet([]byte(fmt.Sprintf("user:%06d", (ops+i)*7919%n)))
+			}
+			rs, err := cl.Flush()
+			if err != nil {
+				panic(err)
+			}
+			for _, r := range rs {
+				if r.Status != netkv.StatusOK {
+					panic("lost key over the wire")
+				}
+			}
+			ops += batch
+		}
+		el := time.Since(start).Seconds()
+		fmt.Printf("batch=%-4d  %8.0f lookups/s\n", batch, float64(ops)/el)
+	}
+
+	// Range query over the wire.
+	cl.QueueScan([]byte("user:000100"), 3)
+	rs, err := cl.Flush()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scan user:000100 limit 3:")
+	for i := range rs[0].Keys {
+		fmt.Printf("  %s = %s\n", rs[0].Keys[i], rs[0].Vals[i])
+	}
+}

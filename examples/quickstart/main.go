@@ -1,0 +1,77 @@
+// Quickstart: the basic Wormhole API — point operations, range scans, and
+// the iterator — on the running example from the paper's Figure 1.
+package main
+
+import (
+	"fmt"
+
+	wormhole "github.com/repro/wormhole"
+)
+
+func main() {
+	idx := wormhole.New()
+
+	// The twelve keys of the paper's Figure 1.
+	names := []string{
+		"Aaron", "Abbe", "Andrew", "Austin", "Denice", "Jacob",
+		"James", "Jason", "John", "Joseph", "Julian", "Justin",
+	}
+	for i, n := range names {
+		idx.Set([]byte(n), []byte(fmt.Sprintf("employee-%02d", i)))
+	}
+	fmt.Printf("indexed %d keys\n", idx.Count())
+
+	// Point lookup.
+	if v, ok := idx.Get([]byte("John")); ok {
+		fmt.Printf("Get(John)      = %s\n", v)
+	}
+	if _, ok := idx.Get([]byte("Brown")); !ok {
+		fmt.Println("Get(Brown)     = not found (as expected)")
+	}
+
+	// Range query: everyone from "Brown" up to (not including) "John" —
+	// the §2.2 example of a range whose endpoints are absent.
+	fmt.Println("range [Brown, John):")
+	idx.Scan([]byte("Brown"), func(k, v []byte) bool {
+		if string(k) >= "John" {
+			return false
+		}
+		fmt.Printf("  %-8s %s\n", k, v)
+		return true
+	})
+
+	// Prefix query: all keys starting with "J".
+	fmt.Println("prefix J:")
+	keys, _ := idx.RangeAsc([]byte("J"), 100)
+	for _, k := range keys {
+		if k[0] != 'J' {
+			break
+		}
+		fmt.Printf("  %s\n", k)
+	}
+
+	// Iterator, seeded mid-keyspace.
+	fmt.Println("iterate from Denice:")
+	it := idx.Iter([]byte("Denice"))
+	for it.Next() {
+		fmt.Printf("  %s\n", it.Key())
+	}
+
+	// Updates and deletes.
+	idx.Set([]byte("John"), []byte("promoted"))
+	v, _ := idx.Get([]byte("John"))
+	fmt.Printf("after update   = %s\n", v)
+	idx.Del([]byte("Jacob"))
+	fmt.Printf("after delete   = %d keys\n", idx.Count())
+
+	if k, _, ok := idx.Min(); ok {
+		fmt.Printf("smallest key   = %s\n", k)
+	}
+	if k, _, ok := idx.Max(); ok {
+		fmt.Printf("largest key    = %s\n", k)
+	}
+
+	st := idx.Stats()
+	fmt.Printf("structure: %d leaves, %d meta items, max anchor %d bytes\n",
+		st.Leaves, st.MetaItems, st.MaxAnchorLen)
+}

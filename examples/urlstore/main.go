@@ -1,0 +1,62 @@
+// URLStore: long-key indexing in the style of the paper's Url keyset
+// (MemeTracker URLs, ~82 B average). Long shared prefixes are the
+// stress case for ordered indexes — tries pay O(L) per lookup, and
+// comparison-based trees pay long memcmps — while Wormhole's anchors
+// stay near the shortest distinguishing prefix.
+//
+// The example implements a tiny analytics service: per-site page counts
+// and lexicographic neighborhoods, all on one ordered index.
+package main
+
+import (
+	"fmt"
+
+	wormhole "github.com/repro/wormhole"
+	"github.com/repro/wormhole/internal/keyset"
+)
+
+func main() {
+	idx := wormhole.New()
+
+	urls := keyset.GenURL(20000, 1)
+	for i, u := range urls {
+		idx.Set(u, []byte(fmt.Sprintf("%d", i%1000))) // fake hit counters
+	}
+	fmt.Printf("indexed %d URLs\n", idx.Count())
+
+	// Per-site page counts via prefix scans — no per-site structures.
+	sites := []string{
+		"http://www.nytimes.com/",
+		"http://news.bbc.co.uk/",
+		"http://en.wikipedia.org/",
+		"http://www.youtube.com/",
+	}
+	for _, site := range sites {
+		n := 0
+		idx.Scan([]byte(site), func(k, v []byte) bool {
+			if len(k) < len(site) || string(k[:len(site)]) != site {
+				return false
+			}
+			n++
+			return true
+		})
+		fmt.Printf("%-28s %6d pages\n", site, n)
+	}
+
+	// Lexicographic neighborhood of an arbitrary (likely absent) URL:
+	// the "find keys near X" query that hash indexes cannot answer.
+	probe := []byte("http://www.nytimes.com/2008/election-")
+	fmt.Printf("five URLs at or after %q:\n", probe)
+	keys, _ := idx.RangeAsc(probe, 5)
+	for _, k := range keys {
+		fmt.Printf("  %s\n", k)
+	}
+
+	// The anchor economics that make long keys cheap here: anchors are
+	// the shortest separators, far shorter than the 80+ byte keys.
+	st := idx.Stats()
+	fmt.Printf("\nindex shape: %d leaves, avg anchor %.1f B (keys avg ~%d B), max anchor %d B\n",
+		st.Leaves, st.AvgAnchorLen, 82, st.MaxAnchorLen)
+	fmt.Printf("meta items %d, footprint %.1f MB\n",
+		st.MetaItems, float64(idx.Footprint())/1e6)
+}

@@ -1,0 +1,152 @@
+// Package adapters wraps every index implementation behind the shared
+// index.Index / index.Ordered interfaces and registers them, giving the
+// benchmark harness, the networked KV server and the integration tests one
+// uniform way to instantiate the paper's five ordered indexes plus the
+// Cuckoo hash table and the ablation variants of Figure 11.
+package adapters
+
+import (
+	"github.com/repro/wormhole/internal/art"
+	"github.com/repro/wormhole/internal/btree"
+	"github.com/repro/wormhole/internal/core"
+	"github.com/repro/wormhole/internal/cuckoo"
+	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/masstree"
+	"github.com/repro/wormhole/internal/skiplist"
+)
+
+// Wormhole variant names registered for the Figure 11 ablation, in the
+// paper's cumulative order.
+var AblationOrder = []string{
+	"base-wormhole",
+	"+tagmatching",
+	"+inchashing",
+	"+sortbytag",
+	"+directpos",
+}
+
+func init() {
+	index.Register(index.Info{
+		Name: "wormhole", ThreadSafe: true, RangeScan: true,
+		New: func() index.Index { return wh(core.DefaultOptions()) },
+	})
+	index.Register(index.Info{
+		Name: "wormhole-unsafe", ThreadSafe: false, RangeScan: true,
+		New: func() index.Index {
+			o := core.DefaultOptions()
+			o.Concurrent = false
+			return wh(o)
+		},
+	})
+	// Figure 11's cumulative optimization ladder.
+	masks := []func(*core.Options){
+		func(o *core.Options) {
+			o.TagMatching, o.IncHashing, o.SortByTag, o.DirectPos = false, false, false, false
+		},
+		func(o *core.Options) { o.IncHashing, o.SortByTag, o.DirectPos = false, false, false },
+		func(o *core.Options) { o.SortByTag, o.DirectPos = false, false },
+		func(o *core.Options) { o.DirectPos = false },
+		func(o *core.Options) {},
+	}
+	for i, name := range AblationOrder {
+		adjust := masks[i]
+		index.Register(index.Info{
+			Name: name, ThreadSafe: true, RangeScan: true,
+			New: func() index.Index {
+				o := core.DefaultOptions()
+				adjust(&o)
+				return wh(o)
+			},
+		})
+	}
+	index.Register(index.Info{
+		Name: "btree", ThreadSafe: false, RangeScan: true,
+		New: func() index.Index { return &btreeIx{btree.New(0)} },
+	})
+	index.Register(index.Info{
+		Name: "skiplist", ThreadSafe: false, RangeScan: true,
+		New: func() index.Index { return &slIx{skiplist.New()} },
+	})
+	index.Register(index.Info{
+		Name: "art", ThreadSafe: false, RangeScan: true,
+		New: func() index.Index { return &artIx{art.New()} },
+	})
+	index.Register(index.Info{
+		Name: "masstree", ThreadSafe: true, RangeScan: true,
+		New: func() index.Index { return &mtIx{masstree.New()} },
+	})
+	index.Register(index.Info{
+		Name: "cuckoo", ThreadSafe: true, RangeScan: false,
+		New: func() index.Index { return &ckIx{cuckoo.New(0)} },
+	})
+}
+
+// Baselines returns the paper's five-way comparison set (Figures 9/10/15/16).
+func Baselines() []string {
+	return []string{"skiplist", "btree", "art", "masstree", "wormhole"}
+}
+
+type whIx struct{ t *core.Wormhole }
+
+func wh(o core.Options) index.Index { return &whIx{core.New(o)} }
+
+func (ix *whIx) Get(k []byte) ([]byte, bool) { return ix.t.Get(k) }
+func (ix *whIx) Set(k, v []byte)             { ix.t.Set(k, v) }
+func (ix *whIx) Del(k []byte) bool           { return ix.t.Del(k) }
+func (ix *whIx) Count() int64                { return ix.t.Count() }
+func (ix *whIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *whIx) Scan(s []byte, fn func(k, v []byte) bool) {
+	ix.t.Scan(s, fn)
+}
+
+type btreeIx struct{ t *btree.Tree }
+
+func (ix *btreeIx) Get(k []byte) ([]byte, bool) { return ix.t.Get(k) }
+func (ix *btreeIx) Set(k, v []byte)             { ix.t.Set(k, v) }
+func (ix *btreeIx) Del(k []byte) bool           { return ix.t.Del(k) }
+func (ix *btreeIx) Count() int64                { return ix.t.Count() }
+func (ix *btreeIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *btreeIx) Scan(s []byte, fn func(k, v []byte) bool) {
+	ix.t.Scan(s, fn)
+}
+
+type slIx struct{ t *skiplist.List }
+
+func (ix *slIx) Get(k []byte) ([]byte, bool) { return ix.t.Get(k) }
+func (ix *slIx) Set(k, v []byte)             { ix.t.Set(k, v) }
+func (ix *slIx) Del(k []byte) bool           { return ix.t.Del(k) }
+func (ix *slIx) Count() int64                { return ix.t.Count() }
+func (ix *slIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *slIx) Scan(s []byte, fn func(k, v []byte) bool) {
+	ix.t.Scan(s, fn)
+}
+
+type artIx struct{ t *art.Tree }
+
+func (ix *artIx) Get(k []byte) ([]byte, bool) { return ix.t.Get(k) }
+func (ix *artIx) Set(k, v []byte)             { ix.t.Set(k, v) }
+func (ix *artIx) Del(k []byte) bool           { return ix.t.Del(k) }
+func (ix *artIx) Count() int64                { return ix.t.Count() }
+func (ix *artIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *artIx) Scan(s []byte, fn func(k, v []byte) bool) {
+	ix.t.Scan(s, fn)
+}
+
+type mtIx struct{ t *masstree.Tree }
+
+func (ix *mtIx) Get(k []byte) ([]byte, bool) { return ix.t.Get(k) }
+func (ix *mtIx) Set(k, v []byte)             { ix.t.Set(k, v) }
+func (ix *mtIx) Del(k []byte) bool           { return ix.t.Del(k) }
+func (ix *mtIx) Count() int64                { return ix.t.Count() }
+func (ix *mtIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *mtIx) Scan(s []byte, fn func(k, v []byte) bool) {
+	ix.t.Scan(s, fn)
+}
+
+type ckIx struct{ t *cuckoo.Table }
+
+func (ix *ckIx) Get(k []byte) ([]byte, bool) { return ix.t.Get(k) }
+func (ix *ckIx) Set(k, v []byte)             { ix.t.Set(k, v) }
+func (ix *ckIx) Del(k []byte) bool           { return ix.t.Del(k) }
+func (ix *ckIx) Count() int64                { return ix.t.Count() }
+func (ix *ckIx) Footprint() int64            { return ix.t.Footprint() }

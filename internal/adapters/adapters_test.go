@@ -1,0 +1,194 @@
+package adapters
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/indextest"
+	"github.com/repro/wormhole/internal/keyset"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"wormhole", "wormhole-unsafe", "btree", "skiplist", "art",
+		"masstree", "cuckoo",
+		"base-wormhole", "+tagmatching", "+inchashing", "+sortbytag", "+directpos",
+	}
+	for _, name := range want {
+		info, ok := index.Lookup(name)
+		if !ok {
+			t.Fatalf("index %q not registered", name)
+		}
+		ix := info.New()
+		ix.Set([]byte("k"), []byte("v"))
+		if v, ok := ix.Get([]byte("k")); !ok || string(v) != "v" {
+			t.Fatalf("%s basic op failed", name)
+		}
+		if info.RangeScan {
+			if _, ok := ix.(index.Ordered); !ok {
+				t.Fatalf("%s claims RangeScan but is not Ordered", name)
+			}
+		}
+	}
+	if len(index.All()) < len(want) {
+		t.Fatalf("registry has %d entries, want >= %d", len(index.All()), len(want))
+	}
+}
+
+// TestAllIndexesAgree drives the same operation stream through every
+// registered index and a reference model; any divergence in point results,
+// counts, or (for ordered indexes) full scans fails.
+func TestAllIndexesAgree(t *testing.T) {
+	type run struct {
+		name string
+		ix   index.Index
+	}
+	var runs []run
+	for _, info := range index.All() {
+		runs = append(runs, run{info.Name, info.New()})
+	}
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(2024))
+	for i := 0; i < 6000; i++ {
+		k := fmt.Sprintf("ag-%04d", r.Intn(1500))
+		switch r.Intn(4) {
+		case 0, 1:
+			v := fmt.Sprintf("v%d", i)
+			model[k] = v
+			for _, ru := range runs {
+				ru.ix.Set([]byte(k), []byte(v))
+			}
+		case 2:
+			_, want := model[k]
+			delete(model, k)
+			for _, ru := range runs {
+				if got := ru.ix.Del([]byte(k)); got != want {
+					t.Fatalf("step %d: %s Del(%s)=%v want %v", i, ru.name, k, got, want)
+				}
+			}
+		case 3:
+			mv, mok := model[k]
+			for _, ru := range runs {
+				v, ok := ru.ix.Get([]byte(k))
+				if ok != mok || (ok && string(v) != mv) {
+					t.Fatalf("step %d: %s Get(%s)=%q,%v want %q,%v",
+						i, ru.name, k, v, ok, mv, mok)
+				}
+			}
+		}
+	}
+	for _, ru := range runs {
+		if int(ru.ix.Count()) != len(model) {
+			t.Fatalf("%s Count=%d want %d", ru.name, ru.ix.Count(), len(model))
+		}
+		ord, ok := ru.ix.(index.Ordered)
+		if !ok {
+			continue
+		}
+		var prev []byte
+		n := 0
+		ord.Scan(nil, func(k, v []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("%s scan out of order", ru.name)
+			}
+			prev = append(prev[:0], k...)
+			if model[string(k)] != string(v) {
+				t.Fatalf("%s scan value mismatch at %s", ru.name, k)
+			}
+			n++
+			return true
+		})
+		if n != len(model) {
+			t.Fatalf("%s scan found %d keys, want %d", ru.name, n, len(model))
+		}
+	}
+}
+
+// TestAllOrderedAgreeOnPaperKeysets runs real Table 1 keysets (small scale)
+// through every ordered index and cross-checks random range windows.
+func TestAllOrderedAgreeOnPaperKeysets(t *testing.T) {
+	for _, ksName := range []string{"Az1", "Url", "K3"} {
+		t.Run(ksName, func(t *testing.T) {
+			spec, _ := keyset.Lookup(ksName)
+			keys := spec.Gen(3000, 5)
+			var ordered []index.Ordered
+			var names []string
+			for _, info := range index.All() {
+				if !info.RangeScan {
+					continue
+				}
+				ix := info.New()
+				for _, k := range keys {
+					ix.Set(k, k)
+				}
+				ordered = append(ordered, ix.(index.Ordered))
+				names = append(names, info.Name)
+			}
+			r := rand.New(rand.NewSource(9))
+			for probe := 0; probe < 50; probe++ {
+				start := keys[r.Intn(len(keys))]
+				var ref []string
+				ordered[0].Scan(start, func(k, v []byte) bool {
+					ref = append(ref, string(k))
+					return len(ref) < 25
+				})
+				for oi := 1; oi < len(ordered); oi++ {
+					var got []string
+					ordered[oi].Scan(start, func(k, v []byte) bool {
+						got = append(got, string(k))
+						return len(got) < 25
+					})
+					if len(got) != len(ref) {
+						t.Fatalf("%s window size %d, %s has %d",
+							names[oi], len(got), names[0], len(ref))
+					}
+					for j := range got {
+						if got[j] != ref[j] {
+							t.Fatalf("%s window[%d]=%s, %s has %s",
+								names[oi], j, got[j], names[0], ref[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFootprintsPlausible(t *testing.T) {
+	keys := indextestKeys(2000)
+	var raw int64
+	for _, k := range keys {
+		raw += int64(len(k)) * 2 // key + value (value aliases key here)
+	}
+	for _, info := range index.All() {
+		ix := info.New()
+		for _, k := range keys {
+			ix.Set(k, k)
+		}
+		fp := ix.Footprint()
+		if fp < raw/2 {
+			t.Errorf("%s Footprint %d < half the raw data %d", info.Name, fp, raw)
+		}
+		if fp > raw*64 {
+			t.Errorf("%s Footprint %d implausibly large (raw %d)", info.Name, fp, raw)
+		}
+	}
+}
+
+func indextestKeys(n int) [][]byte {
+	r := rand.New(rand.NewSource(33))
+	keys := make([][]byte, 0, n)
+	seen := map[string]bool{}
+	for len(keys) < n {
+		k := indextest.GenPrefixed(r)
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		keys = append(keys, k)
+	}
+	return keys
+}

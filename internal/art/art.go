@@ -1,0 +1,629 @@
+// Package art implements the Adaptive Radix Tree (Leis et al., ICDE 2013),
+// the trie baseline of the paper's evaluation (§4): four adaptive node
+// sizes (4/16/48/256 children) and pessimistic path compression.
+//
+// Two deviations from the libart build the paper used:
+//
+//   - keys may be arbitrary byte strings, including ones that are prefixes
+//     of other keys; inner nodes carry a terminator slot for a key that
+//     ends exactly at that point (equivalent to the paper's 257th child);
+//   - an ordered Scan with seek is provided (the paper omits ART from its
+//     range-query figure because libart lacks one).
+//
+// Like libart, the tree has no built-in concurrency control.
+package art
+
+import (
+	"bytes"
+	"unsafe"
+)
+
+// Tree is an adaptive radix tree. The zero value is an empty tree.
+type Tree struct {
+	root  node
+	count int64
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Count returns the number of keys.
+func (t *Tree) Count() int64 { return t.count }
+
+type node interface{ isNode() }
+
+type leaf struct {
+	key []byte
+	val []byte
+}
+
+// inner is the common header of the four adaptive node kinds.
+type inner struct {
+	prefix []byte // compressed path below the parent edge
+	term   *leaf  // key ending exactly after prefix, if any
+}
+
+type node4 struct {
+	inner
+	n    int
+	keys [4]byte
+	kids [4]node
+}
+
+type node16 struct {
+	inner
+	n    int
+	keys [16]byte
+	kids [16]node
+}
+
+type node48 struct {
+	inner
+	n    int
+	idx  [256]byte // 0 = empty, else kids[idx-1]
+	kids [48]node
+}
+
+type node256 struct {
+	inner
+	n    int
+	kids [256]node
+}
+
+func (*leaf) isNode()    {}
+func (*node4) isNode()   {}
+func (*node16) isNode()  {}
+func (*node48) isNode()  {}
+func (*node256) isNode() {}
+
+func header(n node) *inner {
+	switch v := n.(type) {
+	case *node4:
+		return &v.inner
+	case *node16:
+		return &v.inner
+	case *node48:
+		return &v.inner
+	case *node256:
+		return &v.inner
+	}
+	return nil
+}
+
+// findChild returns the child for token c, or nil.
+func findChild(n node, c byte) node {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == c {
+				return v.kids[i]
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == c {
+				return v.kids[i]
+			}
+		}
+	case *node48:
+		if i := v.idx[c]; i != 0 {
+			return v.kids[i-1]
+		}
+	case *node256:
+		return v.kids[c]
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if l, isLeaf := n.(*leaf); isLeaf {
+			if bytes.Equal(l.key, key) {
+				return l.val, true
+			}
+			return nil, false
+		}
+		h := header(n)
+		if len(key)-depth < len(h.prefix) || !bytes.Equal(h.prefix, key[depth:depth+len(h.prefix)]) {
+			return nil, false
+		}
+		depth += len(h.prefix)
+		if depth == len(key) {
+			if h.term != nil {
+				return h.term.val, true
+			}
+			return nil, false
+		}
+		n = findChild(n, key[depth])
+		depth++
+	}
+	return nil, false
+}
+
+// Set inserts or replaces key.
+func (t *Tree) Set(key, val []byte) {
+	t.root = t.insert(t.root, key, val, 0)
+}
+
+func (t *Tree) insert(n node, key, val []byte, depth int) node {
+	if n == nil {
+		t.count++
+		return &leaf{key: key, val: val}
+	}
+	if l, isLeaf := n.(*leaf); isLeaf {
+		if bytes.Equal(l.key, key) {
+			l.val = val
+			return n
+		}
+		// Split into a node4 at the divergence of the two suffixes.
+		s1, s2 := l.key[depth:], key[depth:]
+		c := commonLen(s1, s2)
+		nn := &node4{inner: inner{prefix: append([]byte{}, s1[:c]...)}}
+		t.count++
+		nl := &leaf{key: key, val: val}
+		attach := func(lf *leaf, s []byte) {
+			if len(s) == c {
+				nn.term = lf
+			} else {
+				nn.addChild(s[c], lf)
+			}
+		}
+		attach(l, s1)
+		attach(nl, s2)
+		return nn
+	}
+	h := header(n)
+	rest := key[depth:]
+	c := commonLen(h.prefix, rest)
+	if c < len(h.prefix) {
+		// Prefix mismatch: split the compressed path at c.
+		nn := &node4{inner: inner{prefix: append([]byte{}, h.prefix[:c]...)}}
+		edge := h.prefix[c]
+		h.prefix = append([]byte{}, h.prefix[c+1:]...)
+		nn.addChild(edge, n)
+		t.count++
+		nl := &leaf{key: key, val: val}
+		if len(rest) == c {
+			nn.term = nl
+		} else {
+			nn.addChild(rest[c], nl)
+		}
+		return nn
+	}
+	depth += len(h.prefix)
+	if depth == len(key) {
+		if h.term != nil {
+			h.term.val = val
+		} else {
+			h.term = &leaf{key: key, val: val}
+			t.count++
+		}
+		return n
+	}
+	tok := key[depth]
+	if child := findChild(n, tok); child != nil {
+		newChild := t.insert(child, key, val, depth+1)
+		if newChild != child {
+			replaceChild(n, tok, newChild)
+		}
+		return n
+	}
+	t.count++
+	return addChildGrow(n, tok, &leaf{key: key, val: val})
+}
+
+func commonLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// addChild inserts into a node4 known to have room, keeping keys sorted.
+func (v *node4) addChild(c byte, child node) {
+	i := 0
+	for i < v.n && v.keys[i] < c {
+		i++
+	}
+	copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+	copy(v.kids[i+1:v.n+1], v.kids[i:v.n])
+	v.keys[i] = c
+	v.kids[i] = child
+	v.n++
+}
+
+func (v *node16) addChild(c byte, child node) {
+	i := 0
+	for i < v.n && v.keys[i] < c {
+		i++
+	}
+	copy(v.keys[i+1:v.n+1], v.keys[i:v.n])
+	copy(v.kids[i+1:v.n+1], v.kids[i:v.n])
+	v.keys[i] = c
+	v.kids[i] = child
+	v.n++
+}
+
+// addChildGrow adds a child, growing the node kind when full.
+func addChildGrow(n node, c byte, child node) node {
+	switch v := n.(type) {
+	case *node4:
+		if v.n < 4 {
+			v.addChild(c, child)
+			return v
+		}
+		g := &node16{inner: v.inner}
+		copy(g.keys[:], v.keys[:v.n])
+		copy(g.kids[:], v.kids[:v.n])
+		g.n = v.n
+		g.addChild(c, child)
+		return g
+	case *node16:
+		if v.n < 16 {
+			v.addChild(c, child)
+			return v
+		}
+		g := &node48{inner: v.inner}
+		for i := 0; i < v.n; i++ {
+			g.idx[v.keys[i]] = byte(i + 1)
+			g.kids[i] = v.kids[i]
+		}
+		g.n = v.n
+		g.idx[c] = byte(g.n + 1)
+		g.kids[g.n] = child
+		g.n++
+		return g
+	case *node48:
+		if v.n < 48 {
+			v.idx[c] = byte(v.n + 1)
+			v.kids[v.n] = child
+			v.n++
+			return v
+		}
+		g := &node256{inner: v.inner}
+		for tok := 0; tok < 256; tok++ {
+			if i := v.idx[tok]; i != 0 {
+				g.kids[tok] = v.kids[i-1]
+			}
+		}
+		g.n = v.n
+		g.kids[c] = child
+		g.n++
+		return g
+	case *node256:
+		v.kids[c] = child
+		v.n++
+		return v
+	}
+	panic("art: addChildGrow on leaf")
+}
+
+func replaceChild(n node, c byte, child node) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == c {
+				v.kids[i] = child
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == c {
+				v.kids[i] = child
+				return
+			}
+		}
+	case *node48:
+		v.kids[v.idx[c]-1] = child
+		return
+	case *node256:
+		v.kids[c] = child
+		return
+	}
+	panic("art: replaceChild missing")
+}
+
+// Del removes key, reporting whether it was present. Nodes shrink and
+// single-child paths re-compress.
+func (t *Tree) Del(key []byte) bool {
+	newRoot, ok := t.remove(t.root, key, 0)
+	if ok {
+		t.root = newRoot
+		t.count--
+	}
+	return ok
+}
+
+func (t *Tree) remove(n node, key []byte, depth int) (node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	if l, isLeaf := n.(*leaf); isLeaf {
+		if bytes.Equal(l.key, key) {
+			return nil, true
+		}
+		return n, false
+	}
+	h := header(n)
+	if len(key)-depth < len(h.prefix) || !bytes.Equal(h.prefix, key[depth:depth+len(h.prefix)]) {
+		return n, false
+	}
+	depth += len(h.prefix)
+	if depth == len(key) {
+		if h.term == nil {
+			return n, false
+		}
+		h.term = nil
+		return shrink(n), true
+	}
+	tok := key[depth]
+	child := findChild(n, tok)
+	if child == nil {
+		return n, false
+	}
+	newChild, ok := t.remove(child, key, depth+1)
+	if !ok {
+		return n, false
+	}
+	if newChild == nil {
+		removeChild(n, tok)
+		return shrink(n), true
+	}
+	if newChild != child {
+		replaceChild(n, tok, newChild)
+	}
+	return n, true
+}
+
+func removeChild(n node, c byte) {
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == c {
+				copy(v.keys[i:], v.keys[i+1:v.n])
+				copy(v.kids[i:], v.kids[i+1:v.n])
+				v.n--
+				v.kids[v.n] = nil
+				return
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if v.keys[i] == c {
+				copy(v.keys[i:], v.keys[i+1:v.n])
+				copy(v.kids[i:], v.kids[i+1:v.n])
+				v.n--
+				v.kids[v.n] = nil
+				return
+			}
+		}
+	case *node48:
+		i := v.idx[c]
+		if i == 0 {
+			return
+		}
+		// Compact the kids array: move the last child into the hole.
+		last := byte(v.n)
+		if i != last {
+			v.kids[i-1] = v.kids[last-1]
+			for tok := 0; tok < 256; tok++ {
+				if v.idx[tok] == last {
+					v.idx[tok] = i
+					break
+				}
+			}
+		}
+		v.kids[last-1] = nil
+		v.idx[c] = 0
+		v.n--
+	case *node256:
+		v.kids[c] = nil
+		v.n--
+	}
+}
+
+// shrink downgrades underfull nodes and re-compresses single-child paths.
+func shrink(n node) node {
+	switch v := n.(type) {
+	case *node4:
+		if v.n == 0 {
+			if v.term == nil {
+				return nil
+			}
+			return v.term // only the terminator remains
+		}
+		if v.n == 1 && v.term == nil {
+			// Merge the compressed path into the single child.
+			child := v.kids[0]
+			if ch := header(child); ch != nil {
+				p := append(append(append([]byte{}, v.prefix...), v.keys[0]), ch.prefix...)
+				ch.prefix = p
+				return child
+			}
+			return child // child is a leaf; it stores its full key anyway
+		}
+		return v
+	case *node16:
+		if v.n <= 3 {
+			g := &node4{inner: v.inner}
+			copy(g.keys[:], v.keys[:v.n])
+			copy(g.kids[:], v.kids[:v.n])
+			g.n = v.n
+			return shrink(g)
+		}
+		return v
+	case *node48:
+		if v.n <= 12 {
+			g := &node16{inner: v.inner}
+			for tok := 0; tok < 256; tok++ {
+				if i := v.idx[tok]; i != 0 {
+					g.keys[g.n] = byte(tok)
+					g.kids[g.n] = v.kids[i-1]
+					g.n++
+				}
+			}
+			return shrink(g)
+		}
+		return v
+	case *node256:
+		if v.n <= 40 {
+			g := &node48{inner: v.inner}
+			for tok := 0; tok < 256; tok++ {
+				if v.kids[tok] != nil {
+					g.kids[g.n] = v.kids[tok]
+					g.n++
+					g.idx[tok] = byte(g.n)
+				}
+			}
+			return shrink(g)
+		}
+		return v
+	}
+	return n
+}
+
+// Scan visits keys >= start in ascending order until fn returns false.
+func (t *Tree) Scan(start []byte, fn func(key, val []byte) bool) {
+	t.scan(t.root, start, 0, fn)
+}
+
+// scan returns false when fn stopped the iteration.
+func (t *Tree) scan(n node, start []byte, depth int, fn func(k, v []byte) bool) bool {
+	if n == nil {
+		return true
+	}
+	if l, isLeaf := n.(*leaf); isLeaf {
+		if bytes.Compare(l.key, start) >= 0 {
+			return fn(l.key, l.val)
+		}
+		return true
+	}
+	h := header(n)
+	// Compare the compressed path against the still-unconsumed part of
+	// start to decide whether the subtree is entirely above, entirely
+	// below, or straddling the bound.
+	if depth < len(start) {
+		rest := start[depth:]
+		m := commonLen(h.prefix, rest)
+		if m < len(h.prefix) && m < len(rest) {
+			if h.prefix[m] < rest[m] {
+				return true // whole subtree below start
+			}
+			start = nil // whole subtree above start
+		} else if m == len(rest) && len(h.prefix) > len(rest) {
+			start = nil // prefix extends past start => subtree above
+		}
+	} else {
+		start = nil
+	}
+	depth += len(h.prefix)
+	if h.term != nil && (start == nil || len(start) <= depth) {
+		if bytesGE(h.term.key, start) && !fn(h.term.key, h.term.val) {
+			return false
+		}
+	}
+	visit := func(tok byte, child node) bool {
+		childStart := start
+		if childStart != nil && depth < len(childStart) {
+			if tok < childStart[depth] {
+				return true // subtree below start
+			}
+			if tok > childStart[depth] {
+				childStart = nil
+			}
+		} else {
+			childStart = nil
+		}
+		return t.scan(child, childStart, depth+1, fn)
+	}
+	switch v := n.(type) {
+	case *node4:
+		for i := 0; i < v.n; i++ {
+			if !visit(v.keys[i], v.kids[i]) {
+				return false
+			}
+		}
+	case *node16:
+		for i := 0; i < v.n; i++ {
+			if !visit(v.keys[i], v.kids[i]) {
+				return false
+			}
+		}
+	case *node48:
+		for tok := 0; tok < 256; tok++ {
+			if i := v.idx[tok]; i != 0 {
+				if !visit(byte(tok), v.kids[i-1]) {
+					return false
+				}
+			}
+		}
+	case *node256:
+		for tok := 0; tok < 256; tok++ {
+			if v.kids[tok] != nil {
+				if !visit(byte(tok), v.kids[tok]) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func bytesGE(k, start []byte) bool {
+	return start == nil || bytes.Compare(k, start) >= 0
+}
+
+// Footprint returns approximate heap bytes.
+func (t *Tree) Footprint() int64 {
+	return footprint(t.root)
+}
+
+func footprint(n node) int64 {
+	if n == nil {
+		return 0
+	}
+	var total int64
+	var h *inner
+	switch v := n.(type) {
+	case *leaf:
+		return int64(unsafe.Sizeof(leaf{})) + int64(len(v.key)+len(v.val))
+	case *node4:
+		total = int64(unsafe.Sizeof(node4{}))
+		for i := 0; i < v.n; i++ {
+			total += footprint(v.kids[i])
+		}
+		h = &v.inner
+	case *node16:
+		total = int64(unsafe.Sizeof(node16{}))
+		for i := 0; i < v.n; i++ {
+			total += footprint(v.kids[i])
+		}
+		h = &v.inner
+	case *node48:
+		total = int64(unsafe.Sizeof(node48{}))
+		for i := 0; i < v.n; i++ {
+			total += footprint(v.kids[i])
+		}
+		h = &v.inner
+	case *node256:
+		total = int64(unsafe.Sizeof(node256{}))
+		for tok := 0; tok < 256; tok++ {
+			total += footprint(v.kids[tok])
+		}
+		h = &v.inner
+	}
+	total += int64(len(h.prefix))
+	if h.term != nil {
+		total += footprint(h.term)
+	}
+	return total
+}

@@ -1,0 +1,148 @@
+package art
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/wormhole/internal/indextest"
+)
+
+func TestBasic(t *testing.T) {
+	a := New()
+	keys := []string{"api", "apple", "app", "banana", "band", "b", "", "ap"}
+	for i, k := range keys {
+		a.Set([]byte(k), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if a.Count() != int64(len(keys)) {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	for i, k := range keys {
+		v, ok := a.Get([]byte(k))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q,%v", k, v, ok)
+		}
+	}
+	for _, k := range []string{"a", "appl", "apples", "c", "bandit"} {
+		if _, ok := a.Get([]byte(k)); ok {
+			t.Fatalf("Get(%q) should miss", k)
+		}
+	}
+}
+
+func TestNodeGrowthAllSizes(t *testing.T) {
+	a := New()
+	// 256 single-byte keys force node4 -> node16 -> node48 -> node256.
+	for i := 0; i < 256; i++ {
+		a.Set([]byte{byte(i)}, []byte{byte(i)})
+	}
+	if _, ok := a.root.(*node256); !ok {
+		t.Fatalf("root is %T, want node256", a.root)
+	}
+	for i := 0; i < 256; i++ {
+		v, ok := a.Get([]byte{byte(i)})
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("lost key %d after growth", i)
+		}
+	}
+	// Shrink back down through all sizes.
+	for i := 0; i < 250; i++ {
+		if !a.Del([]byte{byte(i)}) {
+			t.Fatalf("Del %d failed", i)
+		}
+	}
+	for i := 250; i < 256; i++ {
+		if v, ok := a.Get([]byte{byte(i)}); !ok || v[0] != byte(i) {
+			t.Fatalf("lost key %d after shrink", i)
+		}
+	}
+	if a.Count() != 6 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+}
+
+func TestPathCompression(t *testing.T) {
+	a := New()
+	// Long shared prefix: the tree should hold it as one compressed path.
+	a.Set([]byte("http://www.example.com/a"), []byte("1"))
+	a.Set([]byte("http://www.example.com/b"), []byte("2"))
+	if h := header(a.root); h == nil || len(h.prefix) < 20 {
+		t.Fatalf("expected long compressed prefix, root %T", a.root)
+	}
+	// Deleting one key must re-compress to a single leaf.
+	a.Del([]byte("http://www.example.com/a"))
+	if _, isLeaf := a.root.(*leaf); !isLeaf {
+		t.Fatalf("root is %T after shrink, want leaf", a.root)
+	}
+	if v, ok := a.Get([]byte("http://www.example.com/b")); !ok || string(v) != "2" {
+		t.Fatal("survivor lost")
+	}
+}
+
+func TestPrefixKeysViaTerminator(t *testing.T) {
+	a := New()
+	a.Set([]byte("ab"), []byte("short"))
+	a.Set([]byte("abcd"), []byte("long"))
+	a.Set([]byte("abce"), []byte("long2"))
+	if v, ok := a.Get([]byte("ab")); !ok || string(v) != "short" {
+		t.Fatal("prefix key lost")
+	}
+	if !a.Del([]byte("ab")) {
+		t.Fatal("Del prefix key failed")
+	}
+	if _, ok := a.Get([]byte("ab")); ok {
+		t.Fatal("deleted prefix key still present")
+	}
+	if v, ok := a.Get([]byte("abcd")); !ok || string(v) != "long" {
+		t.Fatal("extension key lost")
+	}
+}
+
+func TestScanOrderedWithSeek(t *testing.T) {
+	a := New()
+	for i := 0; i < 500; i++ {
+		a.Set([]byte(fmt.Sprintf("k%04d", i*2)), []byte{1})
+	}
+	var got []string
+	a.Scan([]byte("k0101"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 4
+	})
+	if fmt.Sprint(got) != "[k0102 k0104 k0106 k0108]" {
+		t.Fatalf("scan = %v", got)
+	}
+	count, prev := 0, ""
+	a.Scan(nil, func(k, v []byte) bool {
+		if string(k) <= prev && count > 0 {
+			t.Fatalf("scan out of order: %q after %q", k, prev)
+		}
+		prev = string(k)
+		count++
+		return true
+	})
+	if count != 500 {
+		t.Fatalf("full scan = %d keys", count)
+	}
+}
+
+func TestModelAgainstReference(t *testing.T) {
+	for gi, gen := range []func(*rand.Rand) []byte{
+		indextest.GenBinary, indextest.GenASCII,
+		indextest.GenRandom(8), indextest.GenPrefixed,
+	} {
+		t.Run(fmt.Sprintf("gen%d", gi), func(t *testing.T) {
+			indextest.OrderedOps(t, New(), int64(40+gi), 3000, gen)
+		})
+	}
+}
+
+func TestFootprintGrows(t *testing.T) {
+	a := New()
+	f0 := a.Footprint()
+	for i := 0; i < 1000; i++ {
+		a.Set([]byte(fmt.Sprintf("fp%05d", i)), []byte("0123456789"))
+	}
+	if f1 := a.Footprint(); f1 <= f0 || f1 < 1000*17 {
+		t.Fatalf("Footprint = %d", f1)
+	}
+}

@@ -1,0 +1,349 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/repro/wormhole/internal/adapters"
+	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/keyset"
+	"github.com/repro/wormhole/internal/netkv"
+)
+
+// KeysetNames is the Table 1 keyset order used by every figure.
+var KeysetNames = []string{"Az1", "Az2", "Url", "K3", "K4", "K6", "K8", "K10"}
+
+// Experiments maps experiment ids (table1, fig09..fig18, ablation-*) to
+// their runners, in paper order.
+func Experiments() []struct {
+	ID   string
+	Desc string
+	Run  func(c *Config)
+} {
+	return []struct {
+		ID   string
+		Desc string
+		Run  func(c *Config)
+	}{
+		{"table1", "keyset inventory (Table 1)", Table1},
+		{"fig09", "lookup throughput vs thread count, Az1 (Figure 9)", Fig09},
+		{"fig10", "lookup throughput per keyset (Figure 10)", Fig10},
+		{"fig11", "optimization ablation (Figure 11)", Fig11},
+		{"fig12", "lookup throughput over the networked KV store (Figure 12)", Fig12},
+		{"fig13", "Wormhole vs Cuckoo hash lookups (Figure 13)", Fig13},
+		{"fig14", "anchor-length sensitivity, Kshort vs Klong (Figure 14)", Fig14},
+		{"fig15", "single-thread insertion throughput (Figure 15)", Fig15},
+		{"fig16", "memory usage (Figure 16)", Fig16},
+		{"fig17", "mixed lookups/insertions, Masstree vs Wormhole (Figure 17)", Fig17},
+		{"fig18", "range lookups, 100-key scans (Figure 18)", Fig18},
+		{"ablation-leafcap", "leaf capacity sweep (extension)", AblationLeafCap},
+		{"ablation-unsafe", "thread-safe vs unsafe overhead (extension)", AblationUnsafe},
+		{"ablation-shortanchors", "anchor-minimizing split points (paper's future work)", AblationShortAnchors},
+	}
+}
+
+// AblationShortAnchors measures the paper's deferred split-point
+// optimization: anchor statistics and lookup throughput with and without
+// anchor-length minimization, on the prefix-heavy keysets where it matters.
+func AblationShortAnchors(c *Config) {
+	c.printf("Ablation: anchor-minimizing split points, %d threads\n", c.Threads)
+	c.printf("%-8s %-14s %10s %12s %12s %14s\n",
+		"keyset", "variant", "MOPS", "avg anchor", "meta items", "meta footprint")
+	for _, ks := range []string{"Az1", "Url", "K6"} {
+		keys := c.Keyset(ks)
+		for _, short := range []bool{false, true} {
+			var ix *whDirect
+			if short {
+				ix = NewWormholeShortAnchors()
+			} else {
+				ix = NewWormholeLeafCap(0)
+			}
+			for _, k := range keys {
+				ix.Set(k, k)
+			}
+			mops := LookupThroughput(ix, keys, c.Threads, c.Duration, c.Seed)
+			st := ix.Stats()
+			label := "paper"
+			if short {
+				label = "short-anchors"
+			}
+			c.printf("%-8s %-14s %10.2f %12.1f %12d %14d\n",
+				ks, label, mops, st.AvgAnchorLen, st.MetaItems, st.MetaBuckets)
+		}
+	}
+}
+
+// Table1 prints the keyset inventory at the configured scale.
+func Table1(c *Config) {
+	c.printf("Table 1: keysets (scaled to %d base keys, seed %d)\n", c.Keys, c.Seed)
+	c.printf("%-6s %10s %10s %12s  %s\n", "name", "keys", "avg len", "MB", "description")
+	for _, spec := range keyset.Table1() {
+		keys := c.Keyset(spec.Name)
+		st := keyset.Summarize(keys)
+		c.printf("%-6s %10d %10.1f %12.1f  %s\n",
+			spec.Name, st.Keys, st.AvgLen, float64(st.Bytes)/1e6, spec.Description)
+	}
+}
+
+// Fig09 sweeps thread counts on Az1 for the five indexes plus
+// Wormhole-unsafe, the paper's scalability experiment.
+func Fig09(c *Config) {
+	keys := c.Keyset("Az1")
+	names := append(append([]string{}, adapters.Baselines()...), "wormhole-unsafe")
+	c.printf("Figure 9: lookup throughput (MOPS) vs threads, keyset Az1\n")
+	c.printf("%-16s", "threads")
+	threadPoints := []int{}
+	for t := 1; t <= c.Threads; t *= 2 {
+		threadPoints = append(threadPoints, t)
+	}
+	if last := threadPoints[len(threadPoints)-1]; last != c.Threads {
+		threadPoints = append(threadPoints, c.Threads)
+	}
+	for _, t := range threadPoints {
+		c.printf("%8d", t)
+	}
+	c.printf("\n")
+	for _, name := range names {
+		ix := BuildIndex(name, keys)
+		c.printf("%-16s", name)
+		for _, t := range threadPoints {
+			mops := LookupThroughput(ix, keys, t, c.Duration, c.Seed)
+			c.printf("%8.2f", mops)
+		}
+		c.printf("\n")
+	}
+}
+
+// Fig10 measures lookup throughput for every keyset and baseline.
+func Fig10(c *Config) {
+	c.printf("Figure 10: lookup throughput (MOPS), %d threads\n", c.Threads)
+	runMatrix(c, adapters.Baselines(), func(name string, keys [][]byte) float64 {
+		ix := BuildIndex(name, keys)
+		return LookupThroughput(ix, keys, c.Threads, c.Duration, c.Seed)
+	})
+}
+
+// Fig11 measures the cumulative optimization ladder of §3 against the B+
+// tree baseline.
+func Fig11(c *Config) {
+	c.printf("Figure 11: optimization ablation, lookup MOPS, %d threads\n", c.Threads)
+	names := append([]string{"btree"}, adapters.AblationOrder...)
+	runMatrix(c, names, func(name string, keys [][]byte) float64 {
+		ix := BuildIndex(name, keys)
+		return LookupThroughput(ix, keys, c.Threads, c.Duration, c.Seed)
+	})
+}
+
+// Fig12 runs the lookup workload through the netkv server over TCP
+// loopback with the paper's batch size.
+func Fig12(c *Config) {
+	c.printf("Figure 12: networked lookup throughput (MOPS), %d client threads, batch %d\n",
+		c.Threads, c.Batch)
+	runMatrix(c, adapters.Baselines(), func(name string, keys [][]byte) float64 {
+		return netLookupThroughput(c, name, keys)
+	})
+}
+
+func netLookupThroughput(c *Config, name string, keys [][]byte) float64 {
+	ix := BuildIndex(name, keys)
+	srv, err := netkv.Serve("127.0.0.1:0", ix)
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	var total int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(c.Duration)
+	for t := 0; t < c.Threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			cl, err := netkv.Dial(srv.Addr())
+			if err != nil {
+				panic(err)
+			}
+			defer cl.Close()
+			r := NewRng(uint64(c.Seed) + uint64(tid)*977)
+			ops := int64(0)
+			for time.Now().Before(deadline) {
+				for i := 0; i < c.Batch; i++ {
+					cl.QueueGet(keys[r.Intn(len(keys))])
+				}
+				if _, err := cl.Flush(); err != nil {
+					panic(err)
+				}
+				ops += int64(c.Batch)
+			}
+			mu.Lock()
+			total += ops
+			mu.Unlock()
+		}(t)
+	}
+	wg.Wait()
+	return float64(total) / time.Since(start).Seconds() / 1e6
+}
+
+// Fig13 compares Wormhole with the Cuckoo hash table on point lookups.
+func Fig13(c *Config) {
+	c.printf("Figure 13: Wormhole vs Cuckoo hash, lookup MOPS, %d threads\n", c.Threads)
+	runMatrix(c, []string{"wormhole", "cuckoo"}, func(name string, keys [][]byte) float64 {
+		ix := BuildIndex(name, keys)
+		return LookupThroughput(ix, keys, c.Threads, c.Duration, c.Seed)
+	})
+}
+
+// Fig14 sweeps key length for random-content (Kshort) and zero-filled
+// (Klong) keys on Wormhole and Cuckoo, showing anchor-length sensitivity.
+func Fig14(c *Config) {
+	lengths := []int{8, 16, 32, 64, 128, 256, 512}
+	n := c.Keys / 4
+	if n < 1000 {
+		n = 1000
+	}
+	c.printf("Figure 14: lookup MOPS vs key length (%d keys, %d threads)\n", n, c.Threads)
+	c.printf("%-20s", "index/keyset")
+	for _, l := range lengths {
+		c.printf("%8d", l)
+	}
+	c.printf("\n")
+	type variant struct {
+		label string
+		gen   func(length int) [][]byte
+	}
+	variants := []variant{
+		{"wormhole Kshort", func(l int) [][]byte { return keyset.GenKshort(l, n, c.Seed) }},
+		{"wormhole Klong", func(l int) [][]byte { return keyset.GenKlong(l, n, c.Seed) }},
+		{"cuckoo Kshort", func(l int) [][]byte { return keyset.GenKshort(l, n, c.Seed) }},
+		{"cuckoo Klong", func(l int) [][]byte { return keyset.GenKlong(l, n, c.Seed) }},
+	}
+	for vi, v := range variants {
+		name := "wormhole"
+		if vi >= 2 {
+			name = "cuckoo"
+		}
+		c.printf("%-20s", v.label)
+		for _, l := range lengths {
+			keys := v.gen(l)
+			ix := BuildIndex(name, keys)
+			c.printf("%8.2f", LookupThroughput(ix, keys, c.Threads, c.Duration, c.Seed))
+		}
+		c.printf("\n")
+	}
+}
+
+// Fig15 measures single-thread insert-only throughput into empty indexes.
+func Fig15(c *Config) {
+	c.printf("Figure 15: insertion throughput (MOPS), 1 thread\n")
+	runMatrix(c, adapters.Baselines(), func(name string, keys [][]byte) float64 {
+		return InsertThroughput(name, keys)
+	})
+}
+
+// Fig16 reports memory consumption per index and keyset.
+func Fig16(c *Config) {
+	c.printf("Figure 16: memory usage (MB): analytic footprint [heap delta]\n")
+	c.printf("%-10s", "keyset")
+	names := append(append([]string{}, adapters.Baselines()...), "baseline")
+	for _, n := range names {
+		c.printf("%22s", n)
+	}
+	c.printf("\n")
+	for _, ks := range KeysetNames {
+		keys := c.Keyset(ks)
+		c.printf("%-10s", ks)
+		var base int64
+		for _, name := range adapters.Baselines() {
+			fp, heap, b := MemoryUsage(name, keys)
+			base = b
+			c.printf("%13.1f [%5.1f]", float64(fp)/1e6, float64(heap)/1e6)
+		}
+		c.printf("%22.1f", float64(base)/1e6)
+		c.printf("\n")
+	}
+}
+
+// Fig17 measures mixed lookup/insert throughput for Masstree and Wormhole
+// at 5%, 50% and 95% insertion ratios.
+func Fig17(c *Config) {
+	c.printf("Figure 17: mixed workload throughput (MOPS), %d threads\n", c.Threads)
+	c.printf("%-24s", "variant")
+	for _, ks := range KeysetNames {
+		c.printf("%8s", ks)
+	}
+	c.printf("\n")
+	for _, name := range []string{"masstree", "wormhole"} {
+		for _, pct := range []int{5, 50, 95} {
+			c.printf("%-24s", fmt.Sprintf("%s (%d%% insert)", name, pct))
+			for _, ks := range KeysetNames {
+				keys := c.Keyset(ks)
+				c.printf("%8.2f", MixedThroughput(name, keys, pct, c.Threads, c.Duration, c.Seed))
+			}
+			c.printf("\n")
+		}
+	}
+}
+
+// Fig18 measures seek-plus-100-key range scans; ART is omitted exactly as
+// in the paper (libart has no range scan; ours does, but the figure is
+// reproduced as published).
+func Fig18(c *Config) {
+	c.printf("Figure 18: range lookup throughput (MOPS of scans), %d threads\n", c.Threads)
+	runMatrix(c, []string{"skiplist", "btree", "masstree", "wormhole"},
+		func(name string, keys [][]byte) float64 {
+			ix := BuildIndex(name, keys).(index.Ordered)
+			return RangeThroughput(ix, keys, c.Threads, c.Duration, c.Seed)
+		})
+}
+
+// AblationLeafCap sweeps Wormhole's leaf capacity (a design choice the
+// paper fixes at 128) on Az1 lookups.
+func AblationLeafCap(c *Config) {
+	keys := c.Keyset("Az1")
+	c.printf("Ablation: leaf capacity sweep, Az1 lookups (MOPS), %d threads\n", c.Threads)
+	c.printf("%-10s %10s %12s %12s\n", "leafcap", "MOPS", "leaves", "meta items")
+	for _, cap := range []int{16, 32, 64, 128, 256, 512} {
+		ix := NewWormholeLeafCap(cap)
+		for _, k := range keys {
+			ix.Set(k, k)
+		}
+		mops := LookupThroughput(ix, keys, c.Threads, c.Duration, c.Seed)
+		st := ix.Stats()
+		c.printf("%-10d %10.2f %12d %12d\n", cap, mops, st.Leaves, st.MetaItems)
+	}
+}
+
+// AblationUnsafe compares thread-safe and unsafe Wormhole op by op.
+func AblationUnsafe(c *Config) {
+	keys := c.Keyset("Az1")
+	c.printf("Ablation: concurrency-control overhead, Az1, 1 thread (MOPS)\n")
+	c.printf("%-18s %10s %10s\n", "variant", "lookup", "insert")
+	for _, name := range []string{"wormhole", "wormhole-unsafe"} {
+		ix := BuildIndex(name, keys)
+		look := LookupThroughput(ix, keys, 1, c.Duration, c.Seed)
+		ins := InsertThroughput(name, keys)
+		c.printf("%-18s %10.2f %10.2f\n", name, look, ins)
+	}
+}
+
+// runMatrix prints a keyset-by-index throughput matrix.
+func runMatrix(c *Config, names []string, cell func(name string, keys [][]byte) float64) {
+	c.printf("%-16s", "index")
+	for _, ks := range KeysetNames {
+		c.printf("%8s", ks)
+	}
+	c.printf("\n")
+	cols := make(map[string][][]byte, len(KeysetNames))
+	for _, ks := range KeysetNames {
+		cols[ks] = c.Keyset(ks)
+	}
+	for _, name := range names {
+		c.printf("%-16s", name)
+		for _, ks := range KeysetNames {
+			c.printf("%8.2f", cell(name, cols[ks]))
+		}
+		c.printf("\n")
+	}
+}

@@ -1,0 +1,390 @@
+// Package btree implements an in-memory B+ tree with linked leaves,
+// standing in for the STX B+ tree the paper benchmarks against (§4). Keys
+// are byte strings; all keys live in leaf nodes; internal nodes hold copies
+// of separator keys. The fanout defaults to 128, the setting the paper
+// found best on its testbed.
+//
+// Like the original, the structure has no built-in concurrency control:
+// concurrent readers are safe only while no writer runs.
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"unsafe"
+)
+
+// DefaultFanout matches the paper's B+ tree configuration.
+const DefaultFanout = 128
+
+// Tree is a B+ tree. The zero value is not usable; call New.
+type Tree struct {
+	root   node
+	fanout int
+	min    int
+	count  int64
+	height int
+}
+
+type node interface{ isNode() }
+
+type inner struct {
+	// kids[i] holds keys k with keys[i-1] <= k < keys[i] (virtual ±inf at
+	// the ends); len(kids) == len(keys)+1.
+	keys [][]byte
+	kids []node
+}
+
+type leaf struct {
+	keys [][]byte
+	vals [][]byte
+	next *leaf
+	prev *leaf
+}
+
+func (*inner) isNode() {}
+func (*leaf) isNode()  {}
+
+// New returns an empty tree with the given fanout (0 means DefaultFanout).
+func New(fanout int) *Tree {
+	if fanout < 4 {
+		fanout = DefaultFanout
+	}
+	return &Tree{root: &leaf{}, fanout: fanout, min: fanout / 2, height: 1}
+}
+
+// Count returns the number of keys.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the number of levels, leaves included.
+func (t *Tree) Height() int { return t.height }
+
+// childIndex returns which child of n covers key k.
+func (n *inner) childIndex(k []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool {
+		return bytes.Compare(n.keys[i], k) > 0
+	})
+}
+
+func (l *leaf) search(k []byte) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool {
+		return bytes.Compare(l.keys[i], k) >= 0
+	})
+	return i, i < len(l.keys) && bytes.Equal(l.keys[i], k)
+}
+
+func (t *Tree) findLeaf(k []byte) *leaf {
+	n := t.root
+	for {
+		switch v := n.(type) {
+		case *inner:
+			n = v.kids[v.childIndex(k)]
+		case *leaf:
+			return v
+		}
+	}
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	l := t.findLeaf(key)
+	if i, ok := l.search(key); ok {
+		return l.vals[i], true
+	}
+	return nil, false
+}
+
+// Set inserts or replaces key.
+func (t *Tree) Set(key, val []byte) {
+	sep, right := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &inner{keys: [][]byte{sep}, kids: []node{t.root, right}}
+		t.height++
+	}
+}
+
+// insert descends to the leaf, inserting; on overflow the node splits and
+// the promoted separator plus the new right sibling bubble up.
+func (t *Tree) insert(n node, key, val []byte) ([]byte, node) {
+	switch v := n.(type) {
+	case *leaf:
+		i, ok := v.search(key)
+		if ok {
+			v.vals[i] = val
+			return nil, nil
+		}
+		v.keys = append(v.keys, nil)
+		copy(v.keys[i+1:], v.keys[i:])
+		v.keys[i] = key
+		v.vals = append(v.vals, nil)
+		copy(v.vals[i+1:], v.vals[i:])
+		v.vals[i] = val
+		t.count++
+		if len(v.keys) <= t.fanout {
+			return nil, nil
+		}
+		mid := len(v.keys) / 2
+		r := &leaf{
+			keys: append([][]byte{}, v.keys[mid:]...),
+			vals: append([][]byte{}, v.vals[mid:]...),
+			next: v.next,
+			prev: v,
+		}
+		v.keys = v.keys[:mid:mid]
+		v.vals = v.vals[:mid:mid]
+		if r.next != nil {
+			r.next.prev = r
+		}
+		v.next = r
+		return r.keys[0], r
+	case *inner:
+		ci := v.childIndex(key)
+		sep, right := t.insert(v.kids[ci], key, val)
+		if right == nil {
+			return nil, nil
+		}
+		v.keys = append(v.keys, nil)
+		copy(v.keys[ci+1:], v.keys[ci:])
+		v.keys[ci] = sep
+		v.kids = append(v.kids, nil)
+		copy(v.kids[ci+2:], v.kids[ci+1:])
+		v.kids[ci+1] = right
+		if len(v.kids) <= t.fanout {
+			return nil, nil
+		}
+		mid := len(v.keys) / 2
+		up := v.keys[mid]
+		r := &inner{
+			keys: append([][]byte{}, v.keys[mid+1:]...),
+			kids: append([]node{}, v.kids[mid+1:]...),
+		}
+		v.keys = v.keys[:mid:mid]
+		v.kids = v.kids[: mid+1 : mid+1]
+		return up, r
+	}
+	return nil, nil
+}
+
+// Del removes key, rebalancing bottom-up (borrow from a sibling, else
+// merge), and reports whether the key was present.
+func (t *Tree) Del(key []byte) bool {
+	ok := t.remove(t.root, key)
+	if r, isInner := t.root.(*inner); isInner && len(r.kids) == 1 {
+		t.root = r.kids[0]
+		t.height--
+	}
+	return ok
+}
+
+func (t *Tree) remove(n node, key []byte) bool {
+	v, isInner := n.(*inner)
+	if !isInner {
+		l := n.(*leaf)
+		i, ok := l.search(key)
+		if !ok {
+			return false
+		}
+		l.keys = append(l.keys[:i], l.keys[i+1:]...)
+		l.vals = append(l.vals[:i], l.vals[i+1:]...)
+		t.count--
+		return true
+	}
+	ci := v.childIndex(key)
+	if !t.remove(v.kids[ci], key) {
+		return false
+	}
+	t.rebalance(v, ci)
+	return true
+}
+
+func nodeSize(n node) int {
+	switch v := n.(type) {
+	case *leaf:
+		return len(v.keys)
+	case *inner:
+		return len(v.kids)
+	}
+	return 0
+}
+
+// rebalance fixes up v.kids[ci] if it dropped below the minimum.
+func (t *Tree) rebalance(v *inner, ci int) {
+	if nodeSize(v.kids[ci]) >= t.min {
+		return
+	}
+	// Try borrowing from the left sibling, then the right, else merge.
+	if ci > 0 && nodeSize(v.kids[ci-1]) > t.min {
+		t.borrowLeft(v, ci)
+		return
+	}
+	if ci < len(v.kids)-1 && nodeSize(v.kids[ci+1]) > t.min {
+		t.borrowRight(v, ci)
+		return
+	}
+	if ci > 0 {
+		t.mergeInto(v, ci-1)
+	} else {
+		t.mergeInto(v, ci)
+	}
+}
+
+func (t *Tree) borrowLeft(v *inner, ci int) {
+	switch c := v.kids[ci].(type) {
+	case *leaf:
+		l := v.kids[ci-1].(*leaf)
+		last := len(l.keys) - 1
+		c.keys = append([][]byte{l.keys[last]}, c.keys...)
+		c.vals = append([][]byte{l.vals[last]}, c.vals...)
+		l.keys = l.keys[:last]
+		l.vals = l.vals[:last]
+		v.keys[ci-1] = c.keys[0]
+	case *inner:
+		l := v.kids[ci-1].(*inner)
+		last := len(l.kids) - 1
+		c.keys = append([][]byte{v.keys[ci-1]}, c.keys...)
+		c.kids = append([]node{l.kids[last]}, c.kids...)
+		v.keys[ci-1] = l.keys[last-1]
+		l.keys = l.keys[:last-1]
+		l.kids = l.kids[:last]
+	}
+}
+
+func (t *Tree) borrowRight(v *inner, ci int) {
+	switch c := v.kids[ci].(type) {
+	case *leaf:
+		r := v.kids[ci+1].(*leaf)
+		c.keys = append(c.keys, r.keys[0])
+		c.vals = append(c.vals, r.vals[0])
+		r.keys = r.keys[1:]
+		r.vals = r.vals[1:]
+		v.keys[ci] = r.keys[0]
+	case *inner:
+		r := v.kids[ci+1].(*inner)
+		c.keys = append(c.keys, v.keys[ci])
+		c.kids = append(c.kids, r.kids[0])
+		v.keys[ci] = r.keys[0]
+		r.keys = r.keys[1:]
+		r.kids = r.kids[1:]
+	}
+}
+
+// mergeInto merges v.kids[i+1] into v.kids[i].
+func (t *Tree) mergeInto(v *inner, i int) {
+	switch a := v.kids[i].(type) {
+	case *leaf:
+		b := v.kids[i+1].(*leaf)
+		a.keys = append(a.keys, b.keys...)
+		a.vals = append(a.vals, b.vals...)
+		a.next = b.next
+		if b.next != nil {
+			b.next.prev = a
+		}
+	case *inner:
+		b := v.kids[i+1].(*inner)
+		a.keys = append(a.keys, v.keys[i])
+		a.keys = append(a.keys, b.keys...)
+		a.kids = append(a.kids, b.kids...)
+	}
+	v.keys = append(v.keys[:i], v.keys[i+1:]...)
+	v.kids = append(v.kids[:i+1], v.kids[i+2:]...)
+}
+
+// Scan visits keys >= start in ascending order until fn returns false.
+func (t *Tree) Scan(start []byte, fn func(key, val []byte) bool) {
+	l := t.findLeaf(start)
+	i, _ := l.search(start)
+	for l != nil {
+		for ; i < len(l.keys); i++ {
+			if !fn(l.keys[i], l.vals[i]) {
+				return
+			}
+		}
+		l = l.next
+		i = 0
+	}
+}
+
+// Footprint returns approximate heap bytes (Figure 16 accounting).
+func (t *Tree) Footprint() int64 {
+	return t.footprint(t.root)
+}
+
+func (t *Tree) footprint(n node) int64 {
+	ptr := int64(unsafe.Sizeof(uintptr(0)))
+	slice := int64(unsafe.Sizeof([]byte{}))
+	switch v := n.(type) {
+	case *leaf:
+		total := int64(unsafe.Sizeof(leaf{}))
+		total += int64(cap(v.keys)+cap(v.vals)) * slice
+		for i := range v.keys {
+			total += int64(len(v.keys[i]) + len(v.vals[i]))
+		}
+		return total
+	case *inner:
+		total := int64(unsafe.Sizeof(inner{}))
+		total += int64(cap(v.keys))*slice + int64(cap(v.kids))*2*ptr
+		for _, k := range v.keys {
+			total += int64(len(k))
+		}
+		for _, c := range v.kids {
+			total += t.footprint(c)
+		}
+		return total
+	}
+	return 0
+}
+
+// CheckInvariants validates ordering, balance and leaf-chain consistency;
+// it returns nil when the tree is well-formed (test support).
+func (t *Tree) CheckInvariants() error {
+	return t.check(t.root, nil, nil, t.height)
+}
+
+func (t *Tree) check(n node, lo, hi []byte, depth int) error {
+	switch v := n.(type) {
+	case *leaf:
+		if depth != 1 {
+			return errf("leaves at different depths")
+		}
+		for i, k := range v.keys {
+			if lo != nil && bytes.Compare(k, lo) < 0 {
+				return errf("key %q below bound %q", k, lo)
+			}
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return errf("key %q above bound %q", k, hi)
+			}
+			if i > 0 && bytes.Compare(v.keys[i-1], k) >= 0 {
+				return errf("leaf keys unsorted")
+			}
+		}
+	case *inner:
+		if len(v.kids) != len(v.keys)+1 {
+			return errf("inner arity mismatch")
+		}
+		if n != t.root && len(v.kids) < t.min {
+			return errf("inner underflow")
+		}
+		for i := range v.kids {
+			var clo, chi []byte
+			if i == 0 {
+				clo = lo
+			} else {
+				clo = v.keys[i-1]
+			}
+			if i == len(v.keys) {
+				chi = hi
+			} else {
+				chi = v.keys[i]
+			}
+			if err := t.check(v.kids[i], clo, chi, depth-1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

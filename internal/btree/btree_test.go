@@ -1,0 +1,103 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/wormhole/internal/indextest"
+)
+
+func TestBasic(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 1000; i++ {
+		b.Set([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if b.Count() != 1000 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := b.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get k%04d failed", i)
+		}
+	}
+	if _, ok := b.Get([]byte("missing")); ok {
+		t.Fatal("phantom key")
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Height() < 2 {
+		t.Fatalf("height %d after 1000 keys with fanout 128", b.Height())
+	}
+}
+
+func TestSmallFanoutSplitsAndMerges(t *testing.T) {
+	b := New(4)
+	const n = 500
+	for i := 0; i < n; i++ {
+		b.Set([]byte(fmt.Sprintf("k%04d", i)), []byte("x"))
+		if i%50 == 0 {
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+	}
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for j, i := range perm {
+		if !b.Del([]byte(fmt.Sprintf("k%04d", i))) {
+			t.Fatalf("Del k%04d lost", i)
+		}
+		if j%37 == 0 {
+			if err := b.CheckInvariants(); err != nil {
+				t.Fatalf("delete %d: %v", j, err)
+			}
+		}
+	}
+	if b.Count() != 0 || b.Height() != 1 {
+		t.Fatalf("after drain: count %d height %d", b.Count(), b.Height())
+	}
+}
+
+func TestScanWindow(t *testing.T) {
+	b := New(8)
+	for i := 0; i < 300; i++ {
+		b.Set([]byte(fmt.Sprintf("k%04d", i*2)), []byte{1})
+	}
+	var got []string
+	b.Scan([]byte("k0101"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 3
+	})
+	if fmt.Sprint(got) != "[k0102 k0104 k0106]" {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestModelAgainstReference(t *testing.T) {
+	for _, fan := range []int{4, 8, 128} {
+		for gi, gen := range []func(*rand.Rand) []byte{
+			indextest.GenBinary, indextest.GenASCII,
+			indextest.GenRandom(8), indextest.GenPrefixed,
+		} {
+			t.Run(fmt.Sprintf("fanout%d-gen%d", fan, gi), func(t *testing.T) {
+				b := New(fan)
+				indextest.OrderedOps(t, b, int64(fan*10+gi), 3000, gen)
+				if err := b.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	b := New(0)
+	for i := 0; i < 100; i++ {
+		b.Set([]byte(fmt.Sprintf("key-%04d", i)), []byte("0123456789"))
+	}
+	if fp := b.Footprint(); fp < 100*18 {
+		t.Fatalf("Footprint = %d implausibly small", fp)
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "hash/crc32"
+
+// Wormhole hashes keys and anchor prefixes with CRC32-C (Castagnoli), the
+// same function the paper's implementation uses (§3.1, footnote 2). CRC is
+// incremental: the hash of prefix[:n] can be extended to the hash of
+// prefix[:n+k] without rehashing the first n bytes, which is what the
+// IncHashing optimization exploits during the binary search on prefix
+// lengths.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// hashKey returns the CRC32-C of key.
+func hashKey(key []byte) uint32 {
+	return crc32.Update(0, crcTable, key)
+}
+
+// hashExtend extends the CRC of a shorter prefix by ext, so that
+// hashExtend(hashKey(a), b) == hashKey(append(a, b...)).
+func hashExtend(h uint32, ext []byte) uint32 {
+	return crc32.Update(h, crcTable, ext)
+}
+
+// metaTag derives the 16-bit slot tag from a prefix hash. The bucket index
+// consumes the low bits of the hash, so the tag uses the high half to stay
+// independent of bucket placement (Figure 6).
+func metaTag(h uint32) uint16 {
+	return uint16(h >> 16)
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// CheckInvariants validates the full structural correctness of the index
+// and returns the first violation found, or nil. It takes no locks, so run
+// it only while the index is quiescent (tests do). Checked properties:
+//
+//   - LeafList ordering: stored anchors strictly increasing, adjacent-pair
+//     prefix-freedom (which, for sorted keys, implies global
+//     prefix-freedom), real anchors non-decreasing leaf spans;
+//   - leaf spans: real(anchor) <= every key < real(next anchor);
+//   - leaf internals: sorted prefix really sorted, byHash a hash-ordered
+//     permutation of kvs, all keys unique;
+//   - MetaTrieHT completeness: leaf item per anchor, internal item per
+//     proper prefix, no extras, bitmap bits exactly matching existing
+//     children, leftmost/rightmost equal to the true subtree boundaries;
+//   - in concurrent mode, the spare table structurally identical to the
+//     published one;
+//   - the key count matching Count().
+func (w *Wormhole) CheckInvariants() error {
+	if err := w.checkLeafList(); err != nil {
+		return err
+	}
+	t := w.cur.Load()
+	if err := w.checkTable(t); err != nil {
+		return fmt.Errorf("published table: %w", err)
+	}
+	if w.opt.Concurrent {
+		w.metaMu.Lock()
+		sp := w.spare
+		w.metaMu.Unlock()
+		if err := w.checkTable(sp); err != nil {
+			return fmt.Errorf("spare table: %w", err)
+		}
+		if err := tablesIdentical(t, sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Wormhole) checkLeafList() error {
+	var total int64
+	var prevLeaf *leafNode
+	for l := w.head; l != nil; l = l.next.Load() {
+		a := l.anchor.Load()
+		if l.dead {
+			return fmt.Errorf("dead leaf %q still linked", a.stored)
+		}
+		if l.prev.Load() != prevLeaf {
+			return fmt.Errorf("leaf %q has wrong prev pointer", a.stored)
+		}
+		if a.realLen > len(a.stored) {
+			return fmt.Errorf("anchor %q realLen %d out of range", a.stored, a.realLen)
+		}
+		for _, z := range a.stored[a.realLen:] {
+			if z != 0 {
+				return fmt.Errorf("anchor %q extension contains non-⊥ byte", a.stored)
+			}
+		}
+		if prevLeaf != nil {
+			pa := prevLeaf.anchor.Load()
+			if bytes.Compare(pa.stored, a.stored) >= 0 {
+				return fmt.Errorf("stored anchors not increasing: %q >= %q", pa.stored, a.stored)
+			}
+			if isPrefix(pa.stored, a.stored) || isPrefix(a.stored, pa.stored) {
+				return fmt.Errorf("anchors violate prefix condition: %q / %q", pa.stored, a.stored)
+			}
+			if bytes.Compare(pa.real(), a.real()) >= 0 {
+				return fmt.Errorf("real anchors not increasing: %q >= %q", pa.real(), a.real())
+			}
+		}
+		var nextReal []byte
+		if nx := l.next.Load(); nx != nil {
+			nextReal = nx.anchor.Load().real()
+		}
+		if l.sorted > len(l.kvs) {
+			return fmt.Errorf("leaf %q sorted=%d > size=%d", a.stored, l.sorted, len(l.kvs))
+		}
+		seen := make(map[string]bool, len(l.kvs))
+		for i, it := range l.kvs {
+			if it.hash != hashKey(it.key) {
+				return fmt.Errorf("stale hash for key %q", it.key)
+			}
+			if seen[string(it.key)] {
+				return fmt.Errorf("duplicate key %q in leaf %q", it.key, a.stored)
+			}
+			seen[string(it.key)] = true
+			if bytes.Compare(it.key, a.real()) < 0 {
+				return fmt.Errorf("key %q below anchor %q", it.key, a.real())
+			}
+			if nextReal != nil && bytes.Compare(it.key, nextReal) >= 0 {
+				return fmt.Errorf("key %q not below next anchor %q", it.key, nextReal)
+			}
+			if i > 0 && i < l.sorted && bytes.Compare(l.kvs[i-1].key, it.key) >= 0 {
+				return fmt.Errorf("sorted prefix unsorted at %d in leaf %q", i, a.stored)
+			}
+		}
+		if len(l.byHash) != len(l.kvs) {
+			return fmt.Errorf("byHash size mismatch in leaf %q", a.stored)
+		}
+		for i, e := range l.byHash {
+			if e.it == nil || !seen[string(e.it.key)] {
+				return fmt.Errorf("byHash item missing from kvs in leaf %q", a.stored)
+			}
+			if e.hash != e.it.hash {
+				return fmt.Errorf("byHash entry hash stale for %q", e.it.key)
+			}
+			if i > 0 {
+				p := l.byHash[i-1]
+				if p.hash > e.hash || (p.hash == e.hash && bytes.Compare(p.it.key, e.it.key) >= 0) {
+					return fmt.Errorf("byHash out of order in leaf %q", a.stored)
+				}
+			}
+		}
+		total += int64(len(l.kvs))
+		prevLeaf = l
+	}
+	if total != w.count.Load() {
+		return fmt.Errorf("count mismatch: leaves hold %d, Count()=%d", total, w.count.Load())
+	}
+	return nil
+}
+
+func (w *Wormhole) checkTable(t *metaTable) error {
+	// Expected item set, computed from the LeafList.
+	type exp struct {
+		leaf                *leafNode
+		leftmost, rightmost *leafNode
+		children            map[byte]bool
+	}
+	items := make(map[string]*exp)
+	for l := w.head; l != nil; l = l.next.Load() {
+		stored := l.anchor.Load().stored
+		ks := string(stored)
+		if e, ok := items[ks]; ok && e.leaf != nil {
+			return fmt.Errorf("two leaves share stored anchor %q", stored)
+		}
+		if items[ks] == nil {
+			items[ks] = &exp{}
+		}
+		items[ks].leaf = l
+		for pl := 0; pl < len(stored); pl++ {
+			ps := string(stored[:pl])
+			e := items[ps]
+			if e == nil {
+				e = &exp{children: map[byte]bool{}}
+				items[ps] = e
+			}
+			if e.children == nil {
+				e.children = map[byte]bool{}
+			}
+			e.children[stored[pl]] = true
+			if e.leftmost == nil {
+				e.leftmost = l // leaves visited left to right
+			}
+			e.rightmost = l
+		}
+		if len(stored) > t.maxLen {
+			return fmt.Errorf("maxLen %d below anchor %q", t.maxLen, stored)
+		}
+	}
+	count := 0
+	var err error
+	t.forEach(func(n *metaNode) {
+		count++
+		if err != nil {
+			return
+		}
+		e := items[string(n.key)]
+		if e == nil {
+			err = fmt.Errorf("unexpected table item %q", n.key)
+			return
+		}
+		if n.isLeafItem() {
+			if e.leaf == nil || e.leaf != n.leaf {
+				err = fmt.Errorf("leaf item %q points at wrong leaf", n.key)
+				return
+			}
+			if e.children != nil {
+				err = fmt.Errorf("item %q is both leaf and internal", n.key)
+				return
+			}
+			return
+		}
+		if e.children == nil {
+			err = fmt.Errorf("item %q should be a leaf item", n.key)
+			return
+		}
+		for tok := 0; tok < 256; tok++ {
+			want := e.children[byte(tok)]
+			if got := n.hasBit(byte(tok)); got != want {
+				err = fmt.Errorf("item %q bitmap[%d]=%v want %v", n.key, tok, got, want)
+				return
+			}
+		}
+		if n.leftmost != e.leftmost || n.rightmost != e.rightmost {
+			err = fmt.Errorf("item %q boundary pointers wrong", n.key)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if count != len(items) {
+		return fmt.Errorf("table has %d items, expected %d", count, len(items))
+	}
+	if count != t.count {
+		return fmt.Errorf("table count field %d, actual %d", t.count, count)
+	}
+	return nil
+}
+
+// tablesIdentical verifies the two MetaTrieHT copies agree item-for-item.
+func tablesIdentical(a, b *metaTable) error {
+	if a.count != b.count {
+		return fmt.Errorf("table counts differ: %d vs %d", a.count, b.count)
+	}
+	var err error
+	a.forEach(func(n *metaNode) {
+		if err != nil {
+			return
+		}
+		m := b.get(hashKey(n.key), n.key, true)
+		if m == nil {
+			err = fmt.Errorf("item %q missing from twin table", n.key)
+			return
+		}
+		if n.leaf != m.leaf || n.bitmap != m.bitmap ||
+			n.leftmost != m.leftmost || n.rightmost != m.rightmost {
+			err = fmt.Errorf("item %q differs between tables", n.key)
+		}
+	})
+	return err
+}

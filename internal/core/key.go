@@ -1,0 +1,62 @@
+// Package core implements the Wormhole ordered index (Wu, Ni, Jiang —
+// EuroSys 2019): a doubly-linked list of B+-tree-style leaf nodes (the
+// LeafList) indexed by a hash table that contains every prefix of every
+// leaf anchor key (the MetaTrieHT). Point lookups cost O(log L) hash probes
+// where L is the key length; range scans are a linear walk of the LeafList
+// after one lookup.
+package core
+
+import "bytes"
+
+// anchor is a leaf's separator key. The paper appends ⊥ (the smallest
+// token, binary zero) to anchors to preserve the prefix condition — no
+// anchor may be a prefix of another — and then "ignores ⊥ in the ordering
+// condition test" (§2.2). We make that precise by keeping both forms:
+//
+//   - stored: the full anchor as inserted into the MetaTrieHT, i.e. the
+//     separator plus any appended zero tokens. Prefix-freedom holds on
+//     stored keys, so every hash-table item is unambiguously a leaf item or
+//     an internal (trie) item.
+//   - real = stored[:realLen]: the separator itself. All ordering
+//     comparisons (leaf span membership, target-node adjustment) use real.
+//
+// The leaf span invariant is: real(anchor) <= every key in the leaf <
+// real(next leaf's anchor).
+type anchor struct {
+	stored  []byte
+	realLen int
+}
+
+func (a *anchor) real() []byte { return a.stored[:a.realLen] }
+
+// lcp returns the length of the longest common prefix of a and b.
+func lcp(a, b []byte) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// isPrefix reports whether p is a prefix of s (p == s counts).
+func isPrefix(p, s []byte) bool {
+	return len(p) <= len(s) && bytes.Equal(p, s[:len(p)])
+}
+
+// isProperPrefix reports whether p is a strict prefix of s.
+func isProperPrefix(p, s []byte) bool {
+	return len(p) < len(s) && bytes.Equal(p, s[:len(p)])
+}
+
+// equalWithSuffixByte reports whether k == parent+[b] without concatenating.
+func equalWithSuffixByte(k, parent []byte, b byte) bool {
+	n := len(parent)
+	return len(k) == n+1 && k[n] == b && bytes.Equal(k[:n], parent)
+}
+
+func cloneBytes(b []byte) []byte {
+	c := make([]byte, len(b))
+	copy(c, b)
+	return c
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// kv is one key-value item. hash is the CRC32-C of the key, computed once
+// at insertion; its low 16 bits play the role of the paper's leaf tag
+// (§3.2). Key and value buffers are owned by the index once inserted and
+// must not be mutated by the caller.
+type kv struct {
+	hash uint32
+	key  []byte
+	val  []byte
+}
+
+// tagEnt is one tag-array slot: the item's full hash inline (its low bits
+// are the paper's 16-bit tag; we keep all 32 to order the array) plus the
+// item pointer, dereferenced only on a hash match.
+type tagEnt struct {
+	hash uint32
+	it   *kv
+}
+
+// leafNode is one LeafList node (Figure 7).
+//
+// kvs holds items in insertion order: kvs[:sorted] is key-sorted, the tail
+// is the unsorted append region. incSort merges the two on demand (range
+// scan or split), which is the paper's delayed, batched sorting.
+//
+// byHash holds the same items permanently sorted by (hash, key) — the tag
+// array of Figure 7. Each entry keeps the hash inline so the position scan
+// touches one contiguous array instead of dereferencing a heap pointer per
+// probe (the compact-tag-array point of §3.2); the kv pointer is followed
+// only on a hash match. Because entries reference kvs by pointer,
+// re-ordering kvs during incSort does not disturb the array.
+type leafNode struct {
+	mu sync.RWMutex
+	// version is the "expected version" of §2.5: set to (current table
+	// version + 1) while the leaf is locked for a split/merge. A reader
+	// that reached this leaf through an older table observes
+	// version > tableVersion and restarts.
+	version atomic.Uint64
+	dead    bool // set when the leaf is merged away (victim); guarded by mu
+
+	anchor atomic.Pointer[anchor]
+
+	kvs    []*kv
+	sorted int
+	byHash []tagEnt
+
+	prev, next atomic.Pointer[leafNode]
+}
+
+func newLeafNode(a anchor, capHint int) *leafNode {
+	l := &leafNode{
+		kvs:    make([]*kv, 0, capHint),
+		byHash: make([]tagEnt, 0, capHint),
+	}
+	l.anchor.Store(&a)
+	return l
+}
+
+func (l *leafNode) size() int { return len(l.kvs) }
+
+// hashPos returns the index in byHash where an item with hash h and key
+// resides or would be inserted, plus whether it was found.
+//
+// With directPos the start index is speculated as hash*size/2^32 — with a
+// uniform hash this lands within a step or two of the right run (§3.2's
+// direct speculative positioning). Otherwise a binary search is used.
+func (l *leafNode) hashPos(h uint32, key []byte, directPos bool) (int, bool) {
+	a := l.byHash
+	n := len(a)
+	if n == 0 {
+		return 0, false
+	}
+	var i int
+	if directPos {
+		i = int(uint64(h) * uint64(n) >> 32)
+		for i > 0 && h <= a[i-1].hash {
+			i--
+		}
+		for i < n && h > a[i].hash {
+			i++
+		}
+	} else {
+		i = sort.Search(n, func(j int) bool { return a[j].hash >= h })
+	}
+	for i < n && a[i].hash == h {
+		c := bytes.Compare(key, a[i].it.key)
+		if c == 0 {
+			return i, true
+		}
+		if c < 0 {
+			return i, false
+		}
+		i++
+	}
+	return i, false
+}
+
+// find locates key in the leaf. With sortByTag it searches the hash-ordered
+// array; without (BaseWormhole) it binary-searches the key-sorted region
+// and scans the unsorted tail, comparing full keys — the behaviour Figure
+// 11's ablation isolates.
+func (l *leafNode) find(h uint32, key []byte, sortByTag, directPos bool) *kv {
+	if sortByTag {
+		if i, ok := l.hashPos(h, key, directPos); ok {
+			return l.byHash[i].it
+		}
+		return nil
+	}
+	s := l.kvs[:l.sorted]
+	i := sort.Search(len(s), func(j int) bool { return bytes.Compare(s[j].key, key) >= 0 })
+	if i < len(s) && bytes.Equal(s[i].key, key) {
+		return s[i]
+	}
+	for _, it := range l.kvs[l.sorted:] {
+		if bytes.Equal(it.key, key) {
+			return it
+		}
+	}
+	return nil
+}
+
+// insert adds a new item; the caller has verified the key is absent.
+func (l *leafNode) insert(it *kv) {
+	// Keep the sorted prefix maximal for the common ascending-insert case.
+	if l.sorted == len(l.kvs) &&
+		(l.sorted == 0 || bytes.Compare(l.kvs[l.sorted-1].key, it.key) < 0) {
+		l.sorted++
+	}
+	l.kvs = append(l.kvs, it)
+	i, _ := l.hashPos(it.hash, it.key, false)
+	l.byHash = append(l.byHash, tagEnt{})
+	copy(l.byHash[i+1:], l.byHash[i:])
+	l.byHash[i] = tagEnt{hash: it.hash, it: it}
+}
+
+// remove deletes the item (previously returned by find).
+func (l *leafNode) remove(it *kv) {
+	for i, k := range l.byHash {
+		if k.it == it {
+			l.byHash = append(l.byHash[:i], l.byHash[i+1:]...)
+			break
+		}
+	}
+	for i, k := range l.kvs {
+		if k != it {
+			continue
+		}
+		if i < l.sorted {
+			copy(l.kvs[i:], l.kvs[i+1:])
+			l.kvs = l.kvs[:len(l.kvs)-1]
+			l.sorted--
+		} else {
+			l.kvs[i] = l.kvs[len(l.kvs)-1]
+			l.kvs = l.kvs[:len(l.kvs)-1]
+		}
+		return
+	}
+}
+
+// incSort makes kvs fully key-sorted: sort the unsorted tail, then merge it
+// with the sorted prefix (Algorithm 3's incSort). byHash is untouched.
+func (l *leafNode) incSort() {
+	if l.sorted == len(l.kvs) {
+		return
+	}
+	tail := l.kvs[l.sorted:]
+	sort.Slice(tail, func(i, j int) bool {
+		return bytes.Compare(tail[i].key, tail[j].key) < 0
+	})
+	if l.sorted == 0 {
+		l.sorted = len(l.kvs)
+		return
+	}
+	merged := make([]*kv, 0, len(l.kvs))
+	a, b := l.kvs[:l.sorted], tail
+	for len(a) > 0 && len(b) > 0 {
+		if bytes.Compare(a[0].key, b[0].key) <= 0 {
+			merged = append(merged, a[0])
+			a = a[1:]
+		} else {
+			merged = append(merged, b[0])
+			b = b[1:]
+		}
+	}
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	copy(l.kvs, merged)
+	l.sorted = len(l.kvs)
+}
+
+// rebuildByHash resorts the tag array from scratch (used after splits).
+func (l *leafNode) rebuildByHash() {
+	l.byHash = l.byHash[:0]
+	for _, it := range l.kvs {
+		l.byHash = append(l.byHash, tagEnt{hash: it.hash, it: it})
+	}
+	sort.Slice(l.byHash, func(i, j int) bool {
+		if l.byHash[i].hash != l.byHash[j].hash {
+			return l.byHash[i].hash < l.byHash[j].hash
+		}
+		return bytes.Compare(l.byHash[i].it.key, l.byHash[j].it.key) < 0
+	})
+}
+
+// firstAtLeast returns the index of the first sorted item with key >= k.
+// Requires incSort to have run (sorted == len(kvs)).
+func (l *leafNode) firstAtLeast(k []byte) int {
+	return sort.Search(len(l.kvs), func(i int) bool {
+		return bytes.Compare(l.kvs[i].key, k) >= 0
+	})
+}
+
+// firstGreater returns the index of the first sorted item with key > k.
+func (l *leafNode) firstGreater(k []byte) int {
+	return sort.Search(len(l.kvs), func(i int) bool {
+		return bytes.Compare(l.kvs[i].key, k) > 0
+	})
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func mkKV(key string) *kv {
+	k := []byte(key)
+	return &kv{hash: hashKey(k), key: k, val: []byte("v")}
+}
+
+func TestLeafInsertFindRemove(t *testing.T) {
+	l := newLeafNode(anchor{stored: []byte{}}, 8)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, k := range keys {
+		l.insert(mkKV(k))
+	}
+	for _, dp := range []bool{true, false} {
+		for _, sbt := range []bool{true, false} {
+			for _, k := range keys {
+				it := l.find(hashKey([]byte(k)), []byte(k), sbt, dp)
+				if it == nil || string(it.key) != k {
+					t.Fatalf("find(%q, sortByTag=%v, directPos=%v) failed", k, sbt, dp)
+				}
+			}
+			if l.find(hashKey([]byte("zulu")), []byte("zulu"), sbt, dp) != nil {
+				t.Fatalf("find(zulu) should miss")
+			}
+		}
+	}
+	it := l.find(hashKey([]byte("bravo")), []byte("bravo"), true, true)
+	l.remove(it)
+	if l.find(hashKey([]byte("bravo")), []byte("bravo"), true, true) != nil {
+		t.Fatal("bravo still findable after remove")
+	}
+	if l.size() != 4 || len(l.byHash) != 4 {
+		t.Fatalf("size %d / byHash %d after remove", l.size(), len(l.byHash))
+	}
+}
+
+func TestLeafIncSort(t *testing.T) {
+	l := newLeafNode(anchor{stored: []byte{}}, 8)
+	// Ascending inserts keep the sorted prefix maximal.
+	for i := 0; i < 5; i++ {
+		l.insert(mkKV(fmt.Sprintf("a%d", i)))
+	}
+	if l.sorted != 5 {
+		t.Fatalf("ascending inserts: sorted = %d, want 5", l.sorted)
+	}
+	// Out-of-order insert lands in the append region.
+	l.insert(mkKV("a0x"))
+	l.insert(mkKV("a00"))
+	if l.sorted == l.size() {
+		t.Fatal("out-of-order insert should not extend the sorted prefix")
+	}
+	l.incSort()
+	if l.sorted != l.size() {
+		t.Fatal("incSort did not sort everything")
+	}
+	for i := 1; i < len(l.kvs); i++ {
+		if bytes.Compare(l.kvs[i-1].key, l.kvs[i].key) >= 0 {
+			t.Fatalf("kvs unsorted after incSort at %d", i)
+		}
+	}
+	// byHash must survive the reorder (it stores pointers).
+	for _, it := range l.kvs {
+		if f := l.find(it.hash, it.key, true, true); f != it {
+			t.Fatalf("byHash lost %q after incSort", it.key)
+		}
+	}
+}
+
+// TestLeafHashPosQuick property-tests the tag-array search: for random key
+// sets, every present key is found with and without DirectPos, and misses
+// return the correct insertion position.
+func TestLeafHashPosQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 1
+		l := newLeafNode(anchor{stored: []byte{}}, n)
+		present := map[string]bool{}
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("q%03d", r.Intn(500))
+			if present[k] {
+				continue
+			}
+			present[k] = true
+			l.insert(mkKV(k))
+		}
+		for k := range present {
+			h := hashKey([]byte(k))
+			for _, dp := range []bool{true, false} {
+				i, ok := l.hashPos(h, []byte(k), dp)
+				if !ok || string(l.byHash[i].it.key) != k {
+					return false
+				}
+			}
+		}
+		// Misses: position must be a valid insertion point (hash order kept).
+		for i := 0; i < 20; i++ {
+			k := []byte(fmt.Sprintf("miss%04d", r.Intn(10000)))
+			if present[string(k)] {
+				continue
+			}
+			h := hashKey(k)
+			pos, ok := l.hashPos(h, k, i%2 == 0)
+			if ok {
+				return false
+			}
+			if pos > 0 && l.byHash[pos-1].hash > h {
+				return false
+			}
+			if pos < len(l.byHash) && l.byHash[pos].hash < h {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafFirstAtLeastGreater(t *testing.T) {
+	l := newLeafNode(anchor{stored: []byte{}}, 8)
+	for _, k := range []string{"b", "d", "f"} {
+		l.insert(mkKV(k))
+	}
+	l.incSort()
+	cases := []struct {
+		k                string
+		atLeast, greater int
+	}{
+		{"a", 0, 0}, {"b", 0, 1}, {"c", 1, 1}, {"f", 2, 3}, {"g", 3, 3},
+	}
+	for _, c := range cases {
+		if got := l.firstAtLeast([]byte(c.k)); got != c.atLeast {
+			t.Errorf("firstAtLeast(%q) = %d, want %d", c.k, got, c.atLeast)
+		}
+		if got := l.firstGreater([]byte(c.k)); got != c.greater {
+			t.Errorf("firstGreater(%q) = %d, want %d", c.k, got, c.greater)
+		}
+	}
+}
+
+func TestMergeLeavesKeepsOrder(t *testing.T) {
+	a := newLeafNode(anchor{stored: []byte{}}, 8)
+	b := newLeafNode(anchor{stored: []byte("m"), realLen: 1}, 8)
+	for _, k := range []string{"a1", "a2", "a3"} {
+		a.insert(mkKV(k))
+	}
+	for _, k := range []string{"m1", "m2"} {
+		b.insert(mkKV(k))
+	}
+	mergeLeaves(a, b)
+	if !b.dead {
+		t.Fatal("victim not marked dead")
+	}
+	if a.size() != 5 || len(a.byHash) != 5 {
+		t.Fatalf("merged sizes wrong: %d/%d", a.size(), len(a.byHash))
+	}
+	if a.sorted != 5 {
+		t.Fatalf("merged sorted prefix = %d, want 5", a.sorted)
+	}
+	var hs []uint32
+	for _, it := range a.byHash {
+		hs = append(hs, it.hash)
+	}
+	if !sort.SliceIsSorted(hs, func(i, j int) bool { return hs[i] < hs[j] }) {
+		t.Fatal("merged byHash not hash-sorted")
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if lcp([]byte("abc"), []byte("abd")) != 2 {
+		t.Fatal("lcp")
+	}
+	if lcp([]byte("ab"), []byte("ab")) != 2 {
+		t.Fatal("lcp equal")
+	}
+	if lcp([]byte(""), []byte("x")) != 0 {
+		t.Fatal("lcp empty")
+	}
+	if !isPrefix([]byte("ab"), []byte("ab")) || !isPrefix([]byte(""), []byte("z")) {
+		t.Fatal("isPrefix")
+	}
+	if isPrefix([]byte("abc"), []byte("ab")) {
+		t.Fatal("isPrefix long")
+	}
+	if isProperPrefix([]byte("ab"), []byte("ab")) || !isProperPrefix([]byte("a"), []byte("ab")) {
+		t.Fatal("isProperPrefix")
+	}
+	if !equalWithSuffixByte([]byte("abz"), []byte("ab"), 'z') ||
+		equalWithSuffixByte([]byte("abz"), []byte("ab"), 'y') {
+		t.Fatal("equalWithSuffixByte")
+	}
+}
+
+func TestHashIncremental(t *testing.T) {
+	key := []byte("wormhole-incremental-hash")
+	for cut := 0; cut <= len(key); cut++ {
+		h := hashExtend(hashKey(key[:cut]), key[cut:])
+		if h != hashKey(key) {
+			t.Fatalf("hashExtend at cut %d mismatch", cut)
+		}
+	}
+}

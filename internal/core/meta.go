@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"math/bits"
+)
+
+// metaNode is one MetaTrieHT item (Figure 5/6). An item is either a leaf
+// item — the full stored anchor of a LeafList node — or an internal item,
+// one proper prefix of some anchor. The prefix condition guarantees a
+// stored key is never both.
+//
+// Internal items carry a 256-bit child bitmap (one bit per possible next
+// token) plus the leftmost and rightmost LeafList nodes of the trie subtree
+// rooted at this prefix. These two pointers are what let a failed prefix
+// match jump straight to the target leaf (§2.3's sibling rule).
+type metaNode struct {
+	key    []byte // stored prefix this item represents
+	leaf   *leafNode
+	bitmap [4]uint64 // internal items only: which child tokens exist
+	// Subtree boundary leaves (internal items only).
+	leftmost, rightmost *leafNode
+}
+
+func (n *metaNode) isLeafItem() bool { return n.leaf != nil }
+
+func (n *metaNode) setBit(tok byte)   { n.bitmap[tok>>6] |= 1 << (tok & 63) }
+func (n *metaNode) clearBit(tok byte) { n.bitmap[tok>>6] &^= 1 << (tok & 63) }
+func (n *metaNode) hasBit(tok byte) bool {
+	return n.bitmap[tok>>6]&(1<<(tok&63)) != 0
+}
+func (n *metaNode) bitmapEmpty() bool {
+	return n.bitmap[0]|n.bitmap[1]|n.bitmap[2]|n.bitmap[3] == 0
+}
+
+// leftSibling returns the largest set token strictly below tok.
+func (n *metaNode) leftSibling(tok byte) (byte, bool) {
+	w := int(tok >> 6)
+	rem := uint(tok & 63)
+	// Mask off bits >= rem in the first word, then walk down.
+	m := n.bitmap[w] & (1<<rem - 1)
+	for {
+		if m != 0 {
+			return byte(w<<6 + 63 - bits.LeadingZeros64(m)), true
+		}
+		w--
+		if w < 0 {
+			return 0, false
+		}
+		m = n.bitmap[w]
+	}
+}
+
+// rightSibling returns the smallest set token strictly above tok.
+func (n *metaNode) rightSibling(tok byte) (byte, bool) {
+	w := int(tok >> 6)
+	rem := uint(tok & 63)
+	var m uint64
+	if rem == 63 {
+		m = 0
+	} else {
+		m = n.bitmap[w] &^ (1<<(rem+1) - 1)
+	}
+	for {
+		if m != 0 {
+			return byte(w<<6 + bits.TrailingZeros64(m)), true
+		}
+		w++
+		if w > 3 {
+			return 0, false
+		}
+		m = n.bitmap[w]
+	}
+}
+
+// metaBucketWidth is the number of (tag, node) pairs per hash bucket,
+// mirroring the paper's 8-entry cache-line slot (Figure 6).
+const metaBucketWidth = 8
+
+type metaBucket struct {
+	tags  [metaBucketWidth]uint16
+	nodes [metaBucketWidth]*metaNode
+	next  *metaBucket // overflow chain; rare after resize
+}
+
+// metaTable is one copy of the MetaTrieHT. Wormhole keeps two copies (§2.5):
+// the published one, read lock-free under QSBR protection, and a spare. A
+// table is only ever mutated while it is the spare (never observable), so
+// none of the methods below need synchronization. version is assigned just
+// before a table is published and is immutable while the table is visible.
+type metaTable struct {
+	buckets []metaBucket
+	mask    uint32
+	count   int
+	maxLen  int // length of the longest stored anchor (L_anc)
+	version uint64
+}
+
+func newMetaTable(buckets int) *metaTable {
+	size := 8
+	for size < buckets {
+		size <<= 1
+	}
+	return &metaTable{buckets: make([]metaBucket, size), mask: uint32(size - 1)}
+}
+
+// get returns the item whose stored key equals key (hashed to h), with full
+// key verification. tagMatch selects the paper's TagMatching behaviour:
+// compare the 16-bit tag first and fall through to a byte comparison only
+// on a tag hit. With tagMatch=false (BaseWormhole) every occupied slot is
+// compared byte-by-byte.
+func (t *metaTable) get(h uint32, key []byte, tagMatch bool) *metaNode {
+	tag := metaTag(h)
+	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
+		for i := 0; i < metaBucketWidth; i++ {
+			n := b.nodes[i]
+			if n == nil {
+				continue
+			}
+			if tagMatch && b.tags[i] != tag {
+				continue
+			}
+			if bytes.Equal(n.key, key) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// getTagOnly returns the first item in h's bucket chain whose tag matches,
+// without verifying the key — the optimistic probe of §3.1. A false
+// positive is possible and is detected by the caller's final full-key
+// verification.
+func (t *metaTable) getTagOnly(h uint32) *metaNode {
+	tag := metaTag(h)
+	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
+		for i := 0; i < metaBucketWidth; i++ {
+			if b.nodes[i] != nil && b.tags[i] == tag {
+				return b.nodes[i]
+			}
+		}
+	}
+	return nil
+}
+
+// getChild looks up parent.key + one extra token without materializing the
+// concatenation. parentHash must be the hash of parent.key.
+func (t *metaTable) getChild(parentHash uint32, parent []byte, tok byte) *metaNode {
+	var ext [1]byte
+	ext[0] = tok
+	h := hashExtend(parentHash, ext[:])
+	tag := metaTag(h)
+	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
+		for i := 0; i < metaBucketWidth; i++ {
+			n := b.nodes[i]
+			if n == nil || b.tags[i] != tag {
+				continue
+			}
+			if equalWithSuffixByte(n.key, parent, tok) {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// set inserts node under its key. The caller guarantees the key is absent.
+func (t *metaTable) set(node *metaNode) {
+	if t.count >= len(t.buckets)*6 {
+		t.grow()
+	}
+	h := hashKey(node.key)
+	t.insert(h, node)
+	t.count++
+	if len(node.key) > t.maxLen {
+		t.maxLen = len(node.key)
+	}
+}
+
+func (t *metaTable) insert(h uint32, node *metaNode) {
+	tag := metaTag(h)
+	b := &t.buckets[h&t.mask]
+	for {
+		for i := 0; i < metaBucketWidth; i++ {
+			if b.nodes[i] == nil {
+				b.nodes[i] = node
+				b.tags[i] = tag
+				return
+			}
+		}
+		if b.next == nil {
+			b.next = &metaBucket{}
+		}
+		b = b.next
+	}
+}
+
+// remove deletes the item with the given stored key, returning it.
+func (t *metaTable) remove(key []byte) *metaNode {
+	h := hashKey(key)
+	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
+		for i := 0; i < metaBucketWidth; i++ {
+			n := b.nodes[i]
+			if n != nil && bytes.Equal(n.key, key) {
+				b.nodes[i] = nil
+				b.tags[i] = 0
+				t.count--
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// grow doubles the bucket array and rehashes every item. Safe because
+// tables are only mutated while unobserved.
+func (t *metaTable) grow() {
+	old := t.buckets
+	t.buckets = make([]metaBucket, len(old)*2)
+	t.mask = uint32(len(t.buckets) - 1)
+	for i := range old {
+		for b := &old[i]; b != nil; b = b.next {
+			for j := 0; j < metaBucketWidth; j++ {
+				if n := b.nodes[j]; n != nil {
+					t.insert(hashKey(n.key), n)
+				}
+			}
+		}
+	}
+}
+
+// forEach visits every item; used by invariant checks and Footprint.
+func (t *metaTable) forEach(fn func(*metaNode)) {
+	for i := range t.buckets {
+		for b := &t.buckets[i]; b != nil; b = b.next {
+			for j := 0; j < metaBucketWidth; j++ {
+				if b.nodes[j] != nil {
+					fn(b.nodes[j])
+				}
+			}
+		}
+	}
+}

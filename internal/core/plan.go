@@ -1,0 +1,330 @@
+package core
+
+import "bytes"
+
+// This file implements Algorithm 4 (split and merge) as two halves:
+//
+//  1. Planning — pure computation of the new anchor, its ⊥-extension, and
+//     any re-keying ("conversion") of the split leaf's own anchor. A plan
+//     captures every decision that depends on leaf-list state, so that
+//  2. Application — applySplit/applyMerge can replay the identical
+//     mutation on both MetaTrieHT copies (§2.5): first on the spare table
+//     before it is published, then, after a grace period, on the retired
+//     table. Both tables are structurally identical when each application
+//     starts, and the plan is self-contained, so the replays converge.
+
+// splitPlan describes one leaf split.
+type splitPlan struct {
+	cut     int    // kvs index where the right half starts (requires incSort)
+	stored  []byte // new anchor, stored form (separator + appended ⊥ tokens)
+	realLen int    // length of the separator (real) part
+	conv    *conversion
+}
+
+// conversion re-keys the split leaf's own anchor when it is a proper prefix
+// of the new anchor: the old leaf item moves from `from` to `to` = from +
+// ⊥^t (Algorithm 4 lines 15–18, collapsed from one ⊥ per iteration into a
+// single step). Only the split leaf's own anchor can ever need this: any
+// anchor that is a proper prefix of the new anchor must be the immediate
+// predecessor anchor — two distinct prefixes of the same key would be
+// prefixes of each other, violating the standing prefix condition.
+type conversion struct {
+	from []byte
+	to   []byte
+}
+
+// planSplit chooses a cut point for a full leaf and builds the plan.
+// It requires l.incSort() to have run. By default cut points are tried
+// middle-out and the first legal one wins (Algorithm 4 line 3–5). With
+// shortAnchors — the split-point optimization the paper leaves as future
+// work (§2.3: "search time is only proportional to anchor lengths, which
+// can be further reduced by intelligently choosing the location where a
+// leaf node is split") — every cut in the middle half is evaluated and the
+// one yielding the shortest stored anchor wins, ties broken toward the
+// middle; the full middle-out search remains the fallback so split balance
+// never degrades below the default. nil means no valid cut exists anywhere
+// and the leaf must grow fat (§3.3).
+func planSplit(l *leafNode, shortAnchors bool) *splitPlan {
+	n := len(l.kvs)
+	if n < 2 {
+		return nil
+	}
+	var nextStored []byte
+	if nx := l.next.Load(); nx != nil {
+		nextStored = nx.anchor.Load().stored
+	}
+	own := l.anchor.Load().stored
+	mid := n / 2
+	if shortAnchors {
+		lo, hi := n/4, n-n/4
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		var best *splitPlan
+		bestDist := 0
+		for i := lo; i <= hi; i++ {
+			p := tryCut(l.kvs[i-1].key, l.kvs[i].key, own, nextStored, i)
+			if p == nil {
+				continue
+			}
+			dist := i - mid
+			if dist < 0 {
+				dist = -dist
+			}
+			if best == nil || len(p.stored) < len(best.stored) ||
+				(len(p.stored) == len(best.stored) && dist < bestDist) {
+				best, bestDist = p, dist
+			}
+		}
+		if best != nil {
+			return best
+		}
+	}
+	for off := 0; ; off++ {
+		hi := mid + off
+		lo := mid - off
+		ok := false
+		if hi >= 1 && hi <= n-1 {
+			ok = true
+			if p := tryCut(l.kvs[hi-1].key, l.kvs[hi].key, own, nextStored, hi); p != nil {
+				return p
+			}
+		}
+		if off > 0 && lo >= 1 && lo <= n-1 {
+			ok = true
+			if p := tryCut(l.kvs[lo-1].key, l.kvs[lo].key, own, nextStored, lo); p != nil {
+				return p
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// tryCut validates a cut between adjacent sorted keys a < b and returns the
+// plan, or nil if no legal anchor exists at this position.
+//
+// The candidate separator is P = b[:lcp(a,b)+1], the shortest prefix of b
+// that is strictly greater than a (§2.2's anchor formation rule). The
+// ordering condition a < P <= b holds by construction. The prefix condition
+// is then enforced on the stored form:
+//
+//   - against the successor anchor: append ⊥ (0x00) until S is no longer a
+//     prefix of it; if that makes the successor a prefix of S instead, the
+//     successor is P followed only by zeros and the cut is illegal;
+//   - against the leaf's own anchor Q: if Q is a proper prefix of S, plan a
+//     conversion Q -> Q + ⊥^t with minimal t; if S is itself Q plus only
+//     zeros, no t works and the cut is illegal. These illegal positions are
+//     exactly the binary-key pathologies of §3.3.
+func tryCut(a, b, own, nextStored []byte, cut int) *splitPlan {
+	c := lcp(a, b)
+	// Keys are unique, so either a is a proper prefix of b (c == len(a)) or
+	// they diverge at c with a[c] < b[c]. Both admit P = b[:c+1].
+	p := b[:c+1]
+	stored := p
+	for nextStored != nil && isPrefix(stored, nextStored) {
+		ext := make([]byte, len(stored)+1)
+		copy(ext, stored)
+		stored = ext
+	}
+	if nextStored != nil && isPrefix(nextStored, stored) {
+		return nil
+	}
+	var conv *conversion
+	if isPrefix(stored, own) {
+		// The new anchor would collide with or be subsumed by the existing
+		// anchor's stored key.
+		return nil
+	}
+	if isProperPrefix(own, stored) {
+		to := cloneBytes(own)
+		for isPrefix(to, stored) {
+			to = append(to, 0)
+		}
+		if isPrefix(stored, to) {
+			return nil // stored is own + ⊥^k: no legal re-keying
+		}
+		conv = &conversion{from: own, to: to}
+	}
+	if len(stored) == len(p) {
+		// No extension appended; clone so the anchor does not alias the
+		// user's key buffer b.
+		stored = cloneBytes(p)
+	}
+	return &splitPlan{cut: cut, stored: stored, realLen: len(p), conv: conv}
+}
+
+// executeLeafSplit mutates the LeafList for a planned split: moves the
+// upper half of l's items into a new leaf, re-keys l's anchor if the plan
+// converted it, and links the new leaf after l. It returns the new leaf.
+// The caller holds l's write lock; the new leaf is not yet reachable.
+func executeLeafSplit(l *leafNode, p *splitPlan) *leafNode {
+	right := l.kvs[p.cut:]
+	newL := newLeafNode(anchor{stored: p.stored, realLen: p.realLen}, cap(l.kvs))
+	newL.kvs = append(newL.kvs, right...)
+	newL.sorted = len(newL.kvs)
+	newL.rebuildByHash()
+
+	l.kvs = l.kvs[:p.cut]
+	l.sorted = p.cut
+	l.rebuildByHash()
+	if p.conv != nil {
+		old := l.anchor.Load()
+		l.anchor.Store(&anchor{stored: p.conv.to, realLen: old.realLen})
+	}
+	return newL
+}
+
+// linkAfter splices newL into the list immediately after l.
+func linkAfter(l, newL *leafNode) {
+	r := l.next.Load()
+	newL.prev.Store(l)
+	newL.next.Store(r)
+	l.next.Store(newL)
+	if r != nil {
+		r.prev.Store(newL)
+	}
+}
+
+// applySplit replays a split plan onto one MetaTrieHT copy. oldRight is the
+// leaf that followed l before the split (nil if l was last); it is passed
+// explicitly because the live list has already been relinked by the time
+// the second table is patched.
+//
+// Boundary-pointer rules for every internal node on the new anchor's prefix
+// path (Algorithm 4 lines 22–24, with the pseudocode's left/right swap
+// corrected): the subtree now contains newL, so
+//
+//   - rightmost == l        -> newL  (newL sits immediately right of l)
+//   - leftmost  == oldRight -> newL  (newL sits immediately left of it)
+func applySplit(t *metaTable, l, newL, oldRight *leafNode, p *splitPlan) {
+	if p.conv != nil {
+		// Re-key the split leaf's own anchor item. Its new stored key's
+		// extra prefixes lie on the new anchor's path and are created by
+		// the walk below.
+		t.remove(p.conv.from)
+		t.set(&metaNode{key: p.conv.to, leaf: l})
+	}
+	t.set(&metaNode{key: p.stored, leaf: newL})
+
+	s := p.stored
+	for pl := 0; pl < len(s); pl++ {
+		prf := s[:pl]
+		node := t.get(hashKey(prf), prf, true)
+		if node == nil {
+			node = &metaNode{key: cloneBytes(prf)}
+			// A brand-new internal node's subtree holds newL, plus l when
+			// the prefix lies on the conversion chain (the re-keyed anchor
+			// runs through it; past len(conv.to) it has diverged).
+			if p.conv != nil && pl >= len(p.conv.from) && pl < len(p.conv.to) {
+				node.leftmost, node.rightmost = l, newL
+			} else {
+				node.leftmost, node.rightmost = newL, newL
+			}
+			t.set(node)
+		} else {
+			if node.isLeafItem() {
+				// Cannot happen: the only anchor that could be a prefix of
+				// s is l's own, and the conversion removed it above.
+				panic("wormhole: leaf item on new anchor path")
+			}
+			if node.rightmost == l {
+				node.rightmost = newL
+			}
+			if oldRight != nil && node.leftmost == oldRight {
+				node.leftmost = newL
+			}
+		}
+		node.setBit(s[pl])
+		if p.conv != nil && pl >= len(p.conv.from) && pl < len(p.conv.to) {
+			// The conversion chain's child token at this depth is ⊥.
+			node.setBit(0)
+		}
+	}
+	if len(s) > t.maxLen {
+		t.maxLen = len(s)
+	}
+	if p.conv != nil && len(p.conv.to) > t.maxLen {
+		t.maxLen = len(p.conv.to)
+	}
+}
+
+// mergePlan describes removing victim's anchor after its items moved into
+// its left neighbor. left/right are victim's list neighbors at merge time.
+type mergePlan struct {
+	stored      []byte
+	victim      *leafNode
+	left, right *leafNode
+}
+
+// applyMerge replays a merge plan onto one MetaTrieHT copy (Algorithm 4's
+// merge): remove the victim's leaf item, then walk its prefixes bottom-up,
+// clearing the child bit when the child item was removed, deleting internal
+// nodes whose bitmaps empty out, and redirecting boundary pointers that
+// referenced the victim to its surviving neighbors.
+func applyMerge(t *metaTable, p *mergePlan) {
+	t.remove(p.stored)
+	removed := true
+	for pl := len(p.stored) - 1; pl >= 0; pl-- {
+		prf := p.stored[:pl]
+		node := t.get(hashKey(prf), prf, true)
+		if node == nil || node.isLeafItem() {
+			panic("wormhole: broken trie path during merge")
+		}
+		if removed {
+			node.clearBit(p.stored[pl])
+		}
+		if node.bitmapEmpty() {
+			t.remove(prf)
+			removed = true
+			continue
+		}
+		removed = false
+		if node.leftmost == p.victim {
+			node.leftmost = p.right
+		}
+		if node.rightmost == p.victim {
+			node.rightmost = p.left
+		}
+	}
+}
+
+// mergeLeaves moves every item of victim into left and unlinks victim.
+// Caller holds both write locks; left is victim's immediate predecessor.
+func mergeLeaves(left, victim *leafNode) {
+	if left.sorted == len(left.kvs) {
+		// All of victim's keys sort after all of left's, so victim's sorted
+		// prefix extends left's.
+		left.kvs = append(left.kvs, victim.kvs...)
+		left.sorted += victim.sorted
+	} else {
+		left.kvs = append(left.kvs, victim.kvs...)
+	}
+	// Merge the two hash-ordered arrays.
+	merged := make([]tagEnt, 0, len(left.byHash)+len(victim.byHash))
+	a, b := left.byHash, victim.byHash
+	for len(a) > 0 && len(b) > 0 {
+		if a[0].hash < b[0].hash ||
+			(a[0].hash == b[0].hash && bytes.Compare(a[0].it.key, b[0].it.key) <= 0) {
+			merged = append(merged, a[0])
+			a = a[1:]
+		} else {
+			merged = append(merged, b[0])
+			b = b[1:]
+		}
+	}
+	merged = append(merged, a...)
+	merged = append(merged, b...)
+	left.byHash = merged
+
+	victim.dead = true
+	r := victim.next.Load()
+	left.next.Store(r)
+	if r != nil {
+		r.prev.Store(left)
+	}
+}

@@ -1,0 +1,394 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+)
+
+// Range scans (Algorithm 2's RangeSearchAscending, plus the descending
+// twin): one meta-table lookup finds the starting leaf, then the scan walks
+// the LeafList directly. Each leaf is visited under its own lock (write
+// lock only when the leaf's append region must first be incSort-ed), its
+// qualifying items are copied out as slice headers, and the callback runs
+// unlocked so it may call back into the index.
+//
+// Concurrent splits and merges are tolerated by two rules:
+//
+//   - resume strictly after the last emitted key, so a leaf reached twice
+//     (e.g. re-seek after landing on a merged-away node) emits no
+//     duplicates and loses no keys;
+//   - an ascending hop pointer captured under the predecessor's lock stays
+//     valid across a split of the target (the target keeps its lower half
+//     and the scan re-reads .next), but a descending hop must verify
+//     hopped.next == current and otherwise re-seek, because a split moves
+//     the upper half — the keys the descending scan needs next — into a
+//     node the stale pointer bypasses.
+
+type pair struct{ k, v []byte }
+
+// scanChunk bounds how many pairs are copied out per lock acquisition:
+// small enough that a short range query does not pay for a whole 128-key
+// leaf, large enough that long scans amortize the locking.
+const scanChunk = 128
+
+// pairBufPool recycles scan copy-out buffers; range-heavy workloads
+// (Figure 18) would otherwise allocate one batch per scan and spend their
+// time in the garbage collector.
+var pairBufPool = sync.Pool{
+	New: func() any {
+		b := make([]pair, 0, scanChunk)
+		return &b
+	},
+}
+
+// Scan visits keys >= start in ascending order until fn returns false.
+// A nil start scans from the smallest key.
+func (w *Wormhole) Scan(start []byte, fn func(key, val []byte) bool) {
+	if !w.opt.Concurrent {
+		w.scanUnsafe(start, fn)
+		return
+	}
+	s := w.q.Enter()
+	defer w.q.Leave(s)
+	bufp := pairBufPool.Get().(*[]pair)
+	defer pairBufPool.Put(bufp)
+	var (
+		last    []byte
+		started bool
+		l       *leafNode
+		hop     bool // l was reached by a list hop or same-leaf continuation
+	)
+	for {
+		w.q.Refresh(s)
+		var write, ok bool
+		if hop {
+			write, ok = w.lockScanLeaf(l, 0, false)
+			if !ok {
+				hop = false
+				continue
+			}
+		} else {
+			t := w.cur.Load()
+			seek := start
+			if started {
+				seek = last
+			}
+			l = w.searchMeta(t, seek)
+			write, ok = w.lockScanLeaf(l, t.version, true)
+			if !ok {
+				continue
+			}
+		}
+		batch := (*bufp)[:0]
+		var i int
+		if started {
+			i = l.firstGreater(last)
+		} else {
+			i = l.firstAtLeast(start)
+		}
+		end := i + scanChunk
+		if end > len(l.kvs) {
+			end = len(l.kvs)
+		}
+		for ; i < end; i++ {
+			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].val})
+		}
+		more := end < len(l.kvs)
+		var nxt *leafNode
+		if !more {
+			nxt = l.next.Load()
+		}
+		unlockScanLeaf(l, write)
+		*bufp = batch[:0]
+
+		for _, p := range batch {
+			started, last = true, p.k
+			if !fn(p.k, p.v) {
+				return
+			}
+		}
+		if more {
+			hop = true // continue in the same leaf, resuming after last
+			continue
+		}
+		if nxt == nil {
+			return
+		}
+		l, hop = nxt, true
+	}
+}
+
+// ScanDesc visits keys <= start in descending order until fn returns false.
+// A nil start scans from the largest key.
+func (w *Wormhole) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	if !w.opt.Concurrent {
+		w.scanDescUnsafe(start, fn)
+		return
+	}
+	s := w.q.Enter()
+	defer w.q.Leave(s)
+	bufp := pairBufPool.Get().(*[]pair)
+	defer pairBufPool.Put(bufp)
+	var (
+		last     []byte
+		started  bool
+		l, from  *leafNode
+		hop      bool
+		sameLeaf bool
+		seenVer  uint64
+	)
+	for {
+		w.q.Refresh(s)
+		var write, ok bool
+		if hop {
+			write, ok = w.lockScanLeaf(l, 0, false)
+			if ok && from != nil && l.next.Load() != from {
+				// A split slid new keys in between; re-seek.
+				unlockScanLeaf(l, write)
+				ok = false
+			}
+			if ok && sameLeaf && l.version.Load() != seenVer {
+				// The leaf split while we paused: its upper half — keys the
+				// descending scan still owes — moved to a right sibling this
+				// continuation would skip. Re-seek from the last key.
+				unlockScanLeaf(l, write)
+				ok = false
+			}
+			if !ok {
+				hop, sameLeaf = false, false
+				continue
+			}
+		} else {
+			t := w.cur.Load()
+			if started {
+				l = w.searchMeta(t, last)
+			} else if start != nil {
+				l = w.searchMeta(t, start)
+			} else {
+				l = w.rightmostLeaf(t)
+			}
+			write, ok = w.lockScanLeaf(l, t.version, true)
+			if !ok {
+				continue
+			}
+		}
+		batch := (*bufp)[:0]
+		var i int
+		switch {
+		case started:
+			i = l.firstAtLeast(last) - 1
+		case start != nil:
+			i = l.firstGreater(start) - 1
+		default:
+			i = len(l.kvs) - 1
+		}
+		low := i - scanChunk
+		for ; i >= 0 && i > low; i-- {
+			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].val})
+		}
+		more := i >= 0
+		var prv *leafNode
+		if !more {
+			prv = l.prev.Load()
+		}
+		seenVer = l.version.Load()
+		unlockScanLeaf(l, write)
+		*bufp = batch[:0]
+
+		for _, p := range batch {
+			started, last = true, p.k
+			if !fn(p.k, p.v) {
+				return
+			}
+		}
+		if more {
+			// Same leaf: skip the next-pointer check but insist the leaf
+			// version is unchanged (no split slipped in).
+			from, hop, sameLeaf = nil, true, true
+			continue
+		}
+		if prv == nil {
+			return
+		}
+		from, l, hop, sameLeaf = l, prv, true, false
+	}
+}
+
+// lockScanLeaf locks l for scanning: a read lock when the leaf is already
+// fully sorted, otherwise a write lock so incSort may run. checkVersion
+// applies the §2.5 stale-table test (only meaningful when the leaf was
+// found through a meta table). ok=false means the lock was abandoned and
+// the caller must re-seek.
+func (w *Wormhole) lockScanLeaf(l *leafNode, version uint64, checkVersion bool) (write, ok bool) {
+	l.mu.RLock()
+	if l.dead || (checkVersion && l.version.Load() > version) {
+		l.mu.RUnlock()
+		return false, false
+	}
+	if l.sorted == len(l.kvs) {
+		return false, true
+	}
+	l.mu.RUnlock()
+	l.mu.Lock()
+	if l.dead || (checkVersion && l.version.Load() > version) {
+		l.mu.Unlock()
+		return false, false
+	}
+	l.incSort()
+	return true, true
+}
+
+func unlockScanLeaf(l *leafNode, write bool) {
+	if write {
+		l.mu.Unlock()
+	} else {
+		l.mu.RUnlock()
+	}
+}
+
+// rightmostLeaf returns the last LeafList node: the root item's rightmost
+// subtree boundary (O(1), no list walk).
+func (w *Wormhole) rightmostLeaf(t *metaTable) *leafNode {
+	root := t.get(0, nil, w.opt.TagMatching)
+	if root.isLeafItem() {
+		return root.leaf
+	}
+	return root.rightmost
+}
+
+func (w *Wormhole) scanUnsafe(start []byte, fn func(key, val []byte) bool) {
+	t := w.cur.Load()
+	l := w.searchMeta(t, start)
+	l.incSort()
+	i := l.firstAtLeast(start)
+	for l != nil {
+		for ; i < len(l.kvs); i++ {
+			if !fn(l.kvs[i].key, l.kvs[i].val) {
+				return
+			}
+		}
+		l = l.next.Load()
+		if l != nil {
+			l.incSort()
+			i = 0
+		}
+	}
+}
+
+func (w *Wormhole) scanDescUnsafe(start []byte, fn func(key, val []byte) bool) {
+	t := w.cur.Load()
+	var l *leafNode
+	var i int
+	if start != nil {
+		l = w.searchMeta(t, start)
+		l.incSort()
+		i = l.firstGreater(start) - 1
+	} else {
+		l = w.rightmostLeaf(t)
+		l.incSort()
+		i = len(l.kvs) - 1
+	}
+	for l != nil {
+		for ; i >= 0; i-- {
+			if !fn(l.kvs[i].key, l.kvs[i].val) {
+				return
+			}
+		}
+		l = l.prev.Load()
+		if l != nil {
+			l.incSort()
+			i = len(l.kvs) - 1
+		}
+	}
+}
+
+// Min returns the smallest key and its value.
+func (w *Wormhole) Min() (key, val []byte, ok bool) {
+	w.Scan(nil, func(k, v []byte) bool {
+		key, val, ok = k, v, true
+		return false
+	})
+	return
+}
+
+// Max returns the largest key and its value.
+func (w *Wormhole) Max() (key, val []byte, ok bool) {
+	w.ScanDesc(nil, func(k, v []byte) bool {
+		key, val, ok = k, v, true
+		return false
+	})
+	return
+}
+
+// RangeAsc collects up to limit pairs with key >= start, ascending — the
+// paper's RangeSearchAscending shape, convenient for benchmarks.
+func (w *Wormhole) RangeAsc(start []byte, limit int) (keys, vals [][]byte) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	keys = make([][]byte, 0, limit)
+	vals = make([][]byte, 0, limit)
+	w.Scan(start, func(k, v []byte) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < limit
+	})
+	return keys, vals
+}
+
+// Iter is a pull-style cursor over the index in ascending key order. It
+// holds no locks between Next calls; mutations made while iterating may or
+// may not be observed, but every key present for the whole iteration is
+// visited exactly once.
+type Iter struct {
+	w         *Wormhole
+	batch     []pair
+	i         int
+	seek      []byte
+	inclusive bool
+	done      bool
+}
+
+// NewIter returns an iterator positioned before the first key >= start
+// (nil start means the smallest key).
+func (w *Wormhole) NewIter(start []byte) *Iter {
+	return &Iter{w: w, seek: start, inclusive: true, i: -1}
+}
+
+// Next advances the iterator; it returns false when the keys are exhausted.
+func (i *Iter) Next() bool {
+	if i.done {
+		return false
+	}
+	i.i++
+	if i.i < len(i.batch) {
+		return true
+	}
+	i.batch = i.batch[:0]
+	i.i = 0
+	const chunk = 64
+	skip := !i.inclusive
+	i.w.Scan(i.seek, func(k, v []byte) bool {
+		if skip {
+			skip = false
+			if bytes.Equal(k, i.seek) {
+				return true // resume strictly after the last emitted key
+			}
+		}
+		i.batch = append(i.batch, pair{k, v})
+		return len(i.batch) < chunk
+	})
+	if len(i.batch) == 0 {
+		i.done = true
+		return false
+	}
+	i.seek = i.batch[len(i.batch)-1].k
+	i.inclusive = false
+	return true
+}
+
+// Key returns the current key; valid after Next reports true.
+func (i *Iter) Key() []byte { return i.batch[i.i].k }
+
+// Value returns the current value; valid after Next reports true.
+func (i *Iter) Value() []byte { return i.batch[i.i].v }

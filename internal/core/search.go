@@ -1,0 +1,104 @@
+package core
+
+import "bytes"
+
+// searchLPM finds the longest prefix of key present in the table: Algorithm
+// 1's binary search on prefix lengths. It returns the matched item and the
+// hash of the matched prefix (needed for the subsequent child probe).
+//
+// Two of the paper's §3.1 optimizations live here:
+//
+//   - IncHashing: the CRC of the confirmed prefix key[:m] is extended by
+//     key[m:pl] on each probe instead of rehashing key[:pl] from scratch.
+//   - TagMatching (optimistic mode): every probe trusts the first 16-bit tag
+//     match without comparing keys. Tag misses are exact ("no false
+//     negatives"), so the binary search's upper boundary is always sound;
+//     only the lower boundary can be optimistic. One full comparison of the
+//     final candidate therefore certifies the whole search, and on a
+//     mismatch the search reruns with exact probes.
+func (w *Wormhole) searchLPM(t *metaTable, key []byte) (*metaNode, uint32) {
+	if node, h, ok := w.lpmPass(t, key, w.opt.TagMatching); ok {
+		return node, h
+	}
+	// Optimistic pass hit a false-positive tag; redo with verification.
+	node, h, _ := w.lpmPass(t, key, false)
+	return node, h
+}
+
+func (w *Wormhole) lpmPass(t *metaTable, key []byte, optimistic bool) (*metaNode, uint32, bool) {
+	maxl := min(len(key), t.maxLen)
+	m, n := 0, maxl+1
+	var crcM uint32
+	nodeM := t.get(0, nil, w.opt.TagMatching) // the root item always exists
+	for m+1 < n {
+		pl := (m + n) / 2
+		var h uint32
+		if w.opt.IncHashing {
+			h = hashExtend(crcM, key[m:pl])
+		} else {
+			h = hashKey(key[:pl])
+		}
+		var nd *metaNode
+		if optimistic {
+			nd = t.getTagOnly(h)
+		} else {
+			nd = t.get(h, key[:pl], w.opt.TagMatching)
+		}
+		if nd != nil {
+			m, crcM, nodeM = pl, h, nd
+		} else {
+			n = pl
+		}
+	}
+	if optimistic && !bytes.Equal(nodeM.key, key[:m]) {
+		return nil, 0, false
+	}
+	return nodeM, crcM, true
+}
+
+// searchMeta resolves key to its target leaf — the leaf whose real anchor
+// K1 and successor anchor K2 satisfy K1 <= key < K2 (Algorithm 3's
+// searchTrieHT). All anchor comparisons use the real (un-⊥-extended) form.
+func (w *Wormhole) searchMeta(t *metaTable, key []byte) *leafNode {
+	node, h := w.searchLPM(t, key)
+	if node.isLeafItem() {
+		// The stored anchor is a prefix of the key, so by the prefix
+		// condition it is the unique such anchor and its leaf is the target.
+		return node.leaf
+	}
+	if len(node.key) == len(key) {
+		// The key was consumed at an internal node: every anchor in this
+		// subtree strictly extends the key's stored form. The subtree's
+		// leftmost leaf is the first candidate; if the key sorts before
+		// even that leaf's real anchor, the target is one to the left.
+		lm := node.leftmost
+		if bytes.Compare(key, lm.anchor.Load().real()) < 0 {
+			if p := lm.prev.Load(); p != nil {
+				return p
+			}
+		}
+		return lm
+	}
+	// First unmatched token. The LPM is maximal, so this child bit is clear
+	// and the bitmap yields an immediate sibling on at least one side.
+	missing := key[len(node.key)]
+	if sib, ok := node.leftSibling(missing); ok {
+		child := t.getChild(h, node.key, sib)
+		if child.isLeafItem() {
+			return child.leaf
+		}
+		return child.rightmost
+	}
+	sib, _ := node.rightSibling(missing)
+	child := t.getChild(h, node.key, sib)
+	var lm *leafNode
+	if child.isLeafItem() {
+		lm = child.leaf
+	} else {
+		lm = child.leftmost
+	}
+	if p := lm.prev.Load(); p != nil {
+		return p
+	}
+	return lm
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShortAnchorsCorrectness: the optimized split-point selection must
+// preserve every invariant and every key under the same model workloads as
+// the default policy.
+func TestShortAnchorsCorrectness(t *testing.T) {
+	o := smallOpts(true)
+	o.ShortAnchors = true
+	modelRun(t, o, 11, 4000, genSharedPrefix)
+	o2 := smallOpts(true)
+	o2.ShortAnchors = true
+	modelRun(t, o2, 12, 4000, genTrailingZeros)
+	o3 := smallOpts(false)
+	o3.ShortAnchors = true
+	modelRun(t, o3, 13, 4000, genBinary)
+}
+
+// TestShortAnchorsShortens: on a prefix-heavy keyset the average stored
+// anchor must come out no longer — and in practice strictly shorter — than
+// with the paper's middlemost-cut policy.
+func TestShortAnchorsShortens(t *testing.T) {
+	build := func(short bool) Stats {
+		o := DefaultOptions()
+		o.LeafCap = 32
+		o.ShortAnchors = short
+		w := New(o)
+		// URL-like keys: long shared prefixes, diverging tails.
+		hosts := []string{
+			"http://www.example.com/articles/",
+			"http://www.example.com/users/profile/",
+			"https://cdn.example.org/assets/img/thumb/",
+		}
+		for i := 0; i < 6000; i++ {
+			k := fmt.Sprintf("%s%07d/page.html", hosts[i%3], i*2654435761%9999999)
+			w.Set([]byte(k), []byte("x"))
+		}
+		if err := w.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return w.Stats()
+	}
+	def := build(false)
+	opt := build(true)
+	if opt.AvgAnchorLen > def.AvgAnchorLen {
+		t.Fatalf("ShortAnchors lengthened anchors: %.2f > %.2f",
+			opt.AvgAnchorLen, def.AvgAnchorLen)
+	}
+	if opt.MetaItems > def.MetaItems {
+		t.Fatalf("ShortAnchors grew the meta table: %d > %d",
+			opt.MetaItems, def.MetaItems)
+	}
+	t.Logf("avg anchor: default %.2f B -> short %.2f B; meta items %d -> %d",
+		def.AvgAnchorLen, opt.AvgAnchorLen, def.MetaItems, opt.MetaItems)
+}
+
+// TestShortAnchorsBalanced: optimizing anchor length must not produce
+// degenerate splits — both halves stay within the middle-half window.
+func TestShortAnchorsBalanced(t *testing.T) {
+	o := DefaultOptions()
+	o.LeafCap = 64
+	o.ShortAnchors = true
+	w := New(o)
+	for i := 0; i < 20000; i++ {
+		w.Set([]byte(fmt.Sprintf("bal-%08d", i*7919%100000000)), []byte("x"))
+	}
+	st := w.Stats()
+	// With cap 64 and cuts confined to [n/4, 3n/4], leaves hold >= 16 keys
+	// right after splitting; the average must therefore stay >= cap/4.
+	avg := float64(st.Keys) / float64(st.Leaves)
+	if avg < float64(o.LeafCap)/4 {
+		t.Fatalf("degenerate splits: %.1f avg keys/leaf with cap %d", avg, o.LeafCap)
+	}
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "unsafe"
+
+// Stats summarizes the index's shape; used by tests, EXPERIMENTS.md tables
+// and the Figure 16 memory accounting.
+type Stats struct {
+	Keys         int64
+	Leaves       int // LeafList length
+	FatLeaves    int // leaves grown past LeafCap (§3.3)
+	MetaItems    int // items in the published MetaTrieHT
+	LeafItems    int // of which anchors
+	MaxAnchorLen int // L_anc: longest stored anchor
+	AvgAnchorLen float64
+	MetaBuckets  int
+}
+
+// Stats walks the structure without locks; call it on a quiescent index.
+func (w *Wormhole) Stats() Stats {
+	s := Stats{Keys: w.count.Load()}
+	var anchorBytes int
+	for l := w.head; l != nil; l = l.next.Load() {
+		s.Leaves++
+		if len(l.kvs) > w.opt.LeafCap {
+			s.FatLeaves++
+		}
+		anchorBytes += len(l.anchor.Load().stored)
+	}
+	t := w.cur.Load()
+	t.forEach(func(n *metaNode) {
+		s.MetaItems++
+		if n.isLeafItem() {
+			s.LeafItems++
+		}
+	})
+	s.MaxAnchorLen = t.maxLen
+	if s.Leaves > 0 {
+		s.AvgAnchorLen = float64(anchorBytes) / float64(s.Leaves)
+	}
+	s.MetaBuckets = len(t.buckets)
+	return s
+}
+
+// Footprint returns the index's approximate heap consumption in bytes:
+// leaf structures, kv headers, key and value bytes, the tag arrays, and
+// every MetaTrieHT copy (both, in concurrent mode — the paper reports the
+// second table costs 0.34–3.7% of the whole index). It is the analytic
+// counterpart to the paper's getrusage measurement in Figure 16.
+func (w *Wormhole) Footprint() int64 {
+	var total int64
+	leafHdr := int64(unsafe.Sizeof(leafNode{}))
+	kvHdr := int64(unsafe.Sizeof(kv{}))
+	ptr := int64(unsafe.Sizeof(uintptr(0)))
+	for l := w.head; l != nil; l = l.next.Load() {
+		total += leafHdr
+		total += int64(len(l.anchor.Load().stored)) + int64(unsafe.Sizeof(anchor{}))
+		total += int64(cap(l.kvs))*ptr + int64(cap(l.byHash))*ptr
+		for _, it := range l.kvs {
+			total += kvHdr + int64(len(it.key)) + int64(len(it.val))
+		}
+	}
+	total += tableFootprint(w.cur.Load())
+	if w.opt.Concurrent {
+		w.metaMu.Lock()
+		total += tableFootprint(w.spare)
+		w.metaMu.Unlock()
+	}
+	return total
+}
+
+func tableFootprint(t *metaTable) int64 {
+	bucketSz := int64(unsafe.Sizeof(metaBucket{}))
+	nodeSz := int64(unsafe.Sizeof(metaNode{}))
+	total := int64(len(t.buckets)) * bucketSz
+	t.forEach(func(n *metaNode) {
+		total += nodeSz + int64(len(n.key))
+	})
+	// Overflow buckets.
+	for i := range t.buckets {
+		for b := t.buckets[i].next; b != nil; b = b.next {
+			total += bucketSz
+		}
+	}
+	return total
+}

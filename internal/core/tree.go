@@ -1,0 +1,396 @@
+package core
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"github.com/repro/wormhole/internal/qsbr"
+)
+
+// Options configures a Wormhole index. The four boolean fields correspond
+// to the incremental optimizations of §3 that Figure 11 ablates; turn them
+// all on (DefaultOptions) for the full Wormhole, all off for BaseWormhole.
+type Options struct {
+	// LeafCap is the maximum number of keys per leaf before a split is
+	// attempted (the paper uses 128). Leaves may exceed it only when no
+	// legal split point exists ("fat" leaves, §3.3).
+	LeafCap int
+	// MergeSize: after a deletion, two adjacent leaves whose combined size
+	// is below this are merged. Defaults to 2*LeafCap/3.
+	MergeSize int
+	// Concurrent selects the thread-safe index (per-leaf RW locks, dual
+	// MetaTrieHT with QSBR grace periods, version validation — §2.5).
+	// With Concurrent=false the index is the paper's "Wormhole-unsafe":
+	// a single meta table and no locking; the caller must serialize.
+	Concurrent bool
+
+	TagMatching bool // §3.1: 16-bit tags + optimistic tag-only LPM probes
+	IncHashing  bool // §3.1: incremental CRC across the prefix binary search
+	SortByTag   bool // §3.2: hash-ordered leaf search instead of key-sorted
+	DirectPos   bool // §3.2: speculative start position in the tag array
+	// ShortAnchors enables the split-point optimization the paper defers
+	// to future work: among the cuts in a full leaf's middle half, pick
+	// the one producing the shortest anchor instead of the middlemost
+	// legal one. Shorter anchors shrink the MetaTrieHT and cut the prefix
+	// binary search's upper bound. Off by default to match the paper.
+	ShortAnchors bool
+
+	// QSBRSlots sizes the reader-slot array (Concurrent only).
+	QSBRSlots int
+}
+
+// DefaultOptions returns the full Wormhole configuration used throughout
+// the paper's evaluation: 128-key leaves, thread-safe, all optimizations.
+func DefaultOptions() Options {
+	return Options{
+		LeafCap:     128,
+		Concurrent:  true,
+		TagMatching: true,
+		IncHashing:  true,
+		SortByTag:   true,
+		DirectPos:   true,
+	}
+}
+
+func (o *Options) normalize() {
+	if o.LeafCap <= 1 {
+		o.LeafCap = 128
+	}
+	if o.MergeSize <= 0 {
+		o.MergeSize = o.LeafCap * 2 / 3
+	}
+	if o.MergeSize > o.LeafCap {
+		o.MergeSize = o.LeafCap
+	}
+	if o.QSBRSlots <= 0 {
+		o.QSBRSlots = qsbr.DefaultSlots
+	}
+}
+
+// Wormhole is the core index: a LeafList of sorted leaf nodes plus two
+// alternating MetaTrieHT copies. Readers traverse the published table
+// lock-free inside a QSBR reader section; structural writers serialize on
+// metaMu, patch the spare table, publish it with one atomic store, wait a
+// grace period, and replay the patch on the retired table.
+type Wormhole struct {
+	opt Options
+	q   *qsbr.QSBR
+
+	cur    atomic.Pointer[metaTable]
+	spare  *metaTable // guarded by metaMu; nil when !Concurrent
+	metaMu sync.Mutex
+
+	head  *leafNode // leftmost leaf; never removed (merges consume the right node)
+	count atomic.Int64
+}
+
+// New creates an empty index.
+func New(opt Options) *Wormhole {
+	opt.normalize()
+	w := &Wormhole{opt: opt}
+	w.head = newLeafNode(anchor{stored: []byte{}}, 8)
+	t1 := newMetaTable(64)
+	t1.set(&metaNode{key: []byte{}, leaf: w.head})
+	t1.version = 1
+	w.cur.Store(t1)
+	if opt.Concurrent {
+		t2 := newMetaTable(64)
+		t2.set(&metaNode{key: []byte{}, leaf: w.head})
+		w.spare = t2
+		w.q = qsbr.NewWithSlots(opt.QSBRSlots)
+	}
+	return w
+}
+
+// Count returns the number of keys in the index.
+func (w *Wormhole) Count() int64 { return w.count.Load() }
+
+// Get returns the value stored under key.
+func (w *Wormhole) Get(key []byte) ([]byte, bool) {
+	h := hashKey(key)
+	if !w.opt.Concurrent {
+		l := w.searchMeta(w.cur.Load(), key)
+		if it := l.find(h, key, w.opt.SortByTag, w.opt.DirectPos); it != nil {
+			return it.val, true
+		}
+		return nil, false
+	}
+	s := w.q.Enter()
+	defer w.q.Leave(s)
+	for {
+		t := w.cur.Load()
+		l := w.searchMeta(t, key)
+		l.mu.RLock()
+		if l.version.Load() > t.version || l.dead {
+			l.mu.RUnlock()
+			w.q.Refresh(s)
+			continue
+		}
+		it := l.find(h, key, w.opt.SortByTag, w.opt.DirectPos)
+		var val []byte
+		ok := false
+		if it != nil {
+			val, ok = it.val, true
+		}
+		l.mu.RUnlock()
+		return val, ok
+	}
+}
+
+// Set inserts or replaces key's value. Key and value buffers are retained;
+// the caller must not mutate them afterwards.
+func (w *Wormhole) Set(key, val []byte) {
+	h := hashKey(key)
+	if !w.opt.Concurrent {
+		w.setUnsafe(h, key, val)
+		return
+	}
+	s := w.q.Enter()
+	for {
+		t := w.cur.Load()
+		l := w.searchMeta(t, key)
+		l.mu.Lock()
+		if l.version.Load() > t.version || l.dead {
+			l.mu.Unlock()
+			w.q.Refresh(s)
+			continue
+		}
+		if it := l.find(h, key, true, w.opt.DirectPos); it != nil {
+			it.val = val
+			l.mu.Unlock()
+			w.q.Leave(s)
+			return
+		}
+		if l.size() < w.opt.LeafCap {
+			l.insert(&kv{hash: h, key: key, val: val})
+			w.count.Add(1)
+			l.mu.Unlock()
+			w.q.Leave(s)
+			return
+		}
+		// The leaf is full: go through the structural-writer path. Release
+		// the leaf lock and the QSBR slot first — holding a leaf lock while
+		// waiting on metaMu would let a blocked reader stall the current
+		// metaMu owner's grace period forever.
+		l.mu.Unlock()
+		w.q.Leave(s)
+		w.splitInsert(&kv{hash: h, key: key, val: val})
+		return
+	}
+}
+
+// splitInsert inserts it into a leaf that was observed full, splitting the
+// leaf if a legal cut exists. It re-resolves the target under metaMu:
+// holding metaMu freezes the published table (tables are only replaced by
+// metaMu owners) and all leaf versions, so one search + one leaf lock is
+// race-free here.
+func (w *Wormhole) splitInsert(it *kv) {
+	w.metaMu.Lock()
+	t := w.cur.Load()
+	l := w.searchMeta(t, it.key)
+	l.mu.Lock()
+	if ex := l.find(it.hash, it.key, true, w.opt.DirectPos); ex != nil {
+		ex.val = it.val
+		l.mu.Unlock()
+		w.metaMu.Unlock()
+		return
+	}
+	if l.size() < w.opt.LeafCap {
+		l.insert(it)
+		w.count.Add(1)
+		l.mu.Unlock()
+		w.metaMu.Unlock()
+		return
+	}
+	l.incSort()
+	p := planSplit(l, w.opt.ShortAnchors)
+	if p == nil {
+		// No legal anchor at any cut point: grow a fat leaf (§3.3).
+		l.insert(it)
+		w.count.Add(1)
+		l.mu.Unlock()
+		w.metaMu.Unlock()
+		return
+	}
+
+	nv := t.version + 1
+	l.version.Store(nv)
+	oldRight := l.next.Load()
+	newL := executeLeafSplit(l, p)
+	newL.version.Store(nv)
+	newL.mu.Lock()
+	linkAfter(l, newL)
+	// Insert the pending item into the correct half before publication.
+	target := l
+	if bytes.Compare(it.key, newL.anchor.Load().real()) >= 0 {
+		target = newL
+	}
+	target.insert(it)
+	w.count.Add(1)
+
+	sp := w.spare
+	applySplit(sp, l, newL, oldRight, p)
+	sp.version = nv
+	w.cur.Store(sp)
+	// Release the leaf locks before waiting out the grace period so
+	// readers blocked on them can finish and vacate their QSBR slots.
+	l.mu.Unlock()
+	newL.mu.Unlock()
+	w.q.Synchronize()
+	applySplit(t, l, newL, oldRight, p)
+	w.spare = t
+	w.metaMu.Unlock()
+}
+
+func (w *Wormhole) setUnsafe(h uint32, key, val []byte) {
+	t := w.cur.Load()
+	l := w.searchMeta(t, key)
+	if it := l.find(h, key, true, w.opt.DirectPos); it != nil {
+		it.val = val
+		return
+	}
+	if l.size() < w.opt.LeafCap {
+		l.insert(&kv{hash: h, key: key, val: val})
+		w.count.Add(1)
+		return
+	}
+	l.incSort()
+	p := planSplit(l, w.opt.ShortAnchors)
+	if p == nil {
+		l.insert(&kv{hash: h, key: key, val: val})
+		w.count.Add(1)
+		return
+	}
+	oldRight := l.next.Load()
+	newL := executeLeafSplit(l, p)
+	linkAfter(l, newL)
+	target := l
+	if bytes.Compare(key, newL.anchor.Load().real()) >= 0 {
+		target = newL
+	}
+	target.insert(&kv{hash: h, key: key, val: val})
+	w.count.Add(1)
+	applySplit(t, l, newL, oldRight, p)
+}
+
+// Del removes key, reporting whether it was present. When the leaf drains
+// it is opportunistically merged with a neighbor (Algorithm 2's DEL).
+func (w *Wormhole) Del(key []byte) bool {
+	h := hashKey(key)
+	if !w.opt.Concurrent {
+		return w.delUnsafe(h, key)
+	}
+	s := w.q.Enter()
+	var shrunk *leafNode
+	for {
+		t := w.cur.Load()
+		l := w.searchMeta(t, key)
+		l.mu.Lock()
+		if l.version.Load() > t.version || l.dead {
+			l.mu.Unlock()
+			w.q.Refresh(s)
+			continue
+		}
+		it := l.find(h, key, true, w.opt.DirectPos)
+		if it == nil {
+			l.mu.Unlock()
+			w.q.Leave(s)
+			return false
+		}
+		l.remove(it)
+		w.count.Add(-1)
+		if l.size() < w.opt.MergeSize/2 {
+			shrunk = l
+		}
+		l.mu.Unlock()
+		break
+	}
+	w.q.Leave(s)
+	if shrunk != nil {
+		w.tryMerge(shrunk)
+	}
+	return true
+}
+
+// tryMerge merges l with a neighbor if their combined size is still below
+// MergeSize by the time the locks are held. Merging is best-effort: if the
+// world changed since the delete, it simply gives up.
+func (w *Wormhole) tryMerge(l *leafNode) {
+	w.metaMu.Lock()
+	defer w.metaMu.Unlock()
+	// dead, prev and next only change under metaMu, so these reads are
+	// stable for the duration of the lock.
+	if l.dead {
+		return
+	}
+	if left := l.prev.Load(); left != nil && w.mergePair(left, l) {
+		return
+	}
+	if right := l.next.Load(); right != nil {
+		w.mergePair(l, right)
+	}
+}
+
+// mergePair merges victim into left (its immediate predecessor); caller
+// holds metaMu. Returns false if the pair no longer qualifies.
+func (w *Wormhole) mergePair(left, victim *leafNode) bool {
+	t := w.cur.Load()
+	left.mu.Lock()
+	victim.mu.Lock()
+	if left.size()+victim.size() >= w.opt.MergeSize {
+		victim.mu.Unlock()
+		left.mu.Unlock()
+		return false
+	}
+	nv := t.version + 1
+	victim.version.Store(nv)
+	plan := &mergePlan{
+		stored: victim.anchor.Load().stored,
+		victim: victim,
+		left:   left,
+		right:  victim.next.Load(),
+	}
+	mergeLeaves(left, victim)
+	sp := w.spare
+	applyMerge(sp, plan)
+	sp.version = nv
+	w.cur.Store(sp)
+	victim.mu.Unlock()
+	left.mu.Unlock()
+	w.q.Synchronize()
+	applyMerge(t, plan)
+	w.spare = t
+	return true
+}
+
+func (w *Wormhole) delUnsafe(h uint32, key []byte) bool {
+	t := w.cur.Load()
+	l := w.searchMeta(t, key)
+	it := l.find(h, key, true, w.opt.DirectPos)
+	if it == nil {
+		return false
+	}
+	l.remove(it)
+	w.count.Add(-1)
+	if l.size() >= w.opt.MergeSize/2 {
+		return true
+	}
+	var left, victim *leafNode
+	if p := l.prev.Load(); p != nil && p.size()+l.size() < w.opt.MergeSize {
+		left, victim = p, l
+	} else if n := l.next.Load(); n != nil && l.size()+n.size() < w.opt.MergeSize {
+		left, victim = l, n
+	} else {
+		return true
+	}
+	plan := &mergePlan{
+		stored: victim.anchor.Load().stored,
+		victim: victim,
+		left:   left,
+		right:  victim.next.Load(),
+	}
+	mergeLeaves(left, victim)
+	applyMerge(t, plan)
+	return true
+}

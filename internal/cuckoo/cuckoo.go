@@ -1,0 +1,375 @@
+// Package cuckoo implements a bucketized cuckoo hash table in the style of
+// libcuckoo (Li et al., EuroSys 2014), the unordered baseline of the
+// paper's §4.2 comparison: 4-way set-associative buckets, two candidate
+// buckets per key, 8-bit partial-key tags, BFS eviction-path search, lock
+// striping for writers, and a global RW resize lock.
+package cuckoo
+
+import (
+	"bytes"
+	"hash/crc32"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+const (
+	slotsPerBucket = 4
+	maxBFSDepth    = 5
+	stripes        = 2048
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type item struct {
+	key []byte
+	val []byte
+}
+
+type bucket struct {
+	tags  [slotsPerBucket]uint8
+	items [slotsPerBucket]*item
+}
+
+// Table is a cuckoo hash table. Call New.
+type Table struct {
+	resizeMu sync.RWMutex // writers of buckets take RLock; resize takes Lock
+	locks    [stripes]sync.Mutex
+	buckets  []bucket
+	mask     uint32
+	count    atomic.Int64
+}
+
+// New returns a table pre-sized for about capacity keys (0 for a default).
+func New(capacity int) *Table {
+	n := 16
+	for n*slotsPerBucket < capacity*5/4 {
+		n <<= 1
+	}
+	return &Table{buckets: make([]bucket, n), mask: uint32(n - 1)}
+}
+
+// Count returns the number of keys.
+func (t *Table) Count() int64 { return t.count.Load() }
+
+func hashOf(key []byte) uint32 { return crc32.Update(0, crcTable, key) }
+
+func tagOf(h uint32) uint8 {
+	tg := uint8(h >> 24)
+	if tg == 0 {
+		tg = 1 // 0 marks an empty slot
+	}
+	return tg
+}
+
+// altIndex derives the second candidate bucket from the first and the tag,
+// libcuckoo's partial-key cuckooing: alt(alt(i)) == i.
+func (t *Table) altIndex(i uint32, tag uint8) uint32 {
+	return (i ^ (uint32(tag) * 0x5bd1e995)) & t.mask
+}
+
+func (t *Table) lockPair(i, j uint32) (*sync.Mutex, *sync.Mutex) {
+	a, b := i%stripes, j%stripes
+	if a > b {
+		a, b = b, a
+	}
+	t.locks[a].Lock()
+	if b != a {
+		t.locks[b].Lock()
+		return &t.locks[a], &t.locks[b]
+	}
+	return &t.locks[a], nil
+}
+
+func unlockPair(a, b *sync.Mutex) {
+	if b != nil {
+		b.Unlock()
+	}
+	a.Unlock()
+}
+
+func (b *bucket) find(tag uint8, key []byte) int {
+	for s := 0; s < slotsPerBucket; s++ {
+		if b.tags[s] == tag && b.items[s] != nil && bytes.Equal(b.items[s].key, key) {
+			return s
+		}
+	}
+	return -1
+}
+
+func (b *bucket) emptySlot() int {
+	for s := 0; s < slotsPerBucket; s++ {
+		if b.items[s] == nil {
+			return s
+		}
+	}
+	return -1
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key []byte) ([]byte, bool) {
+	h := hashOf(key)
+	tag := tagOf(h)
+	t.resizeMu.RLock()
+	i1 := h & t.mask
+	i2 := t.altIndex(i1, tag)
+	la, lb := t.lockPair(i1, i2)
+	var val []byte
+	ok := false
+	if s := t.buckets[i1].find(tag, key); s >= 0 {
+		val, ok = t.buckets[i1].items[s].val, true
+	} else if s := t.buckets[i2].find(tag, key); s >= 0 {
+		val, ok = t.buckets[i2].items[s].val, true
+	}
+	unlockPair(la, lb)
+	t.resizeMu.RUnlock()
+	return val, ok
+}
+
+// Set inserts or replaces key.
+func (t *Table) Set(key, val []byte) {
+	for {
+		if t.trySet(key, val) {
+			return
+		}
+		t.grow()
+	}
+}
+
+func (t *Table) trySet(key, val []byte) bool {
+	h := hashOf(key)
+	tag := tagOf(h)
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	i1 := h & t.mask
+	i2 := t.altIndex(i1, tag)
+	la, lb := t.lockPair(i1, i2)
+	// Replace in place.
+	for _, i := range [2]uint32{i1, i2} {
+		if s := t.buckets[i].find(tag, key); s >= 0 {
+			t.buckets[i].items[s].val = val
+			unlockPair(la, lb)
+			return true
+		}
+	}
+	// Fast path: an empty slot in either candidate bucket.
+	for _, i := range [2]uint32{i1, i2} {
+		if s := t.buckets[i].emptySlot(); s >= 0 {
+			t.buckets[i].tags[s] = tag
+			t.buckets[i].items[s] = &item{key: key, val: val}
+			t.count.Add(1)
+			unlockPair(la, lb)
+			return true
+		}
+	}
+	unlockPair(la, lb)
+	// Slow path: BFS for an eviction chain, then walk it backwards moving
+	// one item at a time, validating each hop under its bucket pair locks.
+	for attempt := 0; attempt < 8; attempt++ {
+		path, ok := t.findPath(i1, i2)
+		if !ok {
+			return false // table too dense: caller grows
+		}
+		t.execPath(path)
+		// Whether or not the chain fully executed (it may have been raced),
+		// retry the fast path: a freed or concurrently vacated slot is
+		// picked up here.
+		la, lb = t.lockPair(i1, i2)
+		for _, i := range [2]uint32{i1, i2} {
+			if s := t.buckets[i].emptySlot(); s >= 0 {
+				t.buckets[i].tags[s] = tag
+				t.buckets[i].items[s] = &item{key: key, val: val}
+				t.count.Add(1)
+				unlockPair(la, lb)
+				return true
+			}
+		}
+		unlockPair(la, lb)
+	}
+	return false
+}
+
+type pathStep struct {
+	bucket uint32
+	slot   int
+}
+
+type bfsNode struct {
+	bucket uint32
+	parent int
+	slot   int // slot in the parent's bucket whose eviction leads here
+	depth  int
+}
+
+// findPath BFS-searches for a chain of displacements from either candidate
+// bucket to a bucket with a free slot. Each bucket is examined under its
+// own stripe lock; the snapshot may go stale immediately, which is fine
+// because execPath re-validates every hop before moving anything.
+func (t *Table) findPath(i1, i2 uint32) ([]pathStep, bool) {
+	queue := []bfsNode{{bucket: i1, parent: -1}, {bucket: i2, parent: -1}}
+	for qi := 0; qi < len(queue) && qi < 512; qi++ {
+		b := queue[qi].bucket
+		mu := &t.locks[b%stripes]
+		mu.Lock()
+		if queue[qi].parent != -1 && t.buckets[b].emptySlot() >= 0 {
+			mu.Unlock()
+			// Reconstruct the displacement chain, evictions root-first.
+			var path []pathStep
+			for n := qi; queue[n].parent != -1; n = queue[n].parent {
+				p := queue[n].parent
+				path = append(path, pathStep{bucket: queue[p].bucket, slot: queue[n].slot})
+			}
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			return path, true
+		}
+		if queue[qi].depth < maxBFSDepth {
+			for s := 0; s < slotsPerBucket; s++ {
+				if t.buckets[b].items[s] == nil {
+					continue
+				}
+				alt := t.altIndex(b, t.buckets[b].tags[s])
+				queue = append(queue, bfsNode{
+					bucket: alt, parent: qi, slot: s, depth: queue[qi].depth + 1,
+				})
+			}
+		}
+		mu.Unlock()
+	}
+	return nil, false
+}
+
+// execPath moves items backwards along the chain: the last displacement
+// first, so every move lands in a currently-free slot. Each move reads the
+// victim under its stripe lock, re-locks the bucket pair, and validates
+// that the slot still holds the same item; any mismatch aborts (the caller
+// retries with a fresh path).
+func (t *Table) execPath(path []pathStep) bool {
+	for k := len(path) - 1; k >= 0; k-- {
+		src := path[k].bucket
+		s := path[k].slot
+		mu := &t.locks[src%stripes]
+		mu.Lock()
+		it := t.buckets[src].items[s]
+		tag := t.buckets[src].tags[s]
+		mu.Unlock()
+		if it == nil {
+			return false
+		}
+		dst := t.altIndex(src, tag)
+		la, lb := t.lockPair(src, dst)
+		if t.buckets[src].items[s] != it {
+			unlockPair(la, lb)
+			return false
+		}
+		free := t.buckets[dst].emptySlot()
+		if free < 0 {
+			unlockPair(la, lb)
+			return false
+		}
+		t.buckets[dst].tags[free] = tag
+		t.buckets[dst].items[free] = it
+		t.buckets[src].items[s] = nil
+		t.buckets[src].tags[s] = 0
+		unlockPair(la, lb)
+	}
+	return true
+}
+
+// grow doubles the table under the exclusive resize lock.
+func (t *Table) grow() {
+	t.resizeMu.Lock()
+	defer t.resizeMu.Unlock()
+	old := t.buckets
+	t.buckets = make([]bucket, len(old)*2)
+	t.mask = uint32(len(t.buckets) - 1)
+	for bi := range old {
+		for s := 0; s < slotsPerBucket; s++ {
+			it := old[bi].items[s]
+			if it == nil {
+				continue
+			}
+			h := hashOf(it.key)
+			tag := tagOf(h)
+			i1 := h & t.mask
+			placed := false
+			for _, i := range [2]uint32{i1, t.altIndex(i1, tag)} {
+				if fs := t.buckets[i].emptySlot(); fs >= 0 {
+					t.buckets[i].tags[fs] = tag
+					t.buckets[i].items[fs] = it
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				// Exceedingly rare mid-resize collision pile-up: fall back
+				// to in-place cuckooing with exclusive access.
+				if !t.evictExclusive(i1, tag, it) {
+					panic("cuckoo: resize failed to place item")
+				}
+			}
+		}
+	}
+}
+
+// evictExclusive performs a simple random-walk eviction while the caller
+// holds the exclusive resize lock (no other accessor can run).
+func (t *Table) evictExclusive(i uint32, tag uint8, it *item) bool {
+	curI, curTag, curIt := i, tag, it
+	for hop := 0; hop < 256; hop++ {
+		b := &t.buckets[curI]
+		if s := b.emptySlot(); s >= 0 {
+			b.tags[s] = curTag
+			b.items[s] = curIt
+			return true
+		}
+		s := hop % slotsPerBucket
+		vTag, vIt := b.tags[s], b.items[s]
+		b.tags[s], b.items[s] = curTag, curIt
+		curI = t.altIndex(curI, vTag)
+		curTag, curIt = vTag, vIt
+	}
+	return false
+}
+
+// Del removes key, reporting whether it was present.
+func (t *Table) Del(key []byte) bool {
+	h := hashOf(key)
+	tag := tagOf(h)
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	i1 := h & t.mask
+	i2 := t.altIndex(i1, tag)
+	la, lb := t.lockPair(i1, i2)
+	defer unlockPair(la, lb)
+	for _, i := range [2]uint32{i1, i2} {
+		if s := t.buckets[i].find(tag, key); s >= 0 {
+			t.buckets[i].items[s] = nil
+			t.buckets[i].tags[s] = 0
+			t.count.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// LoadFactor reports occupied slots over total slots (test support).
+func (t *Table) LoadFactor() float64 {
+	return float64(t.count.Load()) / float64(len(t.buckets)*slotsPerBucket)
+}
+
+// Footprint returns approximate heap bytes.
+func (t *Table) Footprint() int64 {
+	total := int64(len(t.buckets)) * int64(unsafe.Sizeof(bucket{}))
+	t.resizeMu.RLock()
+	defer t.resizeMu.RUnlock()
+	for bi := range t.buckets {
+		for s := 0; s < slotsPerBucket; s++ {
+			if it := t.buckets[bi].items[s]; it != nil {
+				total += int64(unsafe.Sizeof(item{})) + int64(len(it.key)+len(it.val))
+			}
+		}
+	}
+	return total
+}

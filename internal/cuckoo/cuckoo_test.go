@@ -1,0 +1,148 @@
+package cuckoo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/repro/wormhole/internal/indextest"
+)
+
+func TestBasic(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 1000; i++ {
+		c.Set([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if c.Count() != 1000 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := c.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get k%05d failed", i)
+		}
+	}
+	if _, ok := c.Get([]byte("missing")); ok {
+		t.Fatal("phantom key")
+	}
+	c.Set([]byte("k00000"), []byte("updated"))
+	if v, _ := c.Get([]byte("k00000")); string(v) != "updated" {
+		t.Fatal("update failed")
+	}
+	if c.Count() != 1000 {
+		t.Fatal("update changed count")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(0)
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.Set([]byte(fmt.Sprintf("d%05d", i)), []byte("x"))
+	}
+	for i := 0; i < n; i += 2 {
+		if !c.Del([]byte(fmt.Sprintf("d%05d", i))) {
+			t.Fatalf("Del d%05d failed", i)
+		}
+	}
+	if c.Del([]byte("d00000")) {
+		t.Fatal("double delete returned true")
+	}
+	for i := 0; i < n; i++ {
+		_, ok := c.Get([]byte(fmt.Sprintf("d%05d", i)))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get d%05d = %v want %v", i, ok, want)
+		}
+	}
+}
+
+// TestEvictionAndGrowth starts tiny so the BFS eviction path and resize
+// both run many times.
+func TestEvictionAndGrowth(t *testing.T) {
+	c := New(16)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		c.Set([]byte(fmt.Sprintf("g%07d", i)), []byte{byte(i)})
+	}
+	if c.Count() != n {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	for i := 0; i < n; i++ {
+		v, ok := c.Get([]byte(fmt.Sprintf("g%07d", i)))
+		if !ok || v[0] != byte(i) {
+			t.Fatalf("lost g%07d", i)
+		}
+	}
+	if lf := c.LoadFactor(); lf < 0.15 || lf > 1 {
+		t.Fatalf("implausible load factor %f", lf)
+	}
+}
+
+func TestModelAgainstReference(t *testing.T) {
+	for gi, gen := range []func(*rand.Rand) []byte{
+		indextest.GenBinary, indextest.GenASCII, indextest.GenRandom(8),
+	} {
+		t.Run(fmt.Sprintf("gen%d", gi), func(t *testing.T) {
+			indextest.PointOps(t, New(0), int64(90+gi), 4000, gen)
+		})
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	c := New(1024)
+	const stable = 2000
+	for i := 0; i < stable; i++ {
+		c.Set([]byte(fmt.Sprintf("stable-%05d", i)), []byte("s"))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 5000; i++ {
+				switch r.Intn(4) {
+				case 0:
+					c.Set([]byte(fmt.Sprintf("churn-%d-%05d", g, r.Intn(3000))), []byte("c"))
+				case 1:
+					c.Del([]byte(fmt.Sprintf("churn-%d-%05d", g, r.Intn(3000))))
+				default:
+					k := []byte(fmt.Sprintf("stable-%05d", r.Intn(stable)))
+					if v, ok := c.Get(k); !ok || string(v) != "s" {
+						t.Errorf("lost stable key %q", k)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := 0; i < stable; i++ {
+		if _, ok := c.Get([]byte(fmt.Sprintf("stable-%05d", i))); !ok {
+			t.Fatalf("stable-%05d missing after churn", i)
+		}
+	}
+}
+
+func TestAltIndexInvolution(t *testing.T) {
+	c := New(1 << 16)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		b := uint32(r.Intn(len(c.buckets)))
+		tag := tagOf(uint32(r.Int63()))
+		if got := c.altIndex(c.altIndex(b, tag), tag); got != b {
+			t.Fatalf("altIndex not an involution: %d -> %d", b, got)
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 300; i++ {
+		c.Set([]byte(fmt.Sprintf("f%05d", i)), []byte("0123456789"))
+	}
+	if fp := c.Footprint(); fp < 300*16 {
+		t.Fatalf("Footprint = %d", fp)
+	}
+}

@@ -1,0 +1,60 @@
+// Package index defines the common interface the benchmark harness, the
+// networked KV store and the integration tests use to drive Wormhole and
+// every baseline the paper compares against (§4): B+ tree, skip list, ART,
+// Masstree and the Cuckoo hash table.
+package index
+
+// Index is the point-operation surface shared by all seven index builds.
+type Index interface {
+	// Get returns the value stored under key.
+	Get(key []byte) ([]byte, bool)
+	// Set inserts or replaces key. Key and value buffers are retained.
+	Set(key, val []byte)
+	// Del removes key, reporting whether it was present.
+	Del(key []byte) bool
+	// Count returns the number of keys.
+	Count() int64
+	// Footprint returns the approximate heap bytes held by the index
+	// structure, including key/value bytes (Figure 16's accounting).
+	Footprint() int64
+}
+
+// Ordered is implemented by the ordered indexes (everything but Cuckoo).
+type Ordered interface {
+	Index
+	// Scan visits keys >= start ascending until fn returns false. A nil
+	// start scans from the smallest key.
+	Scan(start []byte, fn func(key, val []byte) bool)
+}
+
+// Info describes one registered index implementation.
+type Info struct {
+	Name string
+	// ThreadSafe indexes accept concurrent mutations (Wormhole, Masstree).
+	// The others are evaluated read-only multi-threaded or single-writer,
+	// exactly as the paper does for skip list, B+ tree and ART.
+	ThreadSafe bool
+	// RangeScan reports Ordered support (false only for Cuckoo; the
+	// paper's ART build also lacks one, but ours provides it).
+	RangeScan bool
+	New       func() Index
+}
+
+var registry []Info
+
+// Register adds an implementation; called from init functions in the
+// bench harness wiring.
+func Register(info Info) { registry = append(registry, info) }
+
+// All returns every registered implementation in registration order.
+func All() []Info { return append([]Info(nil), registry...) }
+
+// Lookup finds a registered implementation by name.
+func Lookup(name string) (Info, bool) {
+	for _, in := range registry {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Info{}, false
+}

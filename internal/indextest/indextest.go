@@ -1,0 +1,175 @@
+// Package indextest provides a model-based test harness shared by every
+// index implementation: it drives random operation streams against both
+// the index under test and a reference map, failing on the first
+// divergence in point or range results.
+package indextest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// PointOps exercises Get/Set/Del/Count against a reference model.
+func PointOps(t *testing.T, ix interface {
+	Get([]byte) ([]byte, bool)
+	Set(key, val []byte)
+	Del([]byte) bool
+	Count() int64
+}, seed int64, steps int, gen func(*rand.Rand) []byte) {
+	t.Helper()
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		k := gen(r)
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			v := fmt.Sprintf("v%d", i)
+			ix.Set(k, []byte(v))
+			model[string(k)] = v
+		case 5, 6:
+			got := ix.Del(k)
+			_, want := model[string(k)]
+			if got != want {
+				t.Fatalf("step %d: Del(%x) = %v, want %v", i, k, got, want)
+			}
+			delete(model, string(k))
+		default:
+			v, ok := ix.Get(k)
+			mv, mok := model[string(k)]
+			if ok != mok || (ok && string(v) != mv) {
+				t.Fatalf("step %d: Get(%x) = %q,%v want %q,%v", i, k, v, ok, mv, mok)
+			}
+		}
+	}
+	if int(ix.Count()) != len(model) {
+		t.Fatalf("Count = %d, model has %d", ix.Count(), len(model))
+	}
+	for k, v := range model {
+		got, ok := ix.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("final Get(%x) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+}
+
+// OrderedOps additionally verifies Scan windows after every few steps and
+// a final full scan.
+func OrderedOps(t *testing.T, ix interface {
+	Get([]byte) ([]byte, bool)
+	Set(key, val []byte)
+	Del([]byte) bool
+	Count() int64
+	Scan(start []byte, fn func(k, v []byte) bool)
+}, seed int64, steps int, gen func(*rand.Rand) []byte) {
+	t.Helper()
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		k := gen(r)
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			v := fmt.Sprintf("v%d", i)
+			ix.Set(k, []byte(v))
+			model[string(k)] = v
+		case 5, 6:
+			got := ix.Del(k)
+			_, want := model[string(k)]
+			if got != want {
+				t.Fatalf("step %d: Del(%x) = %v, want %v", i, k, got, want)
+			}
+			delete(model, string(k))
+		case 7, 8:
+			v, ok := ix.Get(k)
+			mv, mok := model[string(k)]
+			if ok != mok || (ok && string(v) != mv) {
+				t.Fatalf("step %d: Get(%x) = %q,%v want %q,%v", i, k, v, ok, mv, mok)
+			}
+		default:
+			limit := 1 + r.Intn(8)
+			var got []string
+			ix.Scan(k, func(kk, _ []byte) bool {
+				got = append(got, string(kk))
+				return len(got) < limit
+			})
+			var want []string
+			for mk := range model {
+				if mk >= string(k) {
+					want = append(want, mk)
+				}
+			}
+			sort.Strings(want)
+			if len(want) > limit {
+				want = want[:limit]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("step %d: scan(%x,%d) len %d want %d", i, k, limit, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: scan[%d] = %x want %x", i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	// Full-scan agreement.
+	var got []string
+	var prev []byte
+	ix.Scan(nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("scan out of order: %x then %x", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		if model[string(k)] != string(v) {
+			t.Fatalf("scan value mismatch for %x", k)
+		}
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(model) {
+		t.Fatalf("full scan found %d keys, model has %d", len(got), len(model))
+	}
+}
+
+// Generators for the regimes that stress different index mechanics.
+
+// GenBinary yields short keys over {0,1}: brutal for tries and anchors.
+func GenBinary(r *rand.Rand) []byte {
+	n := r.Intn(8)
+	k := make([]byte, n)
+	for i := range k {
+		k[i] = byte(r.Intn(2))
+	}
+	return k
+}
+
+// GenASCII yields short keys over a small printable alphabet.
+func GenASCII(r *rand.Rand) []byte {
+	n := r.Intn(10)
+	k := make([]byte, n)
+	for i := range k {
+		k[i] = 'a' + byte(r.Intn(4))
+	}
+	return k
+}
+
+// GenRandom yields fixed-length uniformly random keys.
+func GenRandom(n int) func(*rand.Rand) []byte {
+	return func(r *rand.Rand) []byte {
+		k := make([]byte, n)
+		r.Read(k)
+		return k
+	}
+}
+
+// GenPrefixed yields keys sharing long URL-like prefixes.
+func GenPrefixed(r *rand.Rand) []byte {
+	prefixes := []string{
+		"http://www.example.com/articles/",
+		"http://www.example.com/users/",
+		"https://cdn.example.org/assets/img/",
+	}
+	return []byte(fmt.Sprintf("%s%05d", prefixes[r.Intn(len(prefixes))], r.Intn(3000)))
+}

@@ -1,0 +1,223 @@
+// Package keyset generates the evaluation keysets of Table 1. The paper
+// uses the public Amazon review metadata and MemeTracker URL datasets plus
+// five fixed-length random keysets; those raw datasets are not available
+// offline, so Az1, Az2 and Url are synthesized with the same structural
+// properties — key format, average length, and shared-prefix profile —
+// which are what drive an index's behaviour (anchor lengths, trie depth,
+// comparison costs). The substitution is documented in DESIGN.md §5.
+//
+// All generators are deterministic for a given seed, so every experiment
+// is reproducible run-to-run.
+package keyset
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Spec names one keyset and its generator.
+type Spec struct {
+	Name        string
+	Description string
+	// Gen produces n distinct keys. Keys own their buffers.
+	Gen func(n int, seed int64) [][]byte
+}
+
+// Table1 lists the eight keysets in the paper's Table 1 order.
+func Table1() []Spec {
+	return []Spec{
+		{"Az1", "Amazon-style metadata, item-user-time (~40 B)", GenAz1},
+		{"Az2", "Amazon-style metadata, user-item-time (~40 B)", GenAz2},
+		{"Url", "MemeTracker-style URLs (~82 B avg)", GenURL},
+		{"K3", "random keys, 8 B", GenRandom(8)},
+		{"K4", "random keys, 16 B", GenRandom(16)},
+		{"K6", "random keys, 64 B", GenRandom(64)},
+		{"K8", "random keys, 256 B", GenRandom(256)},
+		{"K10", "random keys, 1024 B", GenRandom(1024)},
+	}
+}
+
+// Lookup returns the Spec with the given name.
+func Lookup(name string) (Spec, bool) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// itemID renders an Amazon-ASIN-like item identifier (10 chars).
+func itemID(r *rand.Rand, pool int) string {
+	return fmt.Sprintf("B%09d", r.Intn(pool))
+}
+
+// userID renders an Amazon-like user identifier (14 chars).
+func userID(r *rand.Rand, pool int) string {
+	const alpha = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	id := make([]byte, 14)
+	id[0] = 'A'
+	v := r.Intn(pool)
+	for i := 1; i < 14; i++ {
+		id[i] = alpha[(v+i*7)%len(alpha)]
+		v = v/len(alpha) + r.Intn(4)
+	}
+	return string(id)
+}
+
+// reviewTime renders a unix timestamp (10 digits), the review-time field.
+func reviewTime(r *rand.Rand) string {
+	return fmt.Sprintf("%010d", 1000000000+r.Intn(400000000))
+}
+
+// GenAz1 builds item-user-time composites: many keys share an item prefix
+// (reviews cluster on popular products), mirroring the original dataset's
+// ordering sensitivity that distinguishes Az1 from Az2 in Figures 10/16.
+func GenAz1(n int, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed))
+	itemPool := n/20 + 10
+	keys := make([][]byte, 0, n)
+	seen := make(map[string]bool, n)
+	zipf := rand.NewZipf(r, 1.2, 8, uint64(itemPool-1))
+	for len(keys) < n {
+		item := fmt.Sprintf("B%09d", zipf.Uint64())
+		k := fmt.Sprintf("%s-%s-%s", item, userID(r, n), reviewTime(r))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, []byte(k))
+	}
+	return keys
+}
+
+// GenAz2 builds user-item-time composites: the leading field is the
+// high-entropy user ID, so adjacent keys share much shorter prefixes.
+func GenAz2(n int, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed))
+	itemPool := n/20 + 10
+	keys := make([][]byte, 0, n)
+	seen := make(map[string]bool, n)
+	zipf := rand.NewZipf(r, 1.2, 8, uint64(itemPool-1))
+	for len(keys) < n {
+		item := fmt.Sprintf("B%09d", zipf.Uint64())
+		k := fmt.Sprintf("%s-%s-%s", userID(r, n), item, reviewTime(r))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, []byte(k))
+	}
+	return keys
+}
+
+var urlHosts = []string{
+	"http://www.nytimes.com/2008/",
+	"http://news.bbc.co.uk/2/hi/",
+	"http://blog.myspace.com/index.cfm?fuseaction=blog.view&friendId=",
+	"http://www.youtube.com/watch?v=",
+	"http://en.wikipedia.org/wiki/",
+	"http://www.cnn.com/2008/POLITICS/",
+	"http://www.huffingtonpost.com/2008/09/",
+	"http://digg.com/political_opinion/",
+}
+
+var urlWords = []string{
+	"election", "market", "crisis", "debate", "senate", "press", "media",
+	"report", "global", "energy", "health", "policy", "finance", "sports",
+	"science", "culture", "opinion", "analysis", "breaking", "update",
+}
+
+// GenURL builds MemeTracker-style URLs: a small host pool gives long
+// shared prefixes (the paper measured ~40 B average anchors on Url), and
+// word-path tails bring the average length to ~82 B.
+func GenURL(n int, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, 0, n)
+	seen := make(map[string]bool, n)
+	for len(keys) < n {
+		host := urlHosts[r.Intn(len(urlHosts))]
+		k := host
+		for len(k) < 55+r.Intn(22) {
+			k += urlWords[r.Intn(len(urlWords))] + "-"
+		}
+		k += fmt.Sprintf("%06d.html", r.Intn(1000000))
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, []byte(k))
+	}
+	return keys
+}
+
+// GenRandom returns a generator of fixed-length uniformly random keys
+// (keysets K3..K10).
+func GenRandom(length int) func(n int, seed int64) [][]byte {
+	return func(n int, seed int64) [][]byte {
+		r := rand.New(rand.NewSource(seed))
+		keys := make([][]byte, 0, n)
+		seen := make(map[string]bool, n)
+		for len(keys) < n {
+			k := make([]byte, length)
+			r.Read(k)
+			if seen[string(k)] {
+				continue
+			}
+			seen[string(k)] = true
+			keys = append(keys, k)
+		}
+		return keys
+	}
+}
+
+// GenKshort builds Figure 14's Kshort: fixed-length fully random keys, so
+// adjacent keys diverge immediately and anchors stay short.
+func GenKshort(length, n int, seed int64) [][]byte {
+	return GenRandom(length)(n, seed)
+}
+
+// GenKlong builds Figure 14's Klong: the first length-4 bytes are the
+// filler token '0' and only the last 4 bytes carry entropy, so anchors
+// must grow to nearly the key length.
+func GenKlong(length, n int, seed int64) [][]byte {
+	if length < 5 {
+		length = 5
+	}
+	r := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, 0, n)
+	seen := make(map[string]bool, n)
+	for len(keys) < n {
+		k := make([]byte, length)
+		for i := 0; i < length-4; i++ {
+			k[i] = '0'
+		}
+		r.Read(k[length-4:])
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Stats summarizes a keyset for the Table 1 report.
+type Stats struct {
+	Keys   int
+	AvgLen float64
+	Bytes  int64
+}
+
+// Summarize computes keyset statistics.
+func Summarize(keys [][]byte) Stats {
+	var total int64
+	for _, k := range keys {
+		total += int64(len(k))
+	}
+	s := Stats{Keys: len(keys), Bytes: total}
+	if len(keys) > 0 {
+		s.AvgLen = float64(total) / float64(len(keys))
+	}
+	return s
+}

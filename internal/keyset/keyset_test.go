@@ -1,0 +1,133 @@
+package keyset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, spec := range Table1() {
+		a := spec.Gen(200, 42)
+		b := spec.Gen(200, 42)
+		if len(a) != 200 || len(b) != 200 {
+			t.Fatalf("%s: wrong count", spec.Name)
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("%s: nondeterministic at %d", spec.Name, i)
+			}
+		}
+		c := spec.Gen(200, 43)
+		same := 0
+		for i := range a {
+			if bytes.Equal(a[i], c[i]) {
+				same++
+			}
+		}
+		if same == 200 {
+			t.Fatalf("%s: seed has no effect", spec.Name)
+		}
+	}
+}
+
+func TestUniqueness(t *testing.T) {
+	for _, spec := range Table1() {
+		keys := spec.Gen(2000, 1)
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if seen[string(k)] {
+				t.Fatalf("%s: duplicate key %q", spec.Name, k)
+			}
+			seen[string(k)] = true
+		}
+	}
+}
+
+func TestShapesMatchTable1(t *testing.T) {
+	az1 := Summarize(GenAz1(2000, 1))
+	if az1.AvgLen < 30 || az1.AvgLen > 50 {
+		t.Fatalf("Az1 avg len %.1f, want ~40", az1.AvgLen)
+	}
+	url := Summarize(GenURL(2000, 1))
+	if url.AvgLen < 70 || url.AvgLen > 100 {
+		t.Fatalf("Url avg len %.1f, want ~82", url.AvgLen)
+	}
+	for _, c := range []struct {
+		name string
+		want int
+	}{{"K3", 8}, {"K4", 16}, {"K6", 64}, {"K8", 256}, {"K10", 1024}} {
+		spec, _ := Lookup(c.name)
+		keys := spec.Gen(50, 1)
+		for _, k := range keys {
+			if len(k) != c.want {
+				t.Fatalf("%s key length %d, want %d", c.name, len(k), c.want)
+			}
+		}
+	}
+}
+
+func TestAz1SharesItemPrefixes(t *testing.T) {
+	keys := GenAz1(3000, 7)
+	// Zipf-reused item IDs must make many keys share the leading field.
+	prefixes := map[string]int{}
+	for _, k := range keys {
+		prefixes[string(k[:10])]++
+	}
+	max := 0
+	for _, n := range prefixes {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 20 {
+		t.Fatalf("hottest item has %d keys; expected heavy reuse", max)
+	}
+	// Az2 leads with user IDs: leading 10-byte prefixes are near-unique.
+	keys2 := GenAz2(3000, 7)
+	prefixes2 := map[string]int{}
+	for _, k := range keys2 {
+		prefixes2[string(k[:10])]++
+	}
+	if len(prefixes2) < len(keys2)/2 {
+		t.Fatalf("Az2 leading prefixes too clustered: %d distinct", len(prefixes2))
+	}
+}
+
+func TestURLStructure(t *testing.T) {
+	for _, k := range GenURL(500, 3) {
+		if !strings.HasPrefix(string(k), "http") {
+			t.Fatalf("URL key %q lacks scheme", k)
+		}
+	}
+}
+
+func TestKshortKlong(t *testing.T) {
+	short := GenKshort(64, 500, 9)
+	long := GenKlong(64, 500, 9)
+	for i := range short {
+		if len(short[i]) != 64 || len(long[i]) != 64 {
+			t.Fatal("wrong lengths")
+		}
+	}
+	// Klong keys must share the 60-byte filler prefix.
+	filler := long[0][:60]
+	for _, k := range long {
+		if !bytes.Equal(k[:60], filler) {
+			t.Fatal("Klong keys do not share the filler prefix")
+		}
+	}
+	// Kshort adjacent sorted keys should share only tiny prefixes.
+	if Summarize(short).AvgLen != 64 {
+		t.Fatal("bad avg")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("Az1"); !ok {
+		t.Fatal("Az1 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("phantom keyset")
+	}
+}

@@ -1,0 +1,458 @@
+// Package masstree implements a Masstree-like index (Mao, Kohler, Morris —
+// EuroSys 2012), the trie-of-B+-trees baseline of the paper's evaluation
+// (§4): a trie with fanout 2^64 whose nodes are B+ trees indexing 8-byte
+// key slices. Keys longer than eight bytes descend through one layer per
+// slice; a slice is encoded as a big-endian uint64 plus a fragment length,
+// which preserves byte-string order while letting every comparison inside
+// a layer be two integer compares — the structure's core trick.
+//
+// Concurrency: the original uses optimistic version validation; this port
+// uses reader-writer lock coupling with preemptive splitting (full nodes
+// are split on the way down, so locks are only ever taken top-down and no
+// split propagates upward). That keeps the index fully thread-safe — the
+// role Masstree plays in Figures 9 and 17 — with a simpler protocol; the
+// substitution is noted in DESIGN.md. Deletions are lazy (no rebalancing),
+// matching how the paper's workloads exercise it (lookups and inserts).
+package masstree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// fanout is the per-node width of each layer's B+ tree; Masstree uses 15
+// keys per node.
+const fanout = 16
+
+// skey is one key slice: up to eight bytes as a big-endian integer plus an
+// ext tag. ext 0..8 is the fragment length of a key ending in this slice;
+// extLayer marks a link to the next layer (keys extending past the slice).
+// Lexicographic (slice, ext) order equals byte-string order of the keys.
+type skey struct {
+	slice uint64
+	ext   uint8
+}
+
+const extLayer = 9
+
+func (a skey) less(b skey) bool {
+	return a.slice < b.slice || (a.slice == b.slice && a.ext < b.ext)
+}
+
+func (a skey) geq(b skey) bool { return !a.less(b) }
+
+// makeSlice encodes key[depth:] into its first slice.
+func makeSlice(key []byte, depth int) skey {
+	rest := key[depth:]
+	var buf [8]byte
+	n := copy(buf[:], rest)
+	s := skey{slice: binary.BigEndian.Uint64(buf[:])}
+	if len(rest) <= 8 {
+		s.ext = uint8(n)
+	} else {
+		s.ext = extLayer
+	}
+	return s
+}
+
+// entry is a leaf slot: a terminal key-value or a link to the next layer.
+type entry struct {
+	val     []byte
+	fullKey []byte // terminal entries only; used by scans
+	layer   *layer // non-nil for ext == extLayer entries
+}
+
+type node interface{ isNode() }
+
+type inner struct {
+	mu   sync.RWMutex
+	keys []skey
+	kids []node
+}
+
+type leafN struct {
+	mu      sync.RWMutex
+	keys    []skey
+	entries []*entry
+	next    *leafN
+}
+
+func (*inner) isNode() {}
+func (*leafN) isNode() {}
+
+// layer is one trie level: a B+ tree over skeys.
+type layer struct {
+	rootMu sync.RWMutex // guards the root pointer swap only
+	root   node
+}
+
+func newLayer() *layer { return &layer{root: &leafN{}} }
+
+// Tree is the Masstree-like index.
+type Tree struct {
+	root  *layer
+	count int64
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: newLayer()} }
+
+// Count returns the number of keys.
+func (t *Tree) Count() int64 { return atomic.LoadInt64(&t.count) }
+
+func (n *inner) childIndex(k skey) int {
+	return sort.Search(len(n.keys), func(i int) bool { return k.less(n.keys[i]) })
+}
+
+func (l *leafN) search(k skey) (int, bool) {
+	i := sort.Search(len(l.keys), func(i int) bool { return l.keys[i].geq(k) })
+	return i, i < len(l.keys) && l.keys[i] == k
+}
+
+// lockLeafR read-couples from the layer root down to k's leaf and returns
+// it read-locked.
+func (ly *layer) lockLeafR(k skey) *leafN {
+	ly.rootMu.RLock()
+	n := ly.root
+	switch v := n.(type) {
+	case *inner:
+		v.mu.RLock()
+	case *leafN:
+		v.mu.RLock()
+	}
+	ly.rootMu.RUnlock()
+	for {
+		in, ok := n.(*inner)
+		if !ok {
+			return n.(*leafN)
+		}
+		child := in.kids[in.childIndex(k)]
+		switch v := child.(type) {
+		case *inner:
+			v.mu.RLock()
+		case *leafN:
+			v.mu.RLock()
+		}
+		in.mu.RUnlock()
+		n = child
+	}
+}
+
+// Get returns the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	ly := t.root
+	depth := 0
+	for {
+		k := makeSlice(key, depth)
+		l := ly.lockLeafR(k)
+		i, ok := l.search(k)
+		if !ok {
+			l.mu.RUnlock()
+			return nil, false
+		}
+		e := l.entries[i]
+		if k.ext != extLayer {
+			v := e.val
+			l.mu.RUnlock()
+			return v, true
+		}
+		ly = e.layer
+		l.mu.RUnlock()
+		depth += 8
+	}
+}
+
+// splitChild splits the full child at index ci of the write-locked parent.
+// The caller holds both the parent's and the child's write locks and
+// guarantees the parent has room (preemptive splitting). The new right
+// sibling is unreachable until inserted under the held parent lock.
+func splitChild(p *inner, ci int) {
+	switch c := p.kids[ci].(type) {
+	case *leafN:
+		mid := len(c.keys) / 2
+		r := &leafN{
+			keys:    append([]skey{}, c.keys[mid:]...),
+			entries: append([]*entry{}, c.entries[mid:]...),
+			next:    c.next,
+		}
+		sep := c.keys[mid]
+		c.keys = c.keys[:mid:mid]
+		c.entries = c.entries[:mid:mid]
+		c.next = r
+		insertKid(p, ci, sep, r)
+	case *inner:
+		mid := len(c.keys) / 2
+		sep := c.keys[mid]
+		r := &inner{
+			keys: append([]skey{}, c.keys[mid+1:]...),
+			kids: append([]node{}, c.kids[mid+1:]...),
+		}
+		c.keys = c.keys[:mid:mid]
+		c.kids = c.kids[: mid+1 : mid+1]
+		insertKid(p, ci, sep, r)
+	}
+}
+
+func lockNodeW(n node) {
+	switch v := n.(type) {
+	case *inner:
+		v.mu.Lock()
+	case *leafN:
+		v.mu.Lock()
+	}
+}
+
+func unlockNodeW(n node) {
+	switch v := n.(type) {
+	case *inner:
+		v.mu.Unlock()
+	case *leafN:
+		v.mu.Unlock()
+	}
+}
+
+func insertKid(p *inner, ci int, sep skey, right node) {
+	p.keys = append(p.keys, skey{})
+	copy(p.keys[ci+1:], p.keys[ci:])
+	p.keys[ci] = sep
+	p.kids = append(p.kids, nil)
+	copy(p.kids[ci+2:], p.kids[ci+1:])
+	p.kids[ci+1] = right
+}
+
+func full(n node) bool {
+	switch v := n.(type) {
+	case *leafN:
+		return len(v.keys) >= fanout
+	case *inner:
+		return len(v.kids) >= fanout+1
+	}
+	return false
+}
+
+// lockLeafW write-couples down to k's leaf, splitting every full node on
+// the way (including the root, under rootMu), and returns it write-locked.
+// A node's fullness is only ever inspected while its own write lock is
+// held — a concurrent writer one level below may be resizing it otherwise.
+func (ly *layer) lockLeafW(k skey) *leafN {
+	for {
+		ly.rootMu.RLock()
+		root := ly.root
+		lockNodeW(root)
+		ly.rootMu.RUnlock()
+		if !full(root) {
+			if in, ok := root.(*inner); ok {
+				return descendW(in, k)
+			}
+			return root.(*leafN)
+		}
+		// The root must split, which replaces the root pointer: retry
+		// under the exclusive root guard.
+		unlockNodeW(root)
+		ly.rootMu.Lock()
+		root = ly.root
+		lockNodeW(root)
+		if !full(root) {
+			// Another writer already split it.
+			ly.rootMu.Unlock()
+			if in, ok := root.(*inner); ok {
+				return descendW(in, k)
+			}
+			return root.(*leafN)
+		}
+		nr := &inner{kids: []node{root}}
+		nr.mu.Lock()
+		splitChild(nr, 0)
+		unlockNodeW(root)
+		ly.root = nr
+		ly.rootMu.Unlock()
+		return descendW(nr, k)
+	}
+}
+
+// descendW walks down from the write-locked inner node in, splitting full
+// children before entering them, and returns the write-locked target leaf.
+func descendW(in *inner, k skey) *leafN {
+	for {
+		ci := in.childIndex(k)
+		child := in.kids[ci]
+		lockNodeW(child)
+		if full(child) {
+			splitChild(in, ci)
+			// The key may now belong to the new right sibling; re-pick
+			// under the still-held parent lock.
+			unlockNodeW(child)
+			continue
+		}
+		in.mu.Unlock()
+		if v, ok := child.(*inner); ok {
+			in = v
+			continue
+		}
+		return child.(*leafN)
+	}
+}
+
+// Set inserts or replaces key.
+func (t *Tree) Set(key, val []byte) {
+	ly := t.root
+	depth := 0
+	for {
+		k := makeSlice(key, depth)
+		l := ly.lockLeafW(k)
+		i, ok := l.search(k)
+		if k.ext != extLayer {
+			if ok {
+				l.entries[i].val = val
+			} else {
+				insertEntry(l, i, k, &entry{val: val, fullKey: key})
+				atomic.AddInt64(&t.count, 1)
+			}
+			l.mu.Unlock()
+			return
+		}
+		if !ok {
+			insertEntry(l, i, k, &entry{layer: newLayer()})
+			i, _ = l.search(k)
+		}
+		ly = l.entries[i].layer
+		l.mu.Unlock()
+		depth += 8
+	}
+}
+
+func insertEntry(l *leafN, i int, k skey, e *entry) {
+	l.keys = append(l.keys, skey{})
+	copy(l.keys[i+1:], l.keys[i:])
+	l.keys[i] = k
+	l.entries = append(l.entries, nil)
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = e
+}
+
+// Del removes key, reporting whether it was present. Leaves are not
+// rebalanced and emptied sub-layers are not collapsed (lazy deletion).
+func (t *Tree) Del(key []byte) bool {
+	ly := t.root
+	depth := 0
+	for {
+		k := makeSlice(key, depth)
+		l := ly.lockLeafW(k)
+		i, ok := l.search(k)
+		if !ok {
+			l.mu.Unlock()
+			return false
+		}
+		if k.ext != extLayer {
+			l.keys = append(l.keys[:i], l.keys[i+1:]...)
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			l.mu.Unlock()
+			atomic.AddInt64(&t.count, -1)
+			return true
+		}
+		ly = l.entries[i].layer
+		l.mu.Unlock()
+		depth += 8
+	}
+}
+
+// Scan visits keys >= start in ascending order until fn returns false.
+// The scan copies each leaf's qualifying entries under its read lock and
+// walks layer links recursively; concurrent inserts may or may not be
+// observed (same contract as the original's snapshot-free scans).
+func (t *Tree) Scan(start []byte, fn func(key, val []byte) bool) {
+	t.scanLayer(t.root, start, 0, fn)
+}
+
+// scanLayer returns false when fn stopped the scan.
+func (t *Tree) scanLayer(ly *layer, start []byte, depth int, fn func(k, v []byte) bool) bool {
+	var from skey
+	if start != nil && len(start) > depth {
+		from = makeSlice(start, depth)
+	}
+	l := ly.lockLeafR(from)
+	for {
+		// Copy the qualifying slots — including the key/value slice headers,
+		// which may be swapped by concurrent updates — under the read lock,
+		// so fn runs unlocked on stable data.
+		type slot struct {
+			k        skey
+			key, val []byte
+			layer    *layer
+		}
+		var slots []slot
+		i, _ := l.search(from)
+		for ; i < len(l.keys); i++ {
+			e := l.entries[i]
+			slots = append(slots, slot{l.keys[i], e.fullKey, e.val, e.layer})
+		}
+		next := l.next
+		l.mu.RUnlock()
+		for _, s := range slots {
+			if s.k.ext == extLayer {
+				sub := start
+				if !(s.k == from && len(start) > depth+8) {
+					sub = nil
+				}
+				if !t.scanLayer(s.layer, sub, depth+8, fn) {
+					return false
+				}
+				continue
+			}
+			// Terminal: honor the inclusive start bound exactly.
+			if start != nil && bytes.Compare(s.key, start) < 0 {
+				continue
+			}
+			if !fn(s.key, s.val) {
+				return false
+			}
+		}
+		if next == nil {
+			return true
+		}
+		// Keep `from` unchanged across leaf hops: later leaves hold only
+		// larger skeys, so the search lands at 0, and the link entry that
+		// matches start's slice is still recognized if it lives here.
+		next.mu.RLock()
+		l = next
+	}
+}
+
+// Footprint returns approximate heap bytes.
+func (t *Tree) Footprint() int64 {
+	return layerFootprint(t.root)
+}
+
+func layerFootprint(ly *layer) int64 {
+	return nodeFootprint(ly.root) + int64(unsafe.Sizeof(layer{}))
+}
+
+func nodeFootprint(n node) int64 {
+	switch v := n.(type) {
+	case *leafN:
+		total := int64(unsafe.Sizeof(leafN{}))
+		total += int64(cap(v.keys))*int64(unsafe.Sizeof(skey{})) +
+			int64(cap(v.entries))*int64(unsafe.Sizeof(uintptr(0)))
+		for i, e := range v.entries {
+			total += int64(unsafe.Sizeof(entry{}))
+			if v.keys[i].ext == extLayer {
+				total += layerFootprint(e.layer)
+			} else {
+				total += int64(len(e.fullKey) + len(e.val))
+			}
+		}
+		return total
+	case *inner:
+		total := int64(unsafe.Sizeof(inner{}))
+		total += int64(cap(v.keys)) * int64(unsafe.Sizeof(skey{}))
+		for _, c := range v.kids {
+			total += nodeFootprint(c)
+		}
+		return total
+	}
+	return 0
+}

@@ -1,0 +1,201 @@
+package masstree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/repro/wormhole/internal/indextest"
+)
+
+func TestSliceEncoding(t *testing.T) {
+	// (slice, ext) order must equal byte-string order.
+	keys := [][]byte{
+		{}, {0}, {0, 0}, {'a'}, []byte("ab"), []byte("ab\x00"),
+		[]byte("abcdefgh"), []byte("abcdefghi"), []byte("abcdefgi"), {0xff},
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := 0; j < len(keys); j++ {
+			a, b := makeSlice(keys[i], 0), makeSlice(keys[j], 0)
+			byteLess := bytes.Compare(keys[i], keys[j]) < 0
+			// Same-slice long keys collapse into the same layer link; only
+			// distinct-skey pairs must preserve order.
+			if a == b {
+				continue
+			}
+			if a.less(b) != byteLess && !(a.ext == extLayer || b.ext == extLayer) {
+				t.Errorf("order broken: %q vs %q", keys[i], keys[j])
+			}
+		}
+	}
+	if makeSlice([]byte("abcdefghi"), 0).ext != extLayer {
+		t.Fatal("9-byte key should produce a layer link")
+	}
+	if makeSlice([]byte("abcdefgh"), 0).ext != 8 {
+		t.Fatal("8-byte key should be terminal with ext 8")
+	}
+}
+
+func TestBasicLayering(t *testing.T) {
+	m := New()
+	keys := []string{
+		"", "a", "abcdefgh", "abcdefghi", "abcdefghijklmnop",
+		"abcdefghijklmnopq", "abcdefgz", "zzzz",
+	}
+	for i, k := range keys {
+		m.Set([]byte(k), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if m.Count() != int64(len(keys)) {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	for i, k := range keys {
+		v, ok := m.Get([]byte(k))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%q) = %q,%v", k, v, ok)
+		}
+	}
+	for _, k := range []string{"abcdefghij", "b", "abcdefgh\x00"} {
+		if _, ok := m.Get([]byte(k)); ok {
+			t.Fatalf("Get(%q) should miss", k)
+		}
+	}
+	// Delete the middle of a layer chain; longer keys must survive.
+	if !m.Del([]byte("abcdefghi")) {
+		t.Fatal("Del failed")
+	}
+	if _, ok := m.Get([]byte("abcdefghi")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := m.Get([]byte("abcdefghijklmnop")); !ok {
+		t.Fatal("sibling long key lost")
+	}
+}
+
+func TestScanAcrossLayers(t *testing.T) {
+	m := New()
+	keys := []string{
+		"a", "aaaaaaaaa", "aaaaaaaaab", "aaaaaaaab", "b",
+		"bbbbbbbbbbbbbbbbbb", "c",
+	}
+	for _, k := range keys {
+		m.Set([]byte(k), []byte(k))
+	}
+	var got []string
+	m.Scan(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := fmt.Sprint([]string{"a", "aaaaaaaaa", "aaaaaaaaab", "aaaaaaaab",
+		"b", "bbbbbbbbbbbbbbbbbb", "c"})
+	if fmt.Sprint(got) != want {
+		t.Fatalf("scan = %v", got)
+	}
+	got = got[:0]
+	m.Scan([]byte("aaaaaaaaab"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 3
+	})
+	if fmt.Sprint(got) != fmt.Sprint([]string{"aaaaaaaaab", "aaaaaaaab", "b"}) {
+		t.Fatalf("seeked scan = %v", got)
+	}
+}
+
+func TestSplitsAtScale(t *testing.T) {
+	m := New()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.Set([]byte(fmt.Sprintf("key-%06d-with-a-long-suffix", i)), []byte{1})
+	}
+	if m.Count() != n {
+		t.Fatalf("Count = %d", m.Count())
+	}
+	cnt, prev := 0, ""
+	m.Scan(nil, func(k, v []byte) bool {
+		if string(k) <= prev {
+			t.Fatalf("scan out of order at %q", k)
+		}
+		prev = string(k)
+		cnt++
+		return true
+	})
+	if cnt != n {
+		t.Fatalf("scan found %d", cnt)
+	}
+}
+
+func TestModelAgainstReference(t *testing.T) {
+	gens := []func(*rand.Rand) []byte{
+		indextest.GenBinary, indextest.GenASCII,
+		indextest.GenRandom(8), indextest.GenRandom(20), indextest.GenPrefixed,
+	}
+	for gi, gen := range gens {
+		t.Run(fmt.Sprintf("gen%d", gi), func(t *testing.T) {
+			indextest.OrderedOps(t, New(), int64(70+gi), 3000, gen)
+		})
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	m := New()
+	const stable = 400
+	for i := 0; i < stable; i++ {
+		m.Set([]byte(fmt.Sprintf("stable-%05d-long-enough-for-layers", i)), []byte("s"))
+	}
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for !stop.Load() {
+				k := []byte(fmt.Sprintf("churn-%02d-%05d-suffix", g, r.Intn(3000)))
+				if r.Intn(2) == 0 {
+					m.Set(k, []byte("c"))
+				} else {
+					m.Del(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			r := rand.New(rand.NewSource(int64(50 + g)))
+			for i := 0; i < 10000; i++ {
+				k := []byte(fmt.Sprintf("stable-%05d-long-enough-for-layers", r.Intn(stable)))
+				if _, ok := m.Get(k); !ok {
+					t.Errorf("lost stable key %q", k)
+					return
+				}
+			}
+		}(g)
+	}
+	readers.Wait()
+	stop.Store(true)
+	writers.Wait()
+	found := 0
+	m.Scan([]byte("stable-"), func(k, v []byte) bool {
+		if string(v) == "s" {
+			found++
+		}
+		return bytes.HasPrefix(k, []byte("stable-")) || true
+	})
+	if found != stable {
+		t.Fatalf("final scan found %d stable keys, want %d", found, stable)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	for i := 0; i < 500; i++ {
+		m.Set([]byte(fmt.Sprintf("fp-%05d-0123456789", i)), []byte("0123456789"))
+	}
+	if fp := m.Footprint(); fp < 500*28 {
+		t.Fatalf("Footprint = %d implausibly small", fp)
+	}
+}

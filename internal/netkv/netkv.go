@@ -1,0 +1,392 @@
+// Package netkv is the networked key-value store used to reproduce Figure
+// 12. The paper ports its indexes into HERD, an RDMA key-value service on
+// 100 Gb/s InfiniBand, and issues requests in batches of 800. Offline and
+// without RDMA hardware, this package substitutes a length-prefixed binary
+// protocol over TCP (loopback in the benchmarks) with the same batching
+// discipline: the network adds a per-batch cost while the per-operation
+// cost stays dominated by the host-side index — the property Figure 12
+// demonstrates (and, as in the paper, large values such as K10's 1 KB keys
+// shift the bottleneck to the wire).
+package netkv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/repro/wormhole/internal/index"
+)
+
+// Op codes.
+const (
+	OpGet byte = iota + 1
+	OpSet
+	OpDel
+	OpScan
+)
+
+// Status codes.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+)
+
+// DefaultBatch is the paper's request batch size for Figure 12.
+const DefaultBatch = 800
+
+const maxFrame = 64 << 20
+
+// Request is one operation in a batch.
+type Request struct {
+	Op    byte
+	Key   []byte
+	Val   []byte // Set: value; Scan: unused
+	Limit uint32 // Scan only
+}
+
+// Response is one operation's result.
+type Response struct {
+	Status byte
+	Val    []byte
+	// Scan results.
+	Keys, Vals [][]byte
+}
+
+// Server serves an index.Index over TCP.
+type Server struct {
+	ix  index.Index
+	ln  net.Listener
+	mu  sync.Mutex
+	wg  sync.WaitGroup
+	cls bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
+// chosen address is available via Addr.
+func Serve(addr string, ix index.Index) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ix: ix, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and waits for connection handlers to finish
+// their in-flight batches.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.cls = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cls
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 1<<20)
+	w := bufio.NewWriterSize(conn, 1<<20)
+	scratch := make([]Request, 0, DefaultBatch)
+	for {
+		reqs, err := readRequests(r, scratch[:0])
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		if err := s.process(w, reqs); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if s.closed() {
+			return
+		}
+		scratch = reqs
+	}
+}
+
+func (s *Server) process(w *bufio.Writer, reqs []Request) error {
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(reqs)))
+	// The frame length is not known upfront; buffer the body.
+	var body []byte
+	for _, rq := range reqs {
+		switch rq.Op {
+		case OpGet:
+			v, ok := s.ix.Get(rq.Key)
+			if !ok {
+				body = append(body, StatusNotFound)
+				body = binary.LittleEndian.AppendUint32(body, 0)
+			} else {
+				body = append(body, StatusOK)
+				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+				body = append(body, v...)
+			}
+		case OpSet:
+			// Copy: the request buffers are reused per batch.
+			k := append([]byte{}, rq.Key...)
+			v := append([]byte{}, rq.Val...)
+			s.ix.Set(k, v)
+			body = append(body, StatusOK)
+		case OpDel:
+			if s.ix.Del(rq.Key) {
+				body = append(body, StatusOK)
+			} else {
+				body = append(body, StatusNotFound)
+			}
+		case OpScan:
+			ord, ok := s.ix.(index.Ordered)
+			if !ok {
+				body = append(body, StatusNotFound)
+				body = binary.LittleEndian.AppendUint16(body, 0)
+				break
+			}
+			body = append(body, StatusOK)
+			lenAt := len(body)
+			body = binary.LittleEndian.AppendUint16(body, 0)
+			n := 0
+			ord.Scan(rq.Key, func(k, v []byte) bool {
+				body = binary.LittleEndian.AppendUint32(body, uint32(len(k)))
+				body = append(body, k...)
+				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+				body = append(body, v...)
+				n++
+				return uint32(n) < rq.Limit
+			})
+			binary.LittleEndian.PutUint16(body[lenAt:], uint16(n))
+		default:
+			return fmt.Errorf("netkv: bad opcode %d", rq.Op)
+		}
+	}
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+2))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readRequests(r *bufio.Reader, reqs []Request) ([]Request, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	frameLen := binary.LittleEndian.Uint32(hdr[:4])
+	count := binary.LittleEndian.Uint16(hdr[4:])
+	if frameLen < 2 || frameLen > maxFrame {
+		return nil, errors.New("netkv: bad frame length")
+	}
+	body := make([]byte, frameLen-2)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(count); i++ {
+		var rq Request
+		if len(body) < 5 {
+			return nil, errors.New("netkv: truncated op")
+		}
+		rq.Op = body[0]
+		klen := binary.LittleEndian.Uint32(body[1:5])
+		body = body[5:]
+		if uint32(len(body)) < klen+4 {
+			return nil, errors.New("netkv: truncated key")
+		}
+		rq.Key = body[:klen]
+		body = body[klen:]
+		extra := binary.LittleEndian.Uint32(body[:4])
+		body = body[4:]
+		if rq.Op == OpScan {
+			rq.Limit = extra
+		} else {
+			if uint32(len(body)) < extra {
+				return nil, errors.New("netkv: truncated value")
+			}
+			rq.Val = body[:extra]
+			body = body[extra:]
+		}
+		reqs = append(reqs, rq)
+	}
+	return reqs, nil
+}
+
+// Client is a single-connection batched client. It is not safe for
+// concurrent use; benchmark workers each own one client, as HERD clients
+// each own a queue pair.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	out  []byte
+	ops  []byte // op kind per queued request, needed to decode responses
+	n    int
+}
+
+// Dial connects to a netkv server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 1<<20),
+		w:    bufio.NewWriterSize(conn, 1<<20),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// QueueGet appends a GET to the current batch.
+func (c *Client) QueueGet(key []byte) { c.queue(OpGet, key, nil, 0) }
+
+// QueueSet appends a SET to the current batch.
+func (c *Client) QueueSet(key, val []byte) { c.queue(OpSet, key, val, 0) }
+
+// QueueDel appends a DEL to the current batch.
+func (c *Client) QueueDel(key []byte) { c.queue(OpDel, key, nil, 0) }
+
+// QueueScan appends a SCAN (up to limit pairs from key) to the batch.
+func (c *Client) QueueScan(key []byte, limit int) {
+	c.queue(OpScan, key, nil, uint32(limit))
+}
+
+// Pending returns the number of queued operations.
+func (c *Client) Pending() int { return c.n }
+
+func (c *Client) queue(op byte, key, val []byte, limit uint32) {
+	c.out = append(c.out, op)
+	c.out = binary.LittleEndian.AppendUint32(c.out, uint32(len(key)))
+	c.out = append(c.out, key...)
+	if op == OpScan {
+		c.out = binary.LittleEndian.AppendUint32(c.out, limit)
+	} else {
+		c.out = binary.LittleEndian.AppendUint32(c.out, uint32(len(val)))
+		c.out = append(c.out, val...)
+	}
+	c.ops = append(c.ops, op)
+	c.n++
+}
+
+// Flush sends the batch and reads all responses, in request order. The
+// returned slices alias an internal buffer valid until the next Flush.
+func (c *Client) Flush() ([]Response, error) {
+	if c.n == 0 {
+		return nil, nil
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(c.out)+2))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(c.n))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(c.out); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	ops := append([]byte{}, c.ops...)
+	c.out = c.out[:0]
+	c.ops = c.ops[:0]
+	c.n = 0
+	return c.readResponses(ops)
+}
+
+func (c *Client) readResponses(ops []byte) ([]Response, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	frameLen := binary.LittleEndian.Uint32(hdr[:4])
+	got := int(binary.LittleEndian.Uint16(hdr[4:]))
+	if got != len(ops) {
+		return nil, fmt.Errorf("netkv: response count %d != %d", got, len(ops))
+	}
+	if frameLen < 2 || frameLen > maxFrame {
+		return nil, errors.New("netkv: bad response frame")
+	}
+	body := make([]byte, frameLen-2)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return nil, err
+	}
+	resps := make([]Response, 0, len(ops))
+	for _, op := range ops {
+		if len(body) < 1 {
+			return nil, errors.New("netkv: truncated response")
+		}
+		rp := Response{Status: body[0]}
+		body = body[1:]
+		switch op {
+		case OpGet:
+			if len(body) < 4 {
+				return nil, errors.New("netkv: truncated get response")
+			}
+			vlen := binary.LittleEndian.Uint32(body[:4])
+			body = body[4:]
+			if uint32(len(body)) < vlen {
+				return nil, errors.New("netkv: truncated get value")
+			}
+			rp.Val = body[:vlen]
+			body = body[vlen:]
+		case OpScan:
+			if len(body) < 2 {
+				return nil, errors.New("netkv: truncated scan response")
+			}
+			n := int(binary.LittleEndian.Uint16(body[:2]))
+			body = body[2:]
+			for i := 0; i < n; i++ {
+				if len(body) < 4 {
+					return nil, errors.New("netkv: truncated scan pair")
+				}
+				klen := binary.LittleEndian.Uint32(body[:4])
+				body = body[4:]
+				if uint32(len(body)) < klen+4 {
+					return nil, errors.New("netkv: truncated scan key")
+				}
+				rp.Keys = append(rp.Keys, body[:klen])
+				body = body[klen:]
+				vlen := binary.LittleEndian.Uint32(body[:4])
+				body = body[4:]
+				if uint32(len(body)) < vlen {
+					return nil, errors.New("netkv: truncated scan value")
+				}
+				rp.Vals = append(rp.Vals, body[:vlen])
+				body = body[vlen:]
+			}
+		}
+		resps = append(resps, rp)
+	}
+	return resps, nil
+}

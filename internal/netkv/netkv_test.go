@@ -1,0 +1,163 @@
+package netkv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/repro/wormhole/internal/adapters"
+	"github.com/repro/wormhole/internal/index"
+)
+
+func startServer(t *testing.T, name string) (*Server, *Client) {
+	t.Helper()
+	info, ok := index.Lookup(name)
+	if !ok {
+		t.Fatalf("index %q not registered", name)
+	}
+	_ = adapters.Baselines() // ensure the adapters package is linked
+	s, err := Serve("127.0.0.1:0", info.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestRoundTrip(t *testing.T) {
+	_, c := startServer(t, "wormhole")
+	c.QueueSet([]byte("alpha"), []byte("1"))
+	c.QueueSet([]byte("beta"), []byte("2"))
+	c.QueueGet([]byte("alpha"))
+	c.QueueGet([]byte("missing"))
+	c.QueueDel([]byte("beta"))
+	c.QueueGet([]byte("beta"))
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 6 {
+		t.Fatalf("got %d responses", len(rs))
+	}
+	if rs[2].Status != StatusOK || string(rs[2].Val) != "1" {
+		t.Fatalf("get alpha = %+v", rs[2])
+	}
+	if rs[3].Status != StatusNotFound {
+		t.Fatalf("get missing = %+v", rs[3])
+	}
+	if rs[4].Status != StatusOK {
+		t.Fatalf("del beta = %+v", rs[4])
+	}
+	if rs[5].Status != StatusNotFound {
+		t.Fatalf("get beta after del = %+v", rs[5])
+	}
+}
+
+func TestScanOverWire(t *testing.T) {
+	_, c := startServer(t, "wormhole")
+	for i := 0; i < 200; i++ {
+		c.QueueSet([]byte(fmt.Sprintf("s%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+		if c.Pending() >= 64 {
+			if _, err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.QueueScan([]byte("s0100"), 5)
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || len(rs[0].Keys) != 5 {
+		t.Fatalf("scan returned %+v", rs)
+	}
+	if string(rs[0].Keys[0]) != "s0100" || string(rs[0].Vals[0]) != "v100" {
+		t.Fatalf("scan[0] = %s=%s", rs[0].Keys[0], rs[0].Vals[0])
+	}
+	if string(rs[0].Keys[4]) != "s0104" {
+		t.Fatalf("scan[4] = %s", rs[0].Keys[4])
+	}
+}
+
+func TestLargeBatch(t *testing.T) {
+	_, c := startServer(t, "btree")
+	for i := 0; i < DefaultBatch; i++ {
+		c.QueueSet([]byte(fmt.Sprintf("b%06d", i)), []byte("x"))
+	}
+	rs, err := c.Flush()
+	if err != nil || len(rs) != DefaultBatch {
+		t.Fatalf("set batch: %v, %d", err, len(rs))
+	}
+	for i := 0; i < DefaultBatch; i++ {
+		c.QueueGet([]byte(fmt.Sprintf("b%06d", i)))
+	}
+	rs, err = c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Status != StatusOK {
+			t.Fatalf("get %d missed", i)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, seed := startServer(t, "wormhole")
+	seed.QueueSet([]byte("shared"), []byte("yes"))
+	if _, err := seed.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 200; i++ {
+				c.QueueSet([]byte(fmt.Sprintf("c%d-%04d", g, i)), []byte("v"))
+				c.QueueGet([]byte("shared"))
+				rs, err := c.Flush()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rs[1].Status != StatusOK || string(rs[1].Val) != "yes" {
+					t.Errorf("shared key lost: %+v", rs[1])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestLargeValues(t *testing.T) {
+	_, c := startServer(t, "wormhole")
+	big := make([]byte, 1024) // K10-sized keys/values cross the wire intact
+	for i := range big {
+		big[i] = byte(i)
+	}
+	c.QueueSet(big, big)
+	c.QueueGet(big)
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Status != StatusOK || len(rs[1].Val) != 1024 || rs[1].Val[777] != byte(777%256) {
+		t.Fatalf("big value corrupted")
+	}
+}

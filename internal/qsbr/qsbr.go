@@ -1,0 +1,143 @@
+// Package qsbr implements quiescent-state-based reclamation (QSBR) grace
+// periods, the RCU flavor Wormhole (§2.5) uses to let readers traverse the
+// current MetaTrieHT without locks while a writer retires, waits out, and
+// then reuses the previous copy.
+//
+// Go's garbage collector reclaims unreachable memory on its own, but
+// Wormhole does not discard the retired meta table — it mutates it in place
+// and republishes it as the next spare. That reuse is only safe after every
+// reader that could still hold the old pointer has finished, which is
+// exactly a grace period.
+//
+// Readers are goroutines, and Go offers no per-goroutine registration hook,
+// so reader sections acquire one of a fixed array of cache-line-padded epoch
+// slots with a single compare-and-swap. The starting probe position is
+// derived from the address of a stack variable, which is distinct per
+// goroutine stack, so unrelated goroutines rarely collide on a slot.
+package qsbr
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// DefaultSlots is the slot-array size used by New. It bounds the number of
+// concurrent reader sections; additional readers spin briefly until a slot
+// frees up. 512 is far beyond any realistic GOMAXPROCS.
+const DefaultSlots = 512
+
+// Slot is one reader registration cell. A Slot is exclusively owned by a
+// single reader section between Enter and Leave.
+type Slot struct {
+	// state is 0 when the slot is free, otherwise the global epoch the
+	// reader observed when it entered.
+	state atomic.Uint64
+	_     [56]byte // pad to a cache line so slots never false-share
+}
+
+// QSBR tracks a global epoch and a fixed set of reader slots.
+type QSBR struct {
+	epoch atomic.Uint64
+	slots []Slot
+	mask  uint64
+}
+
+// New returns a QSBR domain with DefaultSlots reader slots.
+func New() *QSBR { return NewWithSlots(DefaultSlots) }
+
+// NewWithSlots returns a QSBR domain with n reader slots, rounded up to a
+// power of two (minimum 2).
+func NewWithSlots(n int) *QSBR {
+	size := 2
+	for size < n {
+		size <<= 1
+	}
+	q := &QSBR{slots: make([]Slot, size), mask: uint64(size - 1)}
+	// Epoch 0 is reserved to mean "offline" in slot state, so the global
+	// epoch starts at 1.
+	q.epoch.Store(1)
+	return q
+}
+
+// stackHint returns a probe seed that differs between goroutines: the
+// address of a local variable lands on the calling goroutine's stack.
+// Stacks may move, so this is only a locality hint, never a correctness
+// requirement.
+//
+//go:nosplit
+func stackHint() uint64 {
+	var b byte
+	return uint64(uintptr(unsafe.Pointer(&b)) >> 7)
+}
+
+// Enter begins a reader section and returns the acquired slot. The caller
+// must load any RCU-protected pointer after Enter returns and call Leave
+// when it no longer dereferences that pointer.
+func (q *QSBR) Enter() *Slot {
+	i := stackHint()
+	for spins := 0; ; spins++ {
+		s := &q.slots[i&q.mask]
+		if s.state.Load() == 0 {
+			e := q.epoch.Load()
+			if s.state.CompareAndSwap(0, e) {
+				return s
+			}
+		}
+		i++
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Leave ends the reader section that acquired s.
+func (q *QSBR) Leave(s *Slot) {
+	s.state.Store(0)
+}
+
+// Refresh re-announces the current epoch on an already-held slot. A reader
+// that re-loads the protected pointer mid-section (e.g. a lookup retry)
+// should Refresh first so it does not stall writers behind its old epoch.
+func (q *QSBR) Refresh(s *Slot) {
+	s.state.Store(q.epoch.Load())
+}
+
+// Synchronize waits for a full grace period: every reader section that began
+// before the call (and could therefore hold a previously published pointer)
+// has finished. Reader sections that begin after Synchronize starts do not
+// block it, because they observe the bumped epoch.
+func (q *QSBR) Synchronize() {
+	target := q.epoch.Add(1)
+	for i := range q.slots {
+		s := &q.slots[i]
+		for spins := 0; ; spins++ {
+			v := s.state.Load()
+			if v == 0 || v >= target {
+				break
+			}
+			if spins < 128 {
+				runtime.Gosched()
+				continue
+			}
+			// A reader section is running long (preempted goroutine);
+			// back off politely instead of burning the CPU.
+			time.Sleep(10 * time.Microsecond)
+		}
+	}
+}
+
+// Epoch reports the current global epoch; exposed for tests and stats.
+func (q *QSBR) Epoch() uint64 { return q.epoch.Load() }
+
+// ActiveReaders counts slots currently held; exposed for tests and stats.
+func (q *QSBR) ActiveReaders() int {
+	n := 0
+	for i := range q.slots {
+		if q.slots[i].state.Load() != 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+package qsbr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEnterLeave(t *testing.T) {
+	q := New()
+	s := q.Enter()
+	if s == nil {
+		t.Fatal("Enter returned nil slot")
+	}
+	if got := q.ActiveReaders(); got != 1 {
+		t.Fatalf("ActiveReaders = %d, want 1", got)
+	}
+	q.Leave(s)
+	if got := q.ActiveReaders(); got != 0 {
+		t.Fatalf("ActiveReaders after Leave = %d, want 0", got)
+	}
+}
+
+func TestSlotsRoundUp(t *testing.T) {
+	q := NewWithSlots(3)
+	if len(q.slots) != 4 {
+		t.Fatalf("slots = %d, want 4", len(q.slots))
+	}
+	q = NewWithSlots(1)
+	if len(q.slots) != 2 {
+		t.Fatalf("slots = %d, want 2", len(q.slots))
+	}
+}
+
+func TestSynchronizeNoReaders(t *testing.T) {
+	q := New()
+	e0 := q.Epoch()
+	q.Synchronize()
+	if q.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", q.Epoch(), e0+1)
+	}
+}
+
+// TestSynchronizeWaitsForReader verifies the core guarantee: a reader
+// section that began before Synchronize blocks it until Leave.
+func TestSynchronizeWaitsForReader(t *testing.T) {
+	q := New()
+	s := q.Enter()
+
+	done := make(chan struct{})
+	go func() {
+		q.Synchronize()
+		close(done)
+	}()
+
+	select {
+	case <-done:
+		t.Fatal("Synchronize returned while a reader was active")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	q.Leave(s)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Synchronize did not return after reader left")
+	}
+}
+
+// TestNewReaderDoesNotBlockSynchronize: a reader that enters after the epoch
+// bump must not stall the grace period.
+func TestNewReaderDoesNotBlockSynchronize(t *testing.T) {
+	q := New()
+	// Hold a slot, start Synchronize, then enter a fresh reader before
+	// releasing the first. The fresh reader carries the new epoch.
+	old := q.Enter()
+	done := make(chan struct{})
+	go func() {
+		q.Synchronize()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond) // let Synchronize bump the epoch
+	fresh := q.Enter()
+	q.Leave(old)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Synchronize blocked on a reader that entered after the epoch bump")
+	}
+	q.Leave(fresh)
+}
+
+// TestGracePeriodProtectsPointerSwap models the actual Wormhole usage: a
+// writer swaps a published pointer, synchronizes, then mutates the retired
+// object. Readers must never observe the mutation while holding the object.
+func TestGracePeriodProtectsPointerSwap(t *testing.T) {
+	type table struct {
+		val   int64
+		dirty atomic.Bool // set only while the table is supposed to be unobserved
+	}
+	q := NewWithSlots(64)
+	var cur atomic.Pointer[table]
+	t1, t2 := &table{val: 1}, &table{val: 2}
+	cur.Store(t1)
+
+	var violations atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := q.Enter()
+				tb := cur.Load()
+				if tb.dirty.Load() {
+					violations.Add(1)
+				}
+				// Simulate read work.
+				for i := 0; i < 32; i++ {
+					_ = tb.val
+				}
+				if tb.dirty.Load() {
+					violations.Add(1)
+				}
+				q.Leave(s)
+			}
+		}()
+	}
+
+	spare := t2
+	for i := 0; i < 200; i++ {
+		live := cur.Load()
+		cur.Store(spare)
+		q.Synchronize()
+		// live is now unobserved; mutating it must be invisible.
+		live.dirty.Store(true)
+		live.val = int64(i)
+		live.dirty.Store(false)
+		spare = live
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("readers observed %d dirty tables; grace period is broken", v)
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	q := New()
+	s := q.Enter()
+	e0 := s.state.Load()
+	done := make(chan struct{})
+	go func() {
+		q.Synchronize()
+		close(done)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Refresh(s) // reader re-announces: now carries the bumped epoch
+	if got := s.state.Load(); got <= e0 {
+		t.Fatalf("Refresh did not advance slot epoch: %d <= %d", got, e0)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Synchronize blocked by a refreshed reader")
+	}
+	q.Leave(s)
+}
+
+// TestManyConcurrentReaders exceeds the slot count to exercise probing.
+func TestManyConcurrentReaders(t *testing.T) {
+	q := NewWithSlots(4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s := q.Enter()
+				q.Leave(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := q.ActiveReaders(); got != 0 {
+		t.Fatalf("ActiveReaders = %d after all leave, want 0", got)
+	}
+}
+
+func TestConcurrentSynchronize(t *testing.T) {
+	q := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				q.Synchronize()
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				s := q.Enter()
+				q.Leave(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkEnterLeave(b *testing.B) {
+	q := New()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := q.Enter()
+			q.Leave(s)
+		}
+	})
+}
+
+func BenchmarkSynchronizeUncontended(b *testing.B) {
+	q := New()
+	for i := 0; i < b.N; i++ {
+		q.Synchronize()
+	}
+}

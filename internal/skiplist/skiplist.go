@@ -1,0 +1,143 @@
+// Package skiplist implements a LevelDB-style skip list (Pugh's algorithm
+// with LevelDB's parameters: max height 12, branching factor 4), the skip
+// list the paper extracts for its evaluation (§4).
+//
+// Like LevelDB's, the structure supports concurrent readers only while no
+// writer runs; the original needs an external mutex for writers, and so
+// does this one. Unlike LevelDB's (which only ever inserts), Del is
+// provided for API parity by unlinking at every level.
+package skiplist
+
+import (
+	"bytes"
+	"math/rand"
+	"unsafe"
+)
+
+const (
+	maxHeight = 12
+	branching = 4
+)
+
+type node struct {
+	key  []byte
+	val  []byte
+	next []*node
+}
+
+// List is a skip list. Call New.
+type List struct {
+	head   *node
+	height int
+	count  int64
+	rnd    *rand.Rand
+}
+
+// New returns an empty list. The random source is seeded deterministically
+// so experiments are reproducible.
+func New() *List {
+	return &List{
+		head:   &node{next: make([]*node, maxHeight)},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(0xdecea5e)),
+	}
+}
+
+// Count returns the number of keys.
+func (l *List) Count() int64 { return l.count }
+
+func (l *List) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rnd.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= k, recording the predecessor
+// at every level in prev when it is non-nil.
+func (l *List) findGE(k []byte, prev *[maxHeight]*node) *node {
+	x := l.head
+	for level := l.height - 1; level >= 0; level-- {
+		for next := x.next[level]; next != nil && bytes.Compare(next.key, k) < 0; next = x.next[level] {
+			x = next
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Get returns the value stored under key.
+func (l *List) Get(key []byte) ([]byte, bool) {
+	n := l.findGE(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.val, true
+	}
+	return nil, false
+}
+
+// Set inserts or replaces key.
+func (l *List) Set(key, val []byte) {
+	var prev [maxHeight]*node
+	n := l.findGE(key, &prev)
+	if n != nil && bytes.Equal(n.key, key) {
+		n.val = val
+		return
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		for level := l.height; level < h; level++ {
+			prev[level] = l.head
+		}
+		l.height = h
+	}
+	n = &node{key: key, val: val, next: make([]*node, h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	l.count++
+}
+
+// Del removes key, reporting whether it was present.
+func (l *List) Del(key []byte) bool {
+	var prev [maxHeight]*node
+	n := l.findGE(key, &prev)
+	if n == nil || !bytes.Equal(n.key, key) {
+		return false
+	}
+	for level := 0; level < len(n.next); level++ {
+		if prev[level].next[level] == n {
+			prev[level].next[level] = n.next[level]
+		}
+	}
+	for l.height > 1 && l.head.next[l.height-1] == nil {
+		l.height--
+	}
+	l.count--
+	return true
+}
+
+// Scan visits keys >= start in ascending order until fn returns false.
+func (l *List) Scan(start []byte, fn func(key, val []byte) bool) {
+	n := l.findGE(start, nil)
+	for n != nil {
+		if !fn(n.key, n.val) {
+			return
+		}
+		n = n.next[0]
+	}
+}
+
+// Footprint returns approximate heap bytes.
+func (l *List) Footprint() int64 {
+	ptr := int64(unsafe.Sizeof(uintptr(0)))
+	nodeSz := int64(unsafe.Sizeof(node{}))
+	total := nodeSz + int64(maxHeight)*ptr
+	for n := l.head.next[0]; n != nil; n = n.next[0] {
+		total += nodeSz + int64(len(n.key)+len(n.val)) + int64(len(n.next))*ptr
+	}
+	return total
+}

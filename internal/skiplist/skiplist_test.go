@@ -1,0 +1,91 @@
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/repro/wormhole/internal/indextest"
+)
+
+func TestBasic(t *testing.T) {
+	l := New()
+	for i := 0; i < 1000; i++ {
+		l.Set([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if l.Count() != 1000 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := l.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get k%04d failed", i)
+		}
+	}
+	l.Set([]byte("k0000"), []byte("updated"))
+	if v, _ := l.Get([]byte("k0000")); string(v) != "updated" {
+		t.Fatal("update failed")
+	}
+	if l.Count() != 1000 {
+		t.Fatal("update changed count")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := New()
+	const n = 400
+	for i := 0; i < n; i++ {
+		l.Set([]byte(fmt.Sprintf("k%04d", i)), []byte("x"))
+	}
+	perm := rand.New(rand.NewSource(5)).Perm(n)
+	for _, i := range perm {
+		if !l.Del([]byte(fmt.Sprintf("k%04d", i))) {
+			t.Fatalf("Del k%04d lost", i)
+		}
+	}
+	if l.Count() != 0 {
+		t.Fatalf("Count = %d after drain", l.Count())
+	}
+	if l.height != 1 {
+		t.Fatalf("height = %d after drain", l.height)
+	}
+	if l.Del([]byte("k0000")) {
+		t.Fatal("Del on empty returned true")
+	}
+}
+
+func TestScan(t *testing.T) {
+	l := New()
+	for i := 0; i < 200; i++ {
+		l.Set([]byte(fmt.Sprintf("k%04d", i*2)), []byte{1})
+	}
+	var got []string
+	l.Scan([]byte("k0100"), func(k, v []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 3
+	})
+	if fmt.Sprint(got) != "[k0100 k0102 k0104]" {
+		t.Fatalf("scan = %v", got)
+	}
+}
+
+func TestModelAgainstReference(t *testing.T) {
+	for gi, gen := range []func(*rand.Rand) []byte{
+		indextest.GenBinary, indextest.GenASCII,
+		indextest.GenRandom(8), indextest.GenPrefixed,
+	} {
+		t.Run(fmt.Sprintf("gen%d", gi), func(t *testing.T) {
+			indextest.OrderedOps(t, New(), int64(gi), 3000, gen)
+		})
+	}
+}
+
+func TestHeightDistribution(t *testing.T) {
+	l := New()
+	for i := 0; i < 20000; i++ {
+		l.Set([]byte(fmt.Sprintf("h%06d", i)), nil)
+	}
+	if l.height < 5 || l.height > maxHeight {
+		t.Fatalf("implausible skip list height %d for 20k keys", l.height)
+	}
+}

@@ -1,0 +1,155 @@
+// Package wormhole provides a fast thread-safe ordered key-value index for
+// in-memory data management, implementing Wormhole (Wu, Ni, Jiang —
+// EuroSys 2019).
+//
+// Wormhole keeps all keys in a doubly-linked list of sorted leaf nodes and
+// indexes the leaves with a hash table containing every prefix of every
+// leaf anchor, so a point lookup costs O(log L) hash probes in the key
+// length L — independent of the number of keys — while range queries
+// remain a linear scan from the first match. Compared with the O(log N)
+// of B+ trees and skip lists or the O(L) of tries, lookups on large stores
+// are typically several times faster (paper: up to 8.4x over a skip list,
+// 4.9x over a B+ tree, 4.3x over ART, 6.6x over Masstree).
+//
+// Basic usage:
+//
+//	idx := wormhole.New()
+//	idx.Set([]byte("James"), []byte("v1"))
+//	v, ok := idx.Get([]byte("James"))
+//	idx.Scan([]byte("J"), func(k, v []byte) bool { return true })
+//
+// All operations are safe for concurrent use. For single-threaded
+// workloads, Config{Unsafe: true} removes the locking and RCU machinery
+// (the paper's "Wormhole-unsafe", about 8% faster).
+//
+// Key and value slices are retained by reference and must not be mutated
+// after Set. Values returned by Get and the slices passed to Scan
+// callbacks are owned by the index and must not be mutated either.
+package wormhole
+
+import (
+	"github.com/repro/wormhole/internal/core"
+)
+
+// Config tunes an Index. The zero value selects the paper's defaults:
+// 128-key leaves, thread-safe, all §3 optimizations enabled.
+type Config struct {
+	// LeafCap bounds keys per leaf node (default 128).
+	LeafCap int
+	// MergeSize: adjacent leaves whose combined size falls below this are
+	// merged after deletions (default 2*LeafCap/3).
+	MergeSize int
+	// Unsafe disables all concurrency control; the caller must serialize
+	// every operation. This is the paper's "Wormhole-unsafe" build.
+	Unsafe bool
+	// DisableOptimizations turns off the §3 fast paths (tag matching,
+	// incremental hashing, hash-ordered leaf search, direct positioning),
+	// yielding the paper's "BaseWormhole". Primarily for benchmarks.
+	DisableOptimizations bool
+	// ShortAnchors picks leaf split points that minimize anchor length
+	// (the optimization the paper's §2.3 leaves as future work). It
+	// shrinks the meta-trie on prefix-heavy keysets at a small split-time
+	// cost. Off by default to match the paper's configuration.
+	ShortAnchors bool
+}
+
+// Index is a Wormhole ordered index. Create one with New or NewConfig.
+type Index struct {
+	t *core.Wormhole
+}
+
+// New returns an empty thread-safe index with default configuration.
+func New() *Index { return NewConfig(Config{}) }
+
+// NewConfig returns an empty index with the given configuration.
+func NewConfig(c Config) *Index {
+	opt := core.DefaultOptions()
+	if c.LeafCap > 0 {
+		opt.LeafCap = c.LeafCap
+	}
+	if c.MergeSize > 0 {
+		opt.MergeSize = c.MergeSize
+	}
+	opt.Concurrent = !c.Unsafe
+	if c.DisableOptimizations {
+		opt.TagMatching = false
+		opt.IncHashing = false
+		opt.SortByTag = false
+		opt.DirectPos = false
+	}
+	opt.ShortAnchors = c.ShortAnchors
+	return &Index{t: core.New(opt)}
+}
+
+// BulkLoad populates a freshly created index from strictly sorted unique
+// keys in one pass — much faster than repeated Set calls. vals may be nil
+// or parallel to keys. Not safe to run concurrently with other operations.
+func (ix *Index) BulkLoad(keys, vals [][]byte) error { return ix.t.BulkLoad(keys, vals) }
+
+// Get returns the value stored under key.
+func (ix *Index) Get(key []byte) ([]byte, bool) { return ix.t.Get(key) }
+
+// Set inserts key or replaces its value.
+func (ix *Index) Set(key, val []byte) { ix.t.Set(key, val) }
+
+// Del removes key, reporting whether it was present.
+func (ix *Index) Del(key []byte) bool { return ix.t.Del(key) }
+
+// Count returns the number of keys in the index.
+func (ix *Index) Count() int64 { return ix.t.Count() }
+
+// Scan visits keys >= start in ascending order until fn returns false.
+// A nil start scans from the smallest key. fn runs without internal locks
+// held, so it may call back into the index.
+func (ix *Index) Scan(start []byte, fn func(key, val []byte) bool) {
+	ix.t.Scan(start, fn)
+}
+
+// ScanDesc visits keys <= start in descending order until fn returns
+// false. A nil start scans from the largest key.
+func (ix *Index) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	ix.t.ScanDesc(start, fn)
+}
+
+// RangeAsc collects up to limit key/value pairs with key >= start — the
+// paper's RangeSearchAscending.
+func (ix *Index) RangeAsc(start []byte, limit int) (keys, vals [][]byte) {
+	return ix.t.RangeAsc(start, limit)
+}
+
+// Min returns the smallest key and its value.
+func (ix *Index) Min() (key, val []byte, ok bool) { return ix.t.Min() }
+
+// Max returns the largest key and its value.
+func (ix *Index) Max() (key, val []byte, ok bool) { return ix.t.Max() }
+
+// Iter returns a pull-style iterator positioned before the first key >=
+// start (nil start means the smallest key).
+func (ix *Index) Iter(start []byte) *Iterator {
+	return &Iterator{it: ix.t.NewIter(start)}
+}
+
+// Iterator walks the index in ascending key order. It holds no locks
+// between Next calls.
+type Iterator struct {
+	it *core.Iter
+}
+
+// Next advances the iterator, reporting whether a pair is available.
+func (i *Iterator) Next() bool { return i.it.Next() }
+
+// Key returns the current key; valid after Next reports true.
+func (i *Iterator) Key() []byte { return i.it.Key() }
+
+// Value returns the current value; valid after Next reports true.
+func (i *Iterator) Value() []byte { return i.it.Value() }
+
+// Stats describes the index's internal shape.
+type Stats = core.Stats
+
+// Stats returns structural statistics. Call it on a quiescent index.
+func (ix *Index) Stats() Stats { return ix.t.Stats() }
+
+// Footprint returns the approximate heap bytes held by the index,
+// including stored keys and values.
+func (ix *Index) Footprint() int64 { return ix.t.Footprint() }

@@ -1,0 +1,154 @@
+package wormhole_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	wormhole "github.com/repro/wormhole"
+)
+
+func TestPublicAPIBasics(t *testing.T) {
+	idx := wormhole.New()
+	idx.Set([]byte("b"), []byte("2"))
+	idx.Set([]byte("a"), []byte("1"))
+	idx.Set([]byte("c"), []byte("3"))
+	if v, ok := idx.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatalf("Get(b) = %q, %v", v, ok)
+	}
+	if idx.Count() != 3 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	if k, v, ok := idx.Min(); !ok || string(k) != "a" || string(v) != "1" {
+		t.Fatal("Min wrong")
+	}
+	if k, _, ok := idx.Max(); !ok || string(k) != "c" {
+		t.Fatal("Max wrong")
+	}
+	if !idx.Del([]byte("b")) || idx.Del([]byte("b")) {
+		t.Fatal("Del semantics wrong")
+	}
+	var got []string
+	idx.Scan(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[a c]" {
+		t.Fatalf("scan = %v", got)
+	}
+	got = got[:0]
+	idx.ScanDesc(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if fmt.Sprint(got) != "[c a]" {
+		t.Fatalf("desc scan = %v", got)
+	}
+}
+
+func TestPublicConfigVariants(t *testing.T) {
+	for _, cfg := range []wormhole.Config{
+		{},
+		{Unsafe: true},
+		{LeafCap: 8},
+		{DisableOptimizations: true},
+		{LeafCap: 16, Unsafe: true, DisableOptimizations: true},
+	} {
+		idx := wormhole.NewConfig(cfg)
+		model := map[string]string{}
+		r := rand.New(rand.NewSource(99))
+		for i := 0; i < 2000; i++ {
+			k := fmt.Sprintf("cfg-%04d", r.Intn(600))
+			switch r.Intn(3) {
+			case 0, 1:
+				idx.Set([]byte(k), []byte(k))
+				model[k] = k
+			case 2:
+				got := idx.Del([]byte(k))
+				_, want := model[k]
+				if got != want {
+					t.Fatalf("cfg %+v: Del(%s) = %v want %v", cfg, k, got, want)
+				}
+				delete(model, k)
+			}
+		}
+		if int(idx.Count()) != len(model) {
+			t.Fatalf("cfg %+v: Count %d want %d", cfg, idx.Count(), len(model))
+		}
+		var keys []string
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		it := idx.Iter(nil)
+		for _, want := range keys {
+			if !it.Next() {
+				t.Fatalf("cfg %+v: iterator exhausted before %s", cfg, want)
+			}
+			if string(it.Key()) != want {
+				t.Fatalf("cfg %+v: iter %q want %q", cfg, it.Key(), want)
+			}
+		}
+		if it.Next() {
+			t.Fatalf("cfg %+v: iterator has extra keys", cfg)
+		}
+	}
+}
+
+func TestPublicRangeAsc(t *testing.T) {
+	idx := wormhole.New()
+	for i := 0; i < 100; i++ {
+		idx.Set([]byte(fmt.Sprintf("r%03d", i)), []byte{byte(i)})
+	}
+	keys, vals := idx.RangeAsc([]byte("r090"), 20)
+	if len(keys) != 10 || string(keys[0]) != "r090" || vals[9][0] != 99 {
+		t.Fatalf("RangeAsc window wrong: %d keys", len(keys))
+	}
+}
+
+func TestPublicConcurrent(t *testing.T) {
+	idx := wormhole.NewConfig(wormhole.Config{LeafCap: 16})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("g%d-%05d", g, i))
+				idx.Set(k, k)
+				if v, ok := idx.Get(k); !ok || !bytes.Equal(v, k) {
+					t.Errorf("read-own-write failed for %s", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if idx.Count() != 8*2000 {
+		t.Fatalf("Count = %d", idx.Count())
+	}
+	st := idx.Stats()
+	if st.Keys != 8*2000 || st.Leaves == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if idx.Footprint() <= 0 {
+		t.Fatal("Footprint <= 0")
+	}
+}
+
+func ExampleIndex() {
+	idx := wormhole.New()
+	idx.Set([]byte("James"), []byte("1"))
+	idx.Set([]byte("John"), []byte("2"))
+	idx.Set([]byte("Aaron"), []byte("3"))
+	idx.Scan([]byte("J"), func(k, v []byte) bool {
+		fmt.Printf("%s=%s\n", k, v)
+		return true
+	})
+	// Output:
+	// James=1
+	// John=2
+}
