@@ -1,7 +1,7 @@
 // Root-level benchmarks: one testing.B family per table and figure of the
 // paper's evaluation (§4), at Go-benchmark scale. cmd/whbench runs the same
-// experiments at configurable scale with the paper's table layouts;
-// EXPERIMENTS.md records a captured run. Keyset sizes here are kept small
+// experiments at configurable scale with the paper's table layouts; see
+// README.md for how to run them. Keyset sizes here are kept small
 // enough that `go test -bench=.` finishes in minutes; pass
 // -benchtime/-count to sharpen numbers.
 package wormhole_test

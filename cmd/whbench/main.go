@@ -6,11 +6,13 @@
 //	whbench -exp all                      # everything, laptop scale
 //	whbench -exp fig10 -keys 1000000      # one figure, bigger keysets
 //	whbench -exp fig09,fig17 -threads 16 -duration 2s
+//	whbench -exp shard-sweep -shards 8    # sharded-store scaling sweep
 //	whbench -list                         # show experiment ids
 //
 // Absolute numbers depend on the host; the paper's shapes (ordering of
 // indexes, rough ratios, crossover points) are the reproduction target.
-// See EXPERIMENTS.md for a captured run and the paper-vs-measured notes.
+// See README.md for reproduction notes and docs/ARCHITECTURE.md for the
+// paper-to-code map behind each experiment.
 package main
 
 import (
@@ -31,6 +33,7 @@ func main() {
 		duration = flag.Duration("duration", time.Second, "measurement window per cell")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		batch    = flag.Int("batch", 800, "netkv request batch size (fig12)")
+		shards   = flag.Int("shards", 0, "extra shard count for shard-sweep's 2/4/8 ladder")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -43,7 +46,7 @@ func main() {
 	}
 	cfg := &bench.Config{
 		Keys: *keys, Threads: *threads, Duration: *duration,
-		Seed: *seed, Batch: *batch, Out: os.Stdout,
+		Seed: *seed, Batch: *batch, Shards: *shards, Out: os.Stdout,
 	}
 	cfg.Normalize()
 

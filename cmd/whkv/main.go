@@ -5,6 +5,8 @@
 // Usage:
 //
 //	whkv serve -addr 127.0.0.1:7070 -index wormhole
+//	whkv serve -addr 127.0.0.1:7070 -index wormhole-sharded -shards 8
+//	whkv serve -index wormhole-sharded -bounds "g,n,t"   # explicit shard boundaries
 //	whkv set   -addr 127.0.0.1:7070 -key a -val 1
 //	whkv get   -addr 127.0.0.1:7070 -key a
 //	whkv scan  -addr 127.0.0.1:7070 -key a -limit 10
@@ -15,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/repro/wormhole/internal/adapters"
 	"github.com/repro/wormhole/internal/bench"
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/shard"
 )
 
 func main() {
@@ -50,13 +54,32 @@ func serve(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 	name := fs.String("index", "wormhole", "index implementation")
+	shards := fs.Int("shards", 0, "shard count for -index wormhole-sharded (default: min(GOMAXPROCS, 16))")
+	bounds := fs.String("bounds", "", "comma-separated shard boundary keys for -index wormhole-sharded (overrides -shards; place them at your keyspace's quantiles, since the default uniform byte ranges put all-ASCII keys in one shard)")
 	fs.Parse(args)
-	info, ok := index.Lookup(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "whkv: unknown index %q\n", *name)
+	if (*shards > 0 || *bounds != "") && *name != "wormhole-sharded" {
+		fmt.Fprintf(os.Stderr, "whkv: -shards and -bounds require -index wormhole-sharded\n")
 		os.Exit(2)
 	}
-	srv, err := netkv.Serve(*addr, info.New())
+	if *shards > 0 {
+		shard.DefaultShards = *shards
+	}
+	var ix index.Index
+	if *bounds != "" {
+		var bs [][]byte
+		for _, b := range strings.Split(*bounds, ",") {
+			bs = append(bs, []byte(strings.TrimSpace(b)))
+		}
+		ix = shard.New(shard.Options{Partitioner: shard.NewExplicit(bs)})
+	} else {
+		info, ok := index.Lookup(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "whkv: unknown index %q\n", *name)
+			os.Exit(2)
+		}
+		ix = info.New()
+	}
+	srv, err := netkv.Serve(*addr, ix)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(1)

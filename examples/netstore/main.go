@@ -1,6 +1,6 @@
 // NetStore: the networked key-value store of Figure 12 in miniature — a
 // Wormhole-backed server on TCP loopback and a batching client, the HERD
-// substitution described in DESIGN.md. Run it to see how request batching
+// substitution described in docs/ARCHITECTURE.md. Run it to see how request batching
 // (the paper uses batches of 800) amortizes network cost until the
 // host-side index is the bottleneck again.
 package main

@@ -1,0 +1,3 @@
+module github.com/repro/wormhole
+
+go 1.24

@@ -2,7 +2,8 @@
 // index.Index / index.Ordered interfaces and registers them, giving the
 // benchmark harness, the networked KV server and the integration tests one
 // uniform way to instantiate the paper's five ordered indexes plus the
-// Cuckoo hash table and the ablation variants of Figure 11.
+// Cuckoo hash table, the ablation variants of Figure 11, and the
+// range-partitioned sharded store ("wormhole-sharded").
 package adapters
 
 import (
@@ -12,6 +13,7 @@ import (
 	"github.com/repro/wormhole/internal/cuckoo"
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/masstree"
+	"github.com/repro/wormhole/internal/shard"
 	"github.com/repro/wormhole/internal/skiplist"
 )
 
@@ -29,6 +31,12 @@ func init() {
 	index.Register(index.Info{
 		Name: "wormhole", ThreadSafe: true, RangeScan: true,
 		New: func() index.Index { return wh(core.DefaultOptions()) },
+	})
+	// The sharded store reads shard.DefaultShards at construction time so
+	// the cmd -shards flags can size it before instantiation.
+	index.Register(index.Info{
+		Name: "wormhole-sharded", ThreadSafe: true, RangeScan: true,
+		New: func() index.Index { return shard.New(shard.Options{}) },
 	})
 	index.Register(index.Info{
 		Name: "wormhole-unsafe", ThreadSafe: false, RangeScan: true,

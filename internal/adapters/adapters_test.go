@@ -13,8 +13,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"wormhole", "wormhole-unsafe", "btree", "skiplist", "art",
-		"masstree", "cuckoo",
+		"wormhole", "wormhole-sharded", "wormhole-unsafe", "btree",
+		"skiplist", "art", "masstree", "cuckoo",
 		"base-wormhole", "+tagmatching", "+inchashing", "+sortbytag", "+directpos",
 	}
 	for _, name := range want {

@@ -24,8 +24,11 @@ type Config struct {
 	Threads  int           // concurrent worker goroutines
 	Duration time.Duration // measurement window per cell
 	Seed     int64
-	Batch    int       // netkv request batch (Figure 12)
-	Out      io.Writer // result sink
+	Batch    int // netkv request batch (Figure 12)
+	// Shards: an explicitly requested shard count that shard-sweep adds
+	// to its default ladder; 0 means the ladder alone.
+	Shards int
+	Out    io.Writer // result sink
 }
 
 // Normalize fills defaults in place.
@@ -146,6 +149,13 @@ func InsertThroughput(name string, keys [][]byte) float64 {
 func MixedThroughput(name string, keys [][]byte, insertPct, threads int, dur time.Duration, seed int64) float64 {
 	half := len(keys) / 2
 	ix := BuildIndex(name, keys[:half])
+	return MixedOnIndex(ix, keys, insertPct, threads, dur, seed)
+}
+
+// MixedOnIndex runs the Figure 17 mixed workload against an index already
+// loaded with the first half of keys; the second half is the insert pool.
+func MixedOnIndex(ix index.Index, keys [][]byte, insertPct, threads int, dur time.Duration, seed int64) float64 {
+	half := len(keys) / 2
 	var cursor atomic.Int64
 	pool := keys[half:]
 	return Throughput(threads, dur, seed, func(_ int, r *Rng) {
@@ -156,6 +166,31 @@ func MixedThroughput(name string, keys [][]byte, insertPct, threads int, dur tim
 			ix.Get(keys[r.Intn(half)])
 		}
 	})
+}
+
+// BatchLookupThroughput measures batched point lookups on a sharded store:
+// every worker repeatedly fills a batch of uniformly random loaded keys
+// and issues one GetBatch, the server-side analogue of netkv's batching.
+// The returned figure is MOPS of individual lookups, not batches.
+func BatchLookupThroughput(bx index.Batcher, keys [][]byte, batch, threads int, dur time.Duration, seed int64) float64 {
+	n := len(keys)
+	batches := make([][][]byte, threads)
+	for t := range batches {
+		batches[t] = make([][]byte, batch)
+	}
+	mbatches := Throughput(threads, dur, seed, func(tid int, r *Rng) {
+		b := batches[tid]
+		for i := range b {
+			b[i] = keys[r.Intn(n)]
+		}
+		_, found := bx.GetBatch(b)
+		for _, ok := range found {
+			if !ok {
+				panic("bench: loaded key missing from batch lookup")
+			}
+		}
+	})
+	return mbatches * float64(batch)
 }
 
 // RangeThroughput measures Figure 18's workload: seek a uniformly random

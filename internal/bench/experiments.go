@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/keyset"
 	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/shard"
 )
 
 // KeysetNames is the Table 1 keyset order used by every figure.
@@ -40,6 +42,111 @@ func Experiments() []struct {
 		{"ablation-leafcap", "leaf capacity sweep (extension)", AblationLeafCap},
 		{"ablation-unsafe", "thread-safe vs unsafe overhead (extension)", AblationUnsafe},
 		{"ablation-shortanchors", "anchor-minimizing split points (paper's future work)", AblationShortAnchors},
+		{"shard-sweep", "sharded store: shard count × goroutines scaling (extension)", ShardSweep},
+	}
+}
+
+// ShardSweep compares the single-instance Wormhole with the range-
+// partitioned sharded store across shard counts and goroutine counts on
+// Az1: point lookups (where Wormhole's RCU readers already scale and
+// sharding must at least break even), a 50%-insert mixed workload (where
+// per-shard meta writer locks and QSBR domains pay off), and batched
+// lookups through GetBatch (shard-grouped amortization).
+func ShardSweep(c *Config) {
+	keys := c.Keyset("Az1")
+	points := threadPoints(c.Threads)
+	// An explicitly requested count (the -shards flag via Config.Shards)
+	// joins the default ladder so it is always measured.
+	shardCounts := []int{2, 4, 8}
+	if n := c.Shards; n > 0 && n != 2 && n != 4 && n != 8 {
+		shardCounts = append(shardCounts, n)
+		sort.Ints(shardCounts)
+	}
+	header := func(title string) {
+		c.printf("%s\n%-18s", title, "goroutines")
+		for _, t := range points {
+			c.printf("%8d", t)
+		}
+		c.printf("\n")
+	}
+	buildSharded := func(n int, load [][]byte) *shard.Store {
+		st := shard.New(shard.Options{Shards: n, Sample: keys})
+		st.SetBatch(load, load) // the store's own parallel loading path
+		return st
+	}
+	printRow := func(label string, cells []float64) {
+		c.printf("%-18s", label)
+		for _, v := range cells {
+			c.printf("%8.2f", v)
+		}
+		c.printf("\n")
+	}
+
+	// Measure the read-only sections one store at a time — only one fully
+	// loaded store (plus the unsharded baseline row's) is ever alive, so
+	// peak memory stays at one index regardless of the ladder length —
+	// and buffer the rows so the output keeps its section layout.
+	lookupRows := make([][]float64, len(shardCounts))
+	batchedRows := make([][]float64, len(shardCounts))
+	var balShards int
+	var balLo, balHi int64
+	for i, n := range shardCounts {
+		st := buildSharded(n, keys)
+		if i == len(shardCounts)-1 {
+			balShards = st.NumShards()
+			balLo, balHi = int64(1<<62), int64(0)
+			for _, cnt := range st.ShardCounts() {
+				balLo, balHi = min(balLo, cnt), max(balHi, cnt)
+			}
+		}
+		for _, t := range points {
+			lookupRows[i] = append(lookupRows[i],
+				LookupThroughput(st, keys, t, c.Duration, c.Seed))
+		}
+		for _, t := range points {
+			batchedRows[i] = append(batchedRows[i],
+				BatchLookupThroughput(st, keys, c.Batch, t, c.Duration, c.Seed))
+		}
+	}
+	var wormholeRow []float64
+	{
+		ix := BuildIndex("wormhole", keys)
+		for _, t := range points {
+			wormholeRow = append(wormholeRow,
+				LookupThroughput(ix, keys, t, c.Duration, c.Seed))
+		}
+	}
+
+	c.printf("Shard sweep: keyset Az1, %d keys\n", len(keys))
+	c.printf("sampled-anchor balance at %d shards: min %d, max %d keys/shard\n\n",
+		balShards, balLo, balHi)
+
+	header("point lookups (MOPS):")
+	printRow("wormhole", wormholeRow)
+	for i, n := range shardCounts {
+		printRow(fmt.Sprintf("sharded-%d", n), lookupRows[i])
+	}
+
+	// The mixed section builds a fresh half-loaded store per cell because
+	// its inserts mutate the index.
+	header("mixed 50% inserts (MOPS):")
+	half := len(keys) / 2
+	mixedRow := func(label string, build func() index.Index) {
+		c.printf("%-18s", label)
+		for _, t := range points {
+			c.printf("%8.2f", MixedOnIndex(build(), keys, 50, t, c.Duration, c.Seed))
+		}
+		c.printf("\n")
+	}
+	mixedRow("wormhole", func() index.Index { return BuildIndex("wormhole", keys[:half]) })
+	for _, n := range shardCounts {
+		n := n
+		mixedRow(fmt.Sprintf("sharded-%d", n), func() index.Index { return buildSharded(n, keys[:half]) })
+	}
+
+	header(fmt.Sprintf("batched lookups via GetBatch, batch %d (MOPS):", c.Batch))
+	for i, n := range shardCounts {
+		printRow(fmt.Sprintf("sharded-%d", n), batchedRows[i])
 	}
 }
 
@@ -93,21 +200,15 @@ func Fig09(c *Config) {
 	names := append(append([]string{}, adapters.Baselines()...), "wormhole-unsafe")
 	c.printf("Figure 9: lookup throughput (MOPS) vs threads, keyset Az1\n")
 	c.printf("%-16s", "threads")
-	threadPoints := []int{}
-	for t := 1; t <= c.Threads; t *= 2 {
-		threadPoints = append(threadPoints, t)
-	}
-	if last := threadPoints[len(threadPoints)-1]; last != c.Threads {
-		threadPoints = append(threadPoints, c.Threads)
-	}
-	for _, t := range threadPoints {
+	points := threadPoints(c.Threads)
+	for _, t := range points {
 		c.printf("%8d", t)
 	}
 	c.printf("\n")
 	for _, name := range names {
 		ix := BuildIndex(name, keys)
 		c.printf("%-16s", name)
-		for _, t := range threadPoints {
+		for _, t := range points {
 			mops := LookupThroughput(ix, keys, t, c.Duration, c.Seed)
 			c.printf("%8.2f", mops)
 		}
@@ -326,6 +427,19 @@ func AblationUnsafe(c *Config) {
 		ins := InsertThroughput(name, keys)
 		c.printf("%-18s %10.2f %10.2f\n", name, look, ins)
 	}
+}
+
+// threadPoints returns the doubling goroutine counts 1,2,4,... up to and
+// including limit.
+func threadPoints(limit int) []int {
+	points := []int{}
+	for t := 1; t <= limit; t *= 2 {
+		points = append(points, t)
+	}
+	if last := points[len(points)-1]; last != limit {
+		points = append(points, limit)
+	}
+	return points
 }
 
 // runMatrix prints a keyset-by-index throughput matrix.

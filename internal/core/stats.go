@@ -2,7 +2,7 @@ package core
 
 import "unsafe"
 
-// Stats summarizes the index's shape; used by tests, EXPERIMENTS.md tables
+// Stats summarizes the index's shape; used by tests, the whbench tables
 // and the Figure 16 memory accounting.
 type Stats struct {
 	Keys         int64

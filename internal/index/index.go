@@ -27,6 +27,26 @@ type Ordered interface {
 	Scan(start []byte, fn func(key, val []byte) bool)
 }
 
+// Batcher is implemented by partitioned stores (internal/shard) that
+// execute operations grouped by shard. Batches amortize routing and
+// per-shard synchronization and let callers — notably the netkv server's
+// per-shard worker pool — run disjoint shards concurrently. Slices are
+// positional: result i answers keys[i], whatever shard it landed in.
+type Batcher interface {
+	Index
+	// NumShards returns the number of independent partitions.
+	NumShards() int
+	// ShardOf returns the partition that owns key.
+	ShardOf(key []byte) int
+	// GetBatch looks up keys grouped by shard.
+	GetBatch(keys [][]byte) (vals [][]byte, found []bool)
+	// SetBatch inserts or replaces keys[i] -> vals[i] grouped by shard;
+	// duplicate keys within a batch apply in batch order.
+	SetBatch(keys, vals [][]byte)
+	// DelBatch removes keys grouped by shard, reporting presence per key.
+	DelBatch(keys [][]byte) []bool
+}
+
 // Info describes one registered index implementation.
 type Info struct {
 	Name string
@@ -42,8 +62,9 @@ type Info struct {
 
 var registry []Info
 
-// Register adds an implementation; called from init functions in the
-// bench harness wiring.
+// Register adds an implementation; every registration lives in the init
+// function of internal/adapters, which importers link for its side
+// effects.
 func Register(info Info) { registry = append(registry, info) }
 
 // All returns every registered implementation in registration order.

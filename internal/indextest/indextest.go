@@ -133,6 +133,79 @@ func OrderedOps(t *testing.T, ix interface {
 	}
 }
 
+// BatchOps exercises the batched operations (GetBatch/SetBatch/DelBatch)
+// against a reference model. Batches deliberately contain duplicate keys:
+// a conforming implementation applies same-key operations in batch order
+// (last write wins within a SetBatch; the second DelBatch of a key in one
+// batch reports absent).
+func BatchOps(t *testing.T, ix interface {
+	Get([]byte) ([]byte, bool)
+	Count() int64
+	GetBatch(keys [][]byte) ([][]byte, []bool)
+	SetBatch(keys, vals [][]byte)
+	DelBatch(keys [][]byte) []bool
+}, seed int64, rounds, batch int, gen func(*rand.Rand) []byte) {
+	t.Helper()
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(seed))
+	seq := 0
+	for round := 0; round < rounds; round++ {
+		n := 1 + r.Intn(batch)
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = gen(r)
+		}
+		switch r.Intn(3) {
+		case 0:
+			vals := make([][]byte, n)
+			for i := range vals {
+				seq++
+				vals[i] = []byte(fmt.Sprintf("b%d", seq))
+			}
+			ix.SetBatch(keys, vals)
+			for i := range keys {
+				model[string(keys[i])] = string(vals[i])
+			}
+		case 1:
+			vals, found := ix.GetBatch(keys)
+			if len(vals) != n || len(found) != n {
+				t.Fatalf("round %d: GetBatch returned %d/%d results for %d keys",
+					round, len(vals), len(found), n)
+			}
+			for i := range keys {
+				mv, mok := model[string(keys[i])]
+				if found[i] != mok || (mok && string(vals[i]) != mv) {
+					t.Fatalf("round %d: GetBatch[%d](%x) = %q,%v want %q,%v",
+						round, i, keys[i], vals[i], found[i], mv, mok)
+				}
+			}
+		case 2:
+			found := ix.DelBatch(keys)
+			if len(found) != n {
+				t.Fatalf("round %d: DelBatch returned %d results for %d keys",
+					round, len(found), n)
+			}
+			for i := range keys {
+				_, want := model[string(keys[i])]
+				if found[i] != want {
+					t.Fatalf("round %d: DelBatch[%d](%x) = %v want %v",
+						round, i, keys[i], found[i], want)
+				}
+				delete(model, string(keys[i]))
+			}
+		}
+	}
+	if int(ix.Count()) != len(model) {
+		t.Fatalf("Count = %d, model has %d", ix.Count(), len(model))
+	}
+	for k, v := range model {
+		got, ok := ix.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("final Get(%x) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+}
+
 // Generators for the regimes that stress different index mechanics.
 
 // GenBinary yields short keys over {0,1}: brutal for tries and anchors.

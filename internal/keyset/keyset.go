@@ -4,7 +4,7 @@
 // offline, so Az1, Az2 and Url are synthesized with the same structural
 // properties — key format, average length, and shared-prefix profile —
 // which are what drive an index's behaviour (anchor lengths, trie depth,
-// comparison costs). The substitution is documented in DESIGN.md §5.
+// comparison costs). The substitution is documented in docs/ARCHITECTURE.md.
 //
 // All generators are deterministic for a given seed, so every experiment
 // is reproducible run-to-run.

@@ -11,7 +11,7 @@
 // are split on the way down, so locks are only ever taken top-down and no
 // split propagates upward). That keeps the index fully thread-safe — the
 // role Masstree plays in Figures 9 and 17 — with a simpler protocol; the
-// substitution is noted in DESIGN.md. Deletions are lazy (no rebalancing),
+// substitution is noted in docs/ARCHITECTURE.md. Deletions are lazy (no rebalancing),
 // matching how the paper's workloads exercise it (lookups and inserts).
 package masstree
 

@@ -56,13 +56,21 @@ type Response struct {
 	Keys, Vals [][]byte
 }
 
-// Server serves an index.Index over TCP.
+// Server serves an index.Index over TCP. When the index is a sharded
+// store (index.Batcher), each request batch's point operations are
+// dispatched to a pool of per-shard workers: one worker owns each shard,
+// so disjoint shards execute a batch concurrently while every operation
+// on one shard — and hence on one key — keeps its batch order.
 type Server struct {
 	ix  index.Index
+	bx  index.Batcher // non-nil when ix supports shard dispatch
 	ln  net.Listener
 	mu  sync.Mutex
 	wg  sync.WaitGroup
 	cls bool
+
+	workers  []chan func() // one job channel per shard
+	workerWG sync.WaitGroup
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
@@ -73,6 +81,21 @@ func Serve(addr string, ix index.Index) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{ix: ix, ln: ln}
+	if bx, ok := ix.(index.Batcher); ok && bx.NumShards() > 1 {
+		s.bx = bx
+		s.workers = make([]chan func(), bx.NumShards())
+		for i := range s.workers {
+			ch := make(chan func(), 16)
+			s.workers[i] = ch
+			s.workerWG.Add(1)
+			go func() {
+				defer s.workerWG.Done()
+				for job := range ch {
+					job()
+				}
+			}()
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -81,14 +104,18 @@ func Serve(addr string, ix index.Index) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and waits for connection handlers to finish
-// their in-flight batches.
+// Close stops the listener, waits for connection handlers to finish
+// their in-flight batches, and drains the shard worker pool.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.cls = true
 	s.mu.Unlock()
 	err := s.ln.Close()
 	s.wg.Wait()
+	for _, ch := range s.workers {
+		close(ch)
+	}
+	s.workerWG.Wait()
 	return err
 }
 
@@ -123,7 +150,11 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		if err := s.process(w, reqs); err != nil {
+		if s.dispatchable(reqs) {
+			if err := s.processSharded(w, reqs); err != nil {
+				return
+			}
+		} else if err := s.process(w, reqs); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -136,6 +167,118 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// dispatchable reports whether a batch can go through the per-shard
+// worker pool: a sharded index, more than one request to amortize the
+// handoff, and point operations only — a Scan crosses shard boundaries,
+// so any batch containing one falls back to sequential processing.
+func (s *Server) dispatchable(reqs []Request) bool {
+	if s.bx == nil || len(reqs) < 2 {
+		return false
+	}
+	for _, rq := range reqs {
+		switch rq.Op {
+		case OpGet, OpSet, OpDel:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// execPoint executes one point operation against the index, returning the
+// response status plus, for operations whose response carries a value
+// section (Get), the value. Both processing paths share it so the wire
+// semantics cannot diverge. Set copies its buffers: the request slices
+// are reused per batch.
+func (s *Server) execPoint(rq *Request) (status byte, val []byte, hasVal bool) {
+	switch rq.Op {
+	case OpGet:
+		v, ok := s.ix.Get(rq.Key)
+		if !ok {
+			return StatusNotFound, nil, true
+		}
+		return StatusOK, v, true
+	case OpSet:
+		k := append([]byte{}, rq.Key...)
+		v := append([]byte{}, rq.Val...)
+		s.ix.Set(k, v)
+		return StatusOK, nil, false
+	default: // OpDel; dispatchable/process admit nothing else
+		if s.ix.Del(rq.Key) {
+			return StatusOK, nil, false
+		}
+		return StatusNotFound, nil, false
+	}
+}
+
+// processSharded executes one batch through the per-shard worker pool.
+// Requests are grouped by owning shard in batch order; each group runs on
+// its shard's worker, results land in a positional slice, and responses
+// are serialized in the original request order once every group finishes.
+// A batch that lands entirely on one shard (e.g. a skewed keyspace under
+// a uniform partitioner) runs inline on the connection handler instead,
+// so concurrent connections never serialize behind a single worker.
+func (s *Server) processSharded(w *bufio.Writer, reqs []Request) error {
+	type result struct {
+		status byte
+		val    []byte // Get only; nil means no value section
+		hasVal bool
+	}
+	groups := make([][]int, s.bx.NumShards())
+	active := 0
+	for i, rq := range reqs {
+		g := s.bx.ShardOf(rq.Key)
+		if len(groups[g]) == 0 {
+			active++
+		}
+		groups[g] = append(groups[g], i)
+	}
+	results := make([]result, len(reqs))
+	runGroup := func(g []int) {
+		for _, i := range g {
+			st, v, hasVal := s.execPoint(&reqs[i])
+			results[i] = result{status: st, val: v, hasVal: hasVal}
+		}
+	}
+	if active == 1 {
+		for _, g := range groups {
+			if len(g) > 0 {
+				runGroup(g)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for sh, g := range groups {
+			if len(g) == 0 {
+				continue
+			}
+			wg.Add(1)
+			g := g
+			s.workers[sh] <- func() {
+				defer wg.Done()
+				runGroup(g)
+			}
+		}
+		wg.Wait()
+	}
+	var body []byte
+	for _, rs := range results {
+		body = append(body, rs.status)
+		if rs.hasVal {
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(rs.val)))
+			body = append(body, rs.val...)
+		}
+	}
+	var hdr [6]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+2))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(reqs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
 func (s *Server) process(w *bufio.Writer, reqs []Request) error {
 	var hdr [6]byte
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(reqs)))
@@ -143,27 +286,12 @@ func (s *Server) process(w *bufio.Writer, reqs []Request) error {
 	var body []byte
 	for _, rq := range reqs {
 		switch rq.Op {
-		case OpGet:
-			v, ok := s.ix.Get(rq.Key)
-			if !ok {
-				body = append(body, StatusNotFound)
-				body = binary.LittleEndian.AppendUint32(body, 0)
-			} else {
-				body = append(body, StatusOK)
+		case OpGet, OpSet, OpDel:
+			st, v, hasVal := s.execPoint(&rq)
+			body = append(body, st)
+			if hasVal {
 				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
 				body = append(body, v...)
-			}
-		case OpSet:
-			// Copy: the request buffers are reused per batch.
-			k := append([]byte{}, rq.Key...)
-			v := append([]byte{}, rq.Val...)
-			s.ix.Set(k, v)
-			body = append(body, StatusOK)
-		case OpDel:
-			if s.ix.Del(rq.Key) {
-				body = append(body, StatusOK)
-			} else {
-				body = append(body, StatusNotFound)
 			}
 		case OpScan:
 			ord, ok := s.ix.(index.Ordered)

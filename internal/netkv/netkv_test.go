@@ -7,6 +7,7 @@ import (
 
 	"github.com/repro/wormhole/internal/adapters"
 	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/shard"
 )
 
 func startServer(t *testing.T, name string) (*Server, *Client) {
@@ -160,4 +161,186 @@ func TestLargeValues(t *testing.T) {
 	if rs[1].Status != StatusOK || len(rs[1].Val) != 1024 || rs[1].Val[777] != byte(777%256) {
 		t.Fatalf("big value corrupted")
 	}
+}
+
+// startShardedServer serves a 4-shard store directly (not via the
+// registry) so the per-shard worker-pool dispatch path runs regardless of
+// the host's CPU count. Boundaries are placed inside the key ranges the
+// tests use, so their batches produce multiple shard groups and exercise
+// the concurrent grouping/reassembly path, not the one-group fast path.
+func startShardedServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	part := shard.NewExplicit([][]byte{
+		[]byte("dispatch-01000"), []byte("scan-0250"), []byte("t"),
+	})
+	s, err := Serve("127.0.0.1:0", shard.New(shard.Options{Partitioner: part}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	if s.bx == nil || len(s.workers) != 4 {
+		t.Fatalf("sharded server has no worker pool (bx=%v, workers=%d)", s.bx, len(s.workers))
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestShardedBatchDispatch(t *testing.T) {
+	_, c := startShardedServer(t)
+	const n = 2000
+	key := func(i int) []byte { return []byte(fmt.Sprintf("dispatch-%05d", i)) }
+	for i := 0; i < n; i++ {
+		c.QueueSet(key(i), key(i))
+	}
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Status != StatusOK {
+			t.Fatalf("set %d: %+v", i, r)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.QueueGet(key(i))
+	}
+	if rs, err = c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Status != StatusOK || string(r.Val) != string(key(i)) {
+			t.Fatalf("get %d = %+v", i, r)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		c.QueueDel(key(i))
+	}
+	if rs, err = c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Status != StatusOK {
+			t.Fatalf("del %d: %+v", i, r)
+		}
+	}
+	for i := 0; i < n; i++ {
+		c.QueueGet(key(i))
+	}
+	if rs, err = c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		want := StatusNotFound
+		if i%2 == 1 {
+			want = StatusOK
+		}
+		if r.Status != want {
+			t.Fatalf("get-after-del %d: status %d want %d", i, r.Status, want)
+		}
+	}
+}
+
+// TestShardedBatchSameKeyOrder checks that operations on one key inside a
+// single dispatched batch keep their request order: they all land on the
+// same shard, whose worker executes them sequentially.
+func TestShardedBatchSameKeyOrder(t *testing.T) {
+	_, c := startShardedServer(t)
+	k := []byte("ordered-key")
+	c.QueueSet(k, []byte("v1"))
+	c.QueueGet(k)
+	c.QueueSet(k, []byte("v2"))
+	c.QueueGet(k)
+	c.QueueDel(k)
+	c.QueueGet(k)
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rs[1].Val) != "v1" {
+		t.Fatalf("first get = %q, want v1", rs[1].Val)
+	}
+	if string(rs[3].Val) != "v2" {
+		t.Fatalf("second get = %q, want v2", rs[3].Val)
+	}
+	if rs[4].Status != StatusOK || rs[5].Status != StatusNotFound {
+		t.Fatalf("del/get tail = %d/%d", rs[4].Status, rs[5].Status)
+	}
+}
+
+// TestShardedScanFallback sends a batch containing a scan: the server must
+// fall back to sequential processing and the stitched cross-shard scan
+// must come back in global key order.
+func TestShardedScanFallback(t *testing.T) {
+	_, c := startShardedServer(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.QueueSet([]byte(fmt.Sprintf("scan-%04d", i)), []byte("v"))
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c.QueueGet([]byte("scan-0000"))
+	c.QueueScan([]byte("scan-"), n)
+	c.QueueGet([]byte("scan-0499"))
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Status != StatusOK || rs[2].Status != StatusOK {
+		t.Fatalf("gets around scan failed: %+v %+v", rs[0], rs[2])
+	}
+	if len(rs[1].Keys) != n {
+		t.Fatalf("scan returned %d keys, want %d", len(rs[1].Keys), n)
+	}
+	for i, k := range rs[1].Keys {
+		if want := fmt.Sprintf("scan-%04d", i); string(k) != want {
+			t.Fatalf("scan key %d = %q, want %q", i, k, want)
+		}
+	}
+}
+
+func TestShardedConcurrentClients(t *testing.T) {
+	s, _ := startShardedServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for round := 0; round < 20; round++ {
+				for i := 0; i < 100; i++ {
+					// Alternating prefixes straddle the "t" boundary, so
+					// every batch fans out across two shard workers.
+					prefix := "cc"
+					if i%2 == 1 {
+						prefix = "zz"
+					}
+					k := []byte(fmt.Sprintf("%s%d-%03d", prefix, g, i))
+					c.QueueSet(k, k)
+					c.QueueGet(k)
+				}
+				rs, err := c.Flush()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := 1; i < len(rs); i += 2 {
+					if rs[i].Status != StatusOK {
+						t.Errorf("client %d: get %d missed", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

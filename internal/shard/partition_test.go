@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformPartitioner(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 300} {
+		p := NewUniform(n)
+		if p.NumShards() > n || p.NumShards() < 1 {
+			t.Fatalf("NewUniform(%d).NumShards() = %d", n, p.NumShards())
+		}
+		bounds := p.Bounds()
+		for i := 1; i < len(bounds); i++ {
+			if bytes.Compare(bounds[i-1], bounds[i]) >= 0 {
+				t.Fatalf("n=%d: bounds[%d..%d] not increasing", n, i-1, i)
+			}
+		}
+		if got := p.Locate(nil); got != 0 {
+			t.Fatalf("n=%d: Locate(nil) = %d", n, got)
+		}
+		for i, b := range bounds {
+			// A boundary key belongs to the shard it opens.
+			if got := p.Locate(b); got != i+1 {
+				t.Fatalf("n=%d: Locate(bound %d) = %d, want %d", n, i, got, i+1)
+			}
+		}
+	}
+}
+
+func TestLocateMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	sample := make([][]byte, 5000)
+	for i := range sample {
+		sample[i] = []byte(fmt.Sprintf("user:%06d", r.Intn(100000)))
+	}
+	for _, p := range []*Partitioner{NewUniform(9), FromSample(9, sample)} {
+		bounds := p.Bounds()
+		for trial := 0; trial < 2000; trial++ {
+			k := []byte(fmt.Sprintf("user:%06d", r.Intn(100000)))
+			want := 0
+			for _, b := range bounds {
+				if bytes.Compare(b, k) <= 0 {
+					want++
+				}
+			}
+			if got := p.Locate(k); got != want {
+				t.Fatalf("Locate(%q) = %d, want %d", k, got, want)
+			}
+		}
+	}
+}
+
+func TestFromSampleBalance(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	// Heavily skewed keyspace: everything shares one prefix, so uniform
+	// byte-range boundaries would put every key in one shard.
+	sample := make([][]byte, 20000)
+	for i := range sample {
+		sample[i] = []byte(fmt.Sprintf("https://example.com/item/%07d", r.Intn(1_000_000)))
+	}
+	const shards = 8
+	uni := NewUniform(shards)
+	smp := FromSample(shards, sample)
+
+	count := func(p *Partitioner) []int {
+		c := make([]int, p.NumShards())
+		for _, k := range sample {
+			c[p.Locate(k)]++
+		}
+		return c
+	}
+	uc, sc := count(uni), count(smp)
+	uniNonEmpty := 0
+	for _, n := range uc {
+		if n > 0 {
+			uniNonEmpty++
+		}
+	}
+	if uniNonEmpty != 1 {
+		t.Fatalf("expected uniform partitioner to collapse the skewed keys into one shard, got %v", uc)
+	}
+	if len(sc) != shards {
+		t.Fatalf("FromSample produced %d shards, want %d", len(sc), shards)
+	}
+	lo, hi := sc[0], sc[0]
+	for _, n := range sc[1:] {
+		lo, hi = min(lo, n), max(hi, n)
+	}
+	if lo == 0 || hi > 2*len(sample)/shards {
+		t.Fatalf("sampled boundaries badly balanced: %v", sc)
+	}
+}
+
+func TestFromSampleFallsBackOnTinySample(t *testing.T) {
+	p := FromSample(8, [][]byte{[]byte("a"), []byte("b")})
+	if p.NumShards() != 8 {
+		t.Fatalf("fallback NumShards = %d, want 8", p.NumShards())
+	}
+}
+
+func TestShortestSeparator(t *testing.T) {
+	cases := []struct{ lo, hi, want string }{
+		{"abc", "abd", "abd"},
+		{"ab", "abcz", "abc"},
+		{"a", "b", "b"},
+		{"", "zebra", "z"},
+		{"car", "carpet", "carp"},
+		{"user:000199", "user:000200", "user:0002"},
+	}
+	for _, c := range cases {
+		got := shortestSeparator([]byte(c.lo), []byte(c.hi))
+		if string(got) != c.want {
+			t.Errorf("shortestSeparator(%q, %q) = %q, want %q", c.lo, c.hi, got, c.want)
+		}
+		if !(bytes.Compare(got, []byte(c.lo)) > 0 && bytes.Compare(got, []byte(c.hi)) <= 0) {
+			t.Errorf("separator %q not in (%q, %q]", got, c.lo, c.hi)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package shard implements a range-partitioned store that composes N
+// independent Wormhole instances behind the shared index.Index /
+// index.Ordered interfaces. Each shard is a full core.Wormhole with its
+// own QSBR domain and meta writer lock, so structural writers in different
+// shards never contend and reader grace periods stay short as core counts
+// grow — the multicore scaling the paper targets in Figures 9/10/12.
+//
+// Keys are routed by an immutable range Partitioner (sampled-anchor
+// quantiles via FromSample, or uniform byte ranges), which keeps shards'
+// keyspaces disjoint and ordered: a cross-shard Scan is a concatenation of
+// per-shard scans, never a merge. The batched API (GetBatch / SetBatch /
+// DelBatch) groups keys by shard before executing, amortizing routing and
+// per-shard synchronization the way netkv amortizes the wire with its
+// 800-operation batches, and fans large batches out across shards.
+package shard
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/repro/wormhole/internal/core"
+)
+
+// DefaultShards is the shard count used when Options.Shards is zero; the
+// cmd/whbench and cmd/whkv -shards flags override it. One shard per
+// available CPU (capped like the paper's 16-core NUMA node) is the
+// starting point the shard-sweep bench experiment refines.
+var DefaultShards = defaultShards()
+
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// parallelBatch is the batch size above which the batched operations fan
+// out across shards on separate goroutines; below it the goroutine
+// handoff costs more than it saves.
+const parallelBatch = 256
+
+// Options configures a Store. The zero value selects DefaultShards
+// uniform-range shards of default-configured Wormholes.
+type Options struct {
+	// Shards is the number of partitions (default DefaultShards).
+	Shards int
+	// Sample, when non-empty, supplies keys representative of the
+	// workload; boundaries are placed at sampled-anchor quantiles
+	// (FromSample) instead of uniform byte ranges.
+	Sample [][]byte
+	// Partitioner overrides Shards and Sample with explicit boundaries.
+	Partitioner *Partitioner
+	// Core configures every shard's Wormhole; the zero value means
+	// core.DefaultOptions().
+	Core core.Options
+}
+
+// Store is a range-partitioned composition of Wormhole indexes. All
+// operations are safe for concurrent use (each shard is a thread-safe
+// Wormhole); the aliasing rules match package wormhole: key and value
+// buffers are retained by reference.
+type Store struct {
+	part   *Partitioner
+	shards []*core.Wormhole
+}
+
+// New creates an empty sharded store.
+func New(o Options) *Store {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	if o.Core == (core.Options{}) {
+		o.Core = core.DefaultOptions()
+	}
+	p := o.Partitioner
+	if p == nil {
+		if len(o.Sample) > 0 {
+			p = FromSample(o.Shards, o.Sample)
+		} else {
+			p = NewUniform(o.Shards)
+		}
+	}
+	shards := make([]*core.Wormhole, p.NumShards())
+	for i := range shards {
+		shards[i] = core.New(o.Core)
+	}
+	return &Store{part: p, shards: shards}
+}
+
+// NumShards returns the number of partitions.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the partition that owns key.
+func (s *Store) ShardOf(key []byte) int { return s.part.Locate(key) }
+
+// Get returns the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	return s.shards[s.part.Locate(key)].Get(key)
+}
+
+// Set inserts or replaces key. Key and value buffers are retained.
+func (s *Store) Set(key, val []byte) {
+	s.shards[s.part.Locate(key)].Set(key, val)
+}
+
+// Del removes key, reporting whether it was present.
+func (s *Store) Del(key []byte) bool {
+	return s.shards[s.part.Locate(key)].Del(key)
+}
+
+// Count returns the number of keys across all shards.
+func (s *Store) Count() int64 {
+	var n int64
+	for _, w := range s.shards {
+		n += w.Count()
+	}
+	return n
+}
+
+// Footprint returns the approximate heap bytes held across all shards.
+func (s *Store) Footprint() int64 {
+	var n int64
+	for _, w := range s.shards {
+		n += w.Footprint()
+	}
+	return n
+}
+
+// ShardCounts reports the per-shard key counts, for balance diagnostics.
+func (s *Store) ShardCounts() []int64 {
+	counts := make([]int64, len(s.shards))
+	for i, w := range s.shards {
+		counts[i] = w.Count()
+	}
+	return counts
+}
+
+// Scan visits keys >= start in ascending order until fn returns false.
+// Because shards partition the keyspace by range, the stitched scan simply
+// runs the owning shard from start and every following shard from its
+// smallest key; order is global without any merging.
+func (s *Store) Scan(start []byte, fn func(key, val []byte) bool) {
+	first := 0
+	if len(start) > 0 {
+		first = s.part.Locate(start)
+	}
+	more := true
+	for i := first; i < len(s.shards) && more; i++ {
+		from := start
+		if i > first {
+			from = nil
+		}
+		s.shards[i].Scan(from, func(k, v []byte) bool {
+			more = fn(k, v)
+			return more
+		})
+	}
+}
+
+// group partitions batch indexes by owning shard, preserving the batch's
+// relative order inside each shard so same-key operations in one batch
+// keep their program order (equal keys always route to the same shard).
+func (s *Store) group(keys [][]byte) [][]int {
+	groups := make([][]int, len(s.shards))
+	for i, k := range keys {
+		g := s.part.Locate(k)
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}
+
+// fanOut runs run(shard, indexes) for every non-empty group, on separate
+// goroutines when the batch is large enough to amortize the handoff.
+func (s *Store) fanOut(groups [][]int, total int, run func(shard int, idxs []int)) {
+	active := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			active++
+		}
+	}
+	if active <= 1 || total < parallelBatch {
+		for sh, g := range groups {
+			if len(g) > 0 {
+				run(sh, g)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for sh, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, g []int) {
+			defer wg.Done()
+			run(sh, g)
+		}(sh, g)
+	}
+	wg.Wait()
+}
+
+// GetBatch looks up keys grouped by shard; vals[i], found[i] answer
+// keys[i]. Results for distinct shards may be produced concurrently.
+func (s *Store) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
+		w := s.shards[sh]
+		for _, i := range idxs {
+			vals[i], found[i] = w.Get(keys[i])
+		}
+	})
+	return vals, found
+}
+
+// SetBatch inserts or replaces keys[i] -> vals[i], grouped by shard.
+// Duplicate keys within one batch apply in batch order.
+func (s *Store) SetBatch(keys, vals [][]byte) {
+	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
+		w := s.shards[sh]
+		for _, i := range idxs {
+			w.Set(keys[i], vals[i])
+		}
+	})
+}
+
+// DelBatch removes keys grouped by shard, reporting presence per key.
+func (s *Store) DelBatch(keys [][]byte) []bool {
+	found := make([]bool, len(keys))
+	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
+		w := s.shards[sh]
+		for _, i := range idxs {
+			found[i] = w.Del(keys[i])
+		}
+	})
+	return found
+}
+
+// Stats aggregates the structural statistics of every shard. Call it on a
+// quiescent store.
+func (s *Store) Stats() core.Stats {
+	var agg core.Stats
+	for _, w := range s.shards {
+		st := w.Stats()
+		agg.Keys += st.Keys
+		agg.Leaves += st.Leaves
+		agg.FatLeaves += st.FatLeaves
+		agg.MetaItems += st.MetaItems
+		agg.LeafItems += st.LeafItems
+		agg.MetaBuckets += st.MetaBuckets
+		if st.MaxAnchorLen > agg.MaxAnchorLen {
+			agg.MaxAnchorLen = st.MaxAnchorLen
+		}
+		agg.AvgAnchorLen += st.AvgAnchorLen * float64(st.Leaves)
+	}
+	if agg.Leaves > 0 {
+		agg.AvgAnchorLen /= float64(agg.Leaves)
+	}
+	return agg
+}

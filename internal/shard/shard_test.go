@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/repro/wormhole/internal/indextest"
+)
+
+func sampleFrom(gen func(*rand.Rand) []byte, n int, seed int64) [][]byte {
+	r := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = gen(r)
+	}
+	return keys
+}
+
+// TestIndextestSuite drives the shared model-based harness through the
+// sharded store across shard counts, partitioner flavors and key regimes.
+func TestIndextestSuite(t *testing.T) {
+	gens := []struct {
+		name string
+		gen  func(*rand.Rand) []byte
+	}{
+		{"binary", indextest.GenBinary},
+		{"ascii", indextest.GenASCII},
+		{"prefixed", indextest.GenPrefixed},
+		{"random8", indextest.GenRandom(8)},
+	}
+	for _, shards := range []int{1, 3, 8} {
+		for _, sampled := range []bool{false, true} {
+			for _, g := range gens {
+				label := fmt.Sprintf("shards=%d/sampled=%v/%s", shards, sampled, g.name)
+				t.Run(label, func(t *testing.T) {
+					o := Options{Shards: shards}
+					if sampled {
+						o.Sample = sampleFrom(g.gen, 4096, 7)
+					}
+					indextest.OrderedOps(t, New(o), 11, 4000, g.gen)
+				})
+			}
+		}
+	}
+}
+
+func TestBatchOps(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			st := New(Options{Shards: shards, Sample: sampleFrom(indextest.GenPrefixed, 4096, 3)})
+			indextest.BatchOps(t, st, 5, 300, 64, indextest.GenPrefixed)
+		})
+	}
+}
+
+// TestBatchOpsParallelPath forces batches past the fan-out threshold so
+// the concurrent per-shard dispatch is exercised, not just the small-batch
+// sequential path.
+func TestBatchOpsParallelPath(t *testing.T) {
+	st := New(Options{Shards: 8, Sample: sampleFrom(indextest.GenRandom(8), 4096, 9)})
+	indextest.BatchOps(t, st, 17, 60, 4*parallelBatch, indextest.GenRandom(8))
+}
+
+// TestCrossShardScanOrdering loads keys that straddle every boundary and
+// verifies that stitched scans yield the exact global order, including
+// scans that start precisely on, just below and just above a boundary.
+func TestCrossShardScanOrdering(t *testing.T) {
+	keys := sampleFrom(indextest.GenPrefixed, 6000, 21)
+	st := New(Options{Shards: 6, Sample: keys})
+
+	sorted := make([]string, 0, len(keys))
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			sorted = append(sorted, string(k))
+		}
+	}
+	sort.Strings(sorted)
+	r := rand.New(rand.NewSource(22))
+	for _, i := range r.Perm(len(keys)) {
+		st.Set(keys[i], keys[i])
+	}
+
+	nonEmpty := 0
+	for _, n := range st.ShardCounts() {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("only %d non-empty shards; scan never crosses a boundary", nonEmpty)
+	}
+
+	check := func(start []byte) {
+		t.Helper()
+		want := sorted
+		if start != nil {
+			at := sort.SearchStrings(sorted, string(start))
+			want = sorted[at:]
+		}
+		i := 0
+		var prev []byte
+		st.Scan(start, func(k, v []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("scan(%q) out of order: %q then %q", start, prev, k)
+			}
+			prev = append(prev[:0], k...)
+			if i >= len(want) || string(k) != want[i] {
+				t.Fatalf("scan(%q)[%d] = %q, want %q", start, i, k, want[i])
+			}
+			if !bytes.Equal(k, v) {
+				t.Fatalf("scan(%q): value mismatch at %q", start, k)
+			}
+			i++
+			return true
+		})
+		if i != len(want) {
+			t.Fatalf("scan(%q) visited %d keys, want %d", start, i, len(want))
+		}
+	}
+
+	check(nil)
+	for _, b := range st.part.Bounds() {
+		check(b)
+		if b[len(b)-1] > 0 {
+			below := append([]byte(nil), b...)
+			below[len(below)-1]--
+			check(below)
+		}
+		check(append(append([]byte(nil), b...), 0))
+	}
+	for i := 0; i < 20; i++ {
+		check(keys[r.Intn(len(keys))])
+	}
+}
+
+// TestConcurrentBatchedStress hammers the store with concurrent batched
+// writers, batched readers, deleters and scanners. Every value equals its
+// key, so readers can validate any snapshot they observe; run under
+// -race this doubles as the data-race check for the fan-out paths.
+func TestConcurrentBatchedStress(t *testing.T) {
+	const space = 4096
+	key := func(i int) []byte { return []byte(fmt.Sprintf("stress-%05d", i)) }
+	sample := make([][]byte, space)
+	for i := range sample {
+		sample[i] = key(i)
+	}
+	st := New(Options{Shards: 4, Sample: sample})
+
+	rounds := 40
+	if testing.Short() {
+		rounds = 10
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // batched writers
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(100 + w)))
+			for round := 0; round < rounds; round++ {
+				batch := make([][]byte, 512)
+				for i := range batch {
+					batch[i] = key(r.Intn(space))
+				}
+				st.SetBatch(batch, batch)
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) { // batched deleters
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(200 + w)))
+			for round := 0; round < rounds; round++ {
+				batch := make([][]byte, 256)
+				for i := range batch {
+					batch[i] = key(r.Intn(space))
+				}
+				st.DelBatch(batch)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) { // batched readers
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(300 + w)))
+			for round := 0; round < rounds; round++ {
+				batch := make([][]byte, 512)
+				for i := range batch {
+					batch[i] = key(r.Intn(space))
+				}
+				vals, found := st.GetBatch(batch)
+				for i := range batch {
+					if found[i] && !bytes.Equal(vals[i], batch[i]) {
+						t.Errorf("GetBatch(%q) = %q", batch[i], vals[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() { // scanners crossing shard boundaries mid-mutation
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				var prev []byte
+				st.Scan(nil, func(k, v []byte) bool {
+					if prev != nil && bytes.Compare(prev, k) >= 0 {
+						t.Errorf("concurrent scan out of order: %q then %q", prev, k)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					return true
+				})
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Settle: one final batched write of the whole space, then verify.
+	all := make([][]byte, space)
+	for i := range all {
+		all[i] = key(i)
+	}
+	st.SetBatch(all, all)
+	if got := st.Count(); got != space {
+		t.Fatalf("Count = %d after settling, want %d", got, space)
+	}
+	vals, found := st.GetBatch(all)
+	for i := range all {
+		if !found[i] || !bytes.Equal(vals[i], all[i]) {
+			t.Fatalf("settled GetBatch(%q) = %q,%v", all[i], vals[i], found[i])
+		}
+	}
+}
+
+func TestZeroOptionsDefaults(t *testing.T) {
+	st := New(Options{})
+	if st.NumShards() != DefaultShards {
+		t.Fatalf("NumShards = %d, want DefaultShards = %d", st.NumShards(), DefaultShards)
+	}
+	st.Set([]byte("k"), []byte("v"))
+	if v, ok := st.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if st.Footprint() <= 0 {
+		t.Fatalf("Footprint = %d", st.Footprint())
+	}
+	if st.Stats().Keys != 1 {
+		t.Fatalf("Stats().Keys = %d", st.Stats().Keys)
+	}
+}
