@@ -16,14 +16,31 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"github.com/repro/wormhole/internal/bench"
 )
+
+// run is the machine-readable document -json writes: one whbench
+// invocation's environment plus every recorded benchmark cell. The
+// BENCH_*.json perf-trajectory files committed per PR hold one run per
+// labelled section.
+type run struct {
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Keys       int            `json:"keys"`
+	Threads    int            `json:"threads"`
+	DurationMS int64          `json:"duration_ms"`
+	Seed       int64          `json:"seed"`
+	Timestamp  string         `json:"timestamp"`
+	Results    []bench.Result `json:"results"`
+}
 
 func main() {
 	var (
@@ -34,6 +51,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		batch    = flag.Int("batch", 800, "netkv request batch size (fig12)")
 		shards   = flag.Int("shards", 0, "extra shard count for shard-sweep's 2/4/8 ladder")
+		jsonOut  = flag.String("json", "", "write machine-readable results (trajectory experiments, e.g. readpath) to this file")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -49,6 +67,10 @@ func main() {
 		Seed: *seed, Batch: *batch, Shards: *shards, Out: os.Stdout,
 	}
 	cfg.Normalize()
+	var recorded []bench.Result
+	if *jsonOut != "" {
+		cfg.Record = func(r bench.Result) { recorded = append(recorded, r) }
+	}
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -68,5 +90,28 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "whbench: no experiment matches %q; use -list\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonOut != "" {
+		doc := run{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Keys:       cfg.Keys,
+			Threads:    cfg.Threads,
+			DurationMS: cfg.Duration.Milliseconds(),
+			Seed:       cfg.Seed,
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Results:    recorded,
+		}
+		buf, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whbench: encoding -json output: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "whbench: writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(recorded), *jsonOut)
 	}
 }

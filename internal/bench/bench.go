@@ -29,6 +29,9 @@ type Config struct {
 	// to its default ladder; 0 means the ladder alone.
 	Shards int
 	Out    io.Writer // result sink
+	// Record, when non-nil, receives every machine-readable benchmark
+	// cell an experiment produces (the -json trajectory output).
+	Record func(Result)
 }
 
 // Normalize fills defaults in place.

@@ -1,0 +1,20 @@
+//go:build linux
+
+package bench
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the process's accumulated user+system CPU time.
+// On shared or oversubscribed hosts wall-clock throughput varies with
+// steal time; CPU-time-normalized throughput (see ReadPath) compares
+// binaries fairly across such noise.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package bench
+
+import "time"
+
+// processCPUTime is unavailable off Linux; ReadPath then reports
+// CPU-normalized throughput equal to wall-clock throughput.
+func processCPUTime() time.Duration { return 0 }

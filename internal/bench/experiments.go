@@ -43,6 +43,7 @@ func Experiments() []struct {
 		{"ablation-unsafe", "thread-safe vs unsafe overhead (extension)", AblationUnsafe},
 		{"ablation-shortanchors", "anchor-minimizing split points (paper's future work)", AblationShortAnchors},
 		{"shard-sweep", "sharded store: shard count × goroutines scaling (extension)", ShardSweep},
+		{"readpath", "point-read path: plain vs pinned-reader lookups (perf trajectory)", ReadPath},
 	}
 }
 

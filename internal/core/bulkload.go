@@ -111,15 +111,17 @@ func (w *Wormhole) BulkLoad(keys, vals [][]byte) error {
 		} else {
 			l = newLeafNode(anchor{stored: anchors[i], realLen: realLens[i]}, stop-start)
 		}
+		// Pre-size the slab exactly: the leaf's items are known up front.
+		l.slab = make([]kv, 0, stop-start)
 		for j := start; j < stop; j++ {
 			var v []byte
 			if vals != nil {
 				v = vals[j]
 			}
-			l.kvs = append(l.kvs, &kv{hash: hashKey(keys[j]), key: keys[j], val: v})
+			l.kvs = append(l.kvs, l.newKV(hashKey(keys[j]), keys[j], v))
 		}
 		l.sorted = len(l.kvs)
-		l.rebuildByHash()
+		l.rebuildTags()
 		if len(leaves) > 0 {
 			prev := leaves[len(leaves)-1]
 			l.prev.Store(prev)

@@ -21,6 +21,16 @@ func hashExtend(h uint32, ext []byte) uint32 {
 	return crc32.Update(h, crcTable, ext)
 }
 
+// hashExtendByte is hashExtend for a single token, open-coded so the
+// child probe of searchMeta needs no byte-slice argument (the one-element
+// array previously used here escaped into crc32.Update — the read path's
+// only heap allocation). CRC32 pre- and post-inverts, so one table step
+// on the inverted value matches crc32.Update for one byte.
+func hashExtendByte(h uint32, b byte) uint32 {
+	c := ^h
+	return ^(crcTable[byte(c)^b] ^ (c >> 8))
+}
+
 // metaTag derives the 16-bit slot tag from a prefix hash. The bucket index
 // consumes the low bits of the hash, so the tag uses the high half to stay
 // independent of bucket placement (Figure 6).

@@ -13,8 +13,10 @@ import (
 //     prefix-freedom (which, for sorted keys, implies global
 //     prefix-freedom), real anchors non-decreasing leaf spans;
 //   - leaf spans: real(anchor) <= every key < real(next anchor);
-//   - leaf internals: sorted prefix really sorted, byHash a hash-ordered
-//     permutation of kvs, all keys unique;
+//   - leaf internals: sorted prefix really sorted, the published tag array
+//     strictly (hash, key)-ordered and in 1:1 pointer correspondence with
+//     kvs (every item exactly once, no stale or duplicate entries), all
+//     keys unique, the seqlock word even (no writer abandoned mid-section);
 //   - MetaTrieHT completeness: leaf item per anchor, internal item per
 //     proper prefix, no extras, bitmap bits exactly matching existing
 //     children, leftmost/rightmost equal to the true subtree boundaries;
@@ -48,8 +50,11 @@ func (w *Wormhole) checkLeafList() error {
 	var prevLeaf *leafNode
 	for l := w.head; l != nil; l = l.next.Load() {
 		a := l.anchor.Load()
-		if l.dead {
+		if l.dead.Load() {
 			return fmt.Errorf("dead leaf %q still linked", a.stored)
+		}
+		if l.seq.Load()&1 != 0 {
+			return fmt.Errorf("leaf %q seqlock left odd (%d)", a.stored, l.seq.Load())
 		}
 		if l.prev.Load() != prevLeaf {
 			return fmt.Errorf("leaf %q has wrong prev pointer", a.stored)
@@ -82,6 +87,7 @@ func (w *Wormhole) checkLeafList() error {
 			return fmt.Errorf("leaf %q sorted=%d > size=%d", a.stored, l.sorted, len(l.kvs))
 		}
 		seen := make(map[string]bool, len(l.kvs))
+		members := make(map[*kv]bool, len(l.kvs))
 		for i, it := range l.kvs {
 			if it.hash != hashKey(it.key) {
 				return fmt.Errorf("stale hash for key %q", it.key)
@@ -90,6 +96,7 @@ func (w *Wormhole) checkLeafList() error {
 				return fmt.Errorf("duplicate key %q in leaf %q", it.key, a.stored)
 			}
 			seen[string(it.key)] = true
+			members[it] = true
 			if bytes.Compare(it.key, a.real()) < 0 {
 				return fmt.Errorf("key %q below anchor %q", it.key, a.real())
 			}
@@ -100,21 +107,42 @@ func (w *Wormhole) checkLeafList() error {
 				return fmt.Errorf("sorted prefix unsorted at %d in leaf %q", i, a.stored)
 			}
 		}
-		if len(l.byHash) != len(l.kvs) {
-			return fmt.Errorf("byHash size mismatch in leaf %q", a.stored)
+		tags := l.tags()
+		if tags.size() != len(l.kvs) {
+			return fmt.Errorf("tag array size mismatch in leaf %q: %d entries, %d items",
+				a.stored, tags.size(), len(l.kvs))
 		}
-		for i, e := range l.byHash {
-			if e.it == nil || !seen[string(e.it.key)] {
-				return fmt.Errorf("byHash item missing from kvs in leaf %q", a.stored)
+		if len(tags.tail) > tagTailMax {
+			return fmt.Errorf("tag array tail overgrown in leaf %q: %d > %d",
+				a.stored, len(tags.tail), tagTailMax)
+		}
+		check := func(e tagEnt, region string, i int) error {
+			// 1:1 pointer correspondence with kvs: every entry references a
+			// current member, and no member twice. Combined with the equal
+			// sizes above, every kvs item appears exactly once.
+			if e.it == nil || !members[e.it] {
+				return fmt.Errorf("tag %s entry %d of leaf %q references a non-member item", region, i, a.stored)
 			}
+			delete(members, e.it)
 			if e.hash != e.it.hash {
-				return fmt.Errorf("byHash entry hash stale for %q", e.it.key)
+				return fmt.Errorf("tag array entry hash stale for %q", e.it.key)
+			}
+			return nil
+		}
+		for i, e := range tags.base {
+			if err := check(e, "base", i); err != nil {
+				return err
 			}
 			if i > 0 {
-				p := l.byHash[i-1]
+				p := tags.base[i-1]
 				if p.hash > e.hash || (p.hash == e.hash && bytes.Compare(p.it.key, e.it.key) >= 0) {
-					return fmt.Errorf("byHash out of order in leaf %q", a.stored)
+					return fmt.Errorf("tag array base out of (hash, key) order in leaf %q", a.stored)
 				}
+			}
+		}
+		for i, e := range tags.tail {
+			if err := check(e, "tail", i); err != nil {
+				return err
 			}
 		}
 		total += int64(len(l.kvs))
@@ -134,8 +162,12 @@ func (w *Wormhole) checkTable(t *metaTable) error {
 		children            map[byte]bool
 	}
 	items := make(map[string]*exp)
+	expMaxLen := 0
 	for l := w.head; l != nil; l = l.next.Load() {
 		stored := l.anchor.Load().stored
+		if len(stored) > expMaxLen {
+			expMaxLen = len(stored)
+		}
 		ks := string(stored)
 		if e, ok := items[ks]; ok && e.leaf != nil {
 			return fmt.Errorf("two leaves share stored anchor %q", stored)
@@ -163,6 +195,12 @@ func (w *Wormhole) checkTable(t *metaTable) error {
 		if len(stored) > t.maxLen {
 			return fmt.Errorf("maxLen %d below anchor %q", t.maxLen, stored)
 		}
+	}
+	if t.maxLen != expMaxLen {
+		return fmt.Errorf("maxLen %d, longest stored anchor is %d", t.maxLen, expMaxLen)
+	}
+	if t.root == nil || t.root != t.get(0, nil, false) {
+		return fmt.Errorf("cached root item does not match the stored empty-key item")
 	}
 	count := 0
 	var err error

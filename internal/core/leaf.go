@@ -2,19 +2,71 @@ package core
 
 import (
 	"bytes"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // kv is one key-value item. hash is the CRC32-C of the key, computed once
 // at insertion; its low 16 bits play the role of the paper's leaf tag
 // (§3.2). Key and value buffers are owned by the index once inserted and
 // must not be mutated by the caller.
+//
+// key and hash are immutable after construction. The value is stored as
+// an atomic (pointer, length) pair so a lock-free reader racing an
+// overwrite reads both halves without a data race; the pair itself can
+// still be torn (old pointer, new length), which is exactly what the
+// leaf's seqlock detects — writers bump it around setValue, and an
+// optimistic reader discards any value whose enclosing read saw the
+// sequence move. Lock-holding readers can't race writers at all.
+//
+// A kv must never be copied by value (its address is published in tag
+// arrays); all code handles *kv. Storage comes from the owning leaf's
+// slab (newKV).
 type kv struct {
 	hash uint32
 	key  []byte
-	val  []byte
+	vptr atomic.Pointer[byte]
+	vlen atomic.Int64
+}
+
+// value returns the current value slice. A nil stored value reads back
+// nil; an empty one may read back nil as well (the pointer of an empty
+// slice is unspecified). Only lock-holding readers may call it: it
+// materializes the slice from the (vptr, vlen) pair, which is only
+// consistent under the leaf lock. Optimistic readers use valueParts +
+// valueSlice with a seqlock validation in between — materializing a torn
+// pair, even without dereferencing it, would fabricate a slice straddling
+// allocations.
+func (it *kv) value() []byte {
+	p, n := it.valueParts()
+	return valueSlice(p, n)
+}
+
+// valueParts loads the raw value pair; each load is atomic but the pair
+// may be torn unless the caller holds the leaf lock or validates the
+// seqlock afterwards.
+func (it *kv) valueParts() (*byte, int64) {
+	return it.vptr.Load(), it.vlen.Load()
+}
+
+// valueSlice materializes a validated (pointer, length) pair.
+func valueSlice(p *byte, n int64) []byte {
+	if p == nil {
+		return nil
+	}
+	return unsafe.Slice(p, n)
+}
+
+// setValue publishes v as the new value. Concurrent-path callers must
+// bump the leaf seqlock around the call (see kv's comment); the two
+// stores are individually atomic but only the seqlock makes the pair
+// observable as a unit.
+func (it *kv) setValue(v []byte) {
+	it.vlen.Store(int64(len(v)))
+	it.vptr.Store(unsafe.SliceData(v))
 }
 
 // tagEnt is one tag-array slot: the item's full hash inline (its low bits
@@ -25,94 +77,334 @@ type tagEnt struct {
 	it   *kv
 }
 
+// tagTailMax bounds the leaf's unsorted tag tail; the tail is folded
+// into the sorted base on the insert that would exceed it.
+const tagTailMax = 15
+
+// The leaf's hash index — the paper's sorted tag array (Figure 7, §3.2)
+// — is split across two structures tuned for the lock-free reader:
+//
+//   - The base is an immutable published block (tagBlock) holding the
+//     hashes and the item pointers as two parallel arrays in (hash, key)
+//     order. The dense []uint32 hash array is what direct positioning
+//     walks: 4 bytes per item, so the speculative start position and the
+//     true position almost always share one cache line, where an
+//     interleaved (hash, pointer) layout pays a miss every 4 steps. The
+//     item pointer array is touched exactly once, on the final match.
+//   - The tail is a fixed array *inline in the leaf*, holding up to
+//     tagTailMax recent inserts in arrival order. Inserting stores one
+//     hash, one pointer, and the new length — all atomics on leaf-local
+//     cache lines, no allocation, no copying — and the O(leaf) fold into
+//     a fresh base block is paid once per tagTailMax+1 inserts. This is
+//     the paper's delayed, batched sorting (Algorithm 3's incSort)
+//     applied to the tag array.
+//
+// Both structures may be read without any lock: the block is immutable
+// and self-consistent, and the tail's individual loads are atomic (item
+// pointers are nil-checked before dereferencing, and a kv reachable from
+// a stale slot is still a live kv). What a racing reader can observe is a
+// mixed generation — a fold's new base with the old tail, a mid-insert
+// length/slot mismatch — and every writer that creates such a window
+// does so inside a seqlock bracket, so the optimistic reader's sequence
+// validation discards exactly those reads.
+
+// tagBlockCap sizes the block's inline arrays: the default 128-key leaf
+// plus a full tail, with headroom. Leaves that outgrow it (fat leaves,
+// large custom LeafCap) spill to the slice-based big form.
+const tagBlockCap = 160
+
+// tagBlock is one immutable published base: hashes[i] == items[i].hash,
+// ordered by (hash, key). The arrays are inline and fixed-size, and the
+// entry count lives in the leaf header (baseN), not here — so a reader
+// computes the address of hashes[i] from the block pointer alone, without
+// first reading the block. That removes one serialized cache miss from
+// every lookup (block pointer → slice header → array data becomes block
+// pointer → array data), and it makes mixed-generation races memory-safe
+// by construction: any index the walk can produce stays inside the fixed
+// arrays, where a stale slot holds either zero or a still-live item — and
+// the seqlock bracket rejects such reads anyway.
+type tagBlock struct {
+	big    *tagBlockBig // non-nil iff the entries exceed tagBlockCap
+	hashes [tagBlockCap]uint32
+	items  [tagBlockCap]*kv
+}
+
+// tagBlockBig is the overflow form for leaves beyond tagBlockCap items.
+type tagBlockBig struct {
+	hashes []uint32
+	items  []*kv
+}
+
+// emptyTagBlock is the zero-entry block shared by all fresh leaves.
+var emptyTagBlock = &tagBlock{}
+
+// makeTagBlock packs (hash, key)-sorted entries into a fresh block.
+func makeTagBlock(entries []tagEnt) *tagBlock {
+	if len(entries) == 0 {
+		return emptyTagBlock
+	}
+	b := &tagBlock{}
+	if len(entries) > tagBlockCap {
+		bg := &tagBlockBig{
+			hashes: make([]uint32, len(entries)),
+			items:  make([]*kv, len(entries)),
+		}
+		for i, e := range entries {
+			bg.hashes[i] = e.hash
+			bg.items[i] = e.it
+		}
+		b.big = bg
+		return b
+	}
+	for i, e := range entries {
+		b.hashes[i] = e.hash
+		b.items[i] = e.it
+	}
+	return b
+}
+
+// view returns the block's entry arrays; n is the leaf's published entry
+// count (authoritative while the caller's seqlock bracket holds).
+func (b *tagBlock) view(n int) ([]uint32, []*kv) {
+	if bg := b.big; bg != nil {
+		n = min(n, len(bg.hashes), len(bg.items))
+		return bg.hashes[:n], bg.items[:n]
+	}
+	if n > tagBlockCap {
+		n = tagBlockCap
+	}
+	return b.hashes[:n], b.items[:n]
+}
+
+// tagsView is a point-in-time view of a leaf's hash index, materialized
+// as entries for the cold paths (invariants, stats, merges); the hot
+// lookup path reads the structures directly (findTags).
+type tagsView struct {
+	base, tail []tagEnt
+}
+
+// size returns the number of items the view covers.
+func (v tagsView) size() int { return len(v.base) + len(v.tail) }
+
+// all appends every entry (base then tail) to dst and returns it.
+func (v tagsView) all(dst []tagEnt) []tagEnt {
+	dst = append(dst, v.base...)
+	dst = append(dst, v.tail...)
+	return dst
+}
+
+// cmpTagEnts is the (hash, key) order of tag arrays.
+func cmpTagEnts(x, y tagEnt) int {
+	if x.hash != y.hash {
+		if x.hash < y.hash {
+			return -1
+		}
+		return 1
+	}
+	return bytes.Compare(x.it.key, y.it.key)
+}
+
+// sortTagEnts orders entries by (hash, key). slices.SortFunc, not
+// sort.Slice: the reflect-based swapper's write barriers dominated split
+// and fold cost in profiles.
+func sortTagEnts(a []tagEnt) {
+	slices.SortFunc(a, cmpTagEnts)
+}
+
 // leafNode is one LeafList node (Figure 7).
 //
 // kvs holds items in insertion order: kvs[:sorted] is key-sorted, the tail
 // is the unsorted append region. incSort merges the two on demand (range
-// scan or split), which is the paper's delayed, batched sorting.
+// scan or split), which is the paper's delayed, batched sorting. kvs and
+// sorted are guarded by mu; only lock-holding paths (writers, scans, the
+// BaseWormhole key-sorted search) touch them.
 //
-// byHash holds the same items permanently sorted by (hash, key) — the tag
-// array of Figure 7. Each entry keeps the hash inline so the position scan
-// touches one contiguous array instead of dereferencing a heap pointer per
-// probe (the compact-tag-array point of §3.2); the kv pointer is followed
-// only on a hash match. Because entries reference kvs by pointer,
-// re-ordering kvs during incSort does not disturb the array.
+// base, tailLen, tailHash and tailItem form the hash index lock-free
+// readers search (see the tagBlock comment).
+//
+// seq is the leaf's seqlock word: even when the leaf is stable, odd while
+// a writer is mutating the item set or overwriting a value in place. An
+// optimistic reader snapshots seq, reads, and revalidates; on a collision
+// it retries and eventually falls back to the mu.RLock path. Immutable
+// snapshot publication already rules out torn tag arrays — the seqlock's
+// jobs are certifying the in-place (vptr, vlen) value pairs, detecting an
+// overlapping writer early, and bounding optimistic spinning under write
+// pressure.
 type leafNode struct {
-	mu sync.RWMutex
+	// The fields an optimistic reader touches — seq, version, dead, base,
+	// tailLen, anchor — lead the struct so one cache line serves the whole
+	// leaf-header read; mu and the writer-side bookkeeping follow.
+	seq atomic.Uint64
 	// version is the "expected version" of §2.5: set to (current table
 	// version + 1) while the leaf is locked for a split/merge. A reader
 	// that reached this leaf through an older table observes
 	// version > tableVersion and restarts.
 	version atomic.Uint64
-	dead    bool // set when the leaf is merged away (victim); guarded by mu
+	base    atomic.Pointer[tagBlock]
+	baseN   atomic.Int32 // entry count of base (see tagBlock)
+	tailLen atomic.Int32
+	anchor  atomic.Pointer[anchor]
+	dead    atomic.Bool // set when the leaf is merged away (victim)
 
-	anchor atomic.Pointer[anchor]
+	mu sync.RWMutex
 
 	kvs    []*kv
 	sorted int
-	byHash []tagEnt
+
+	tailHash [tagTailMax]atomic.Uint32
+	tailItem [tagTailMax]atomic.Pointer[kv]
+
+	// pendingBlock stages a base block under construction (see
+	// newTagBlockInto); guarded by mu.
+	pendingBlock *tagBlock
+
+	// slab is the append-only backing store for this leaf's own kv items
+	// (chunked; a full chunk is abandoned to the items pointing into it
+	// and replaced, so a *kv never moves). Guarded by mu.
+	slab []kv
 
 	prev, next atomic.Pointer[leafNode]
 }
 
 func newLeafNode(a anchor, capHint int) *leafNode {
 	l := &leafNode{
-		kvs:    make([]*kv, 0, capHint),
-		byHash: make([]tagEnt, 0, capHint),
+		kvs: make([]*kv, 0, capHint),
 	}
+	l.base.Store(emptyTagBlock)
 	l.anchor.Store(&a)
 	return l
 }
 
+// tags returns an entry view of the current hash index (cold paths; the
+// lookup path is findTags). Callers needing a consistent view hold mu.
+func (l *leafNode) tags() tagsView {
+	hashes, items := l.base.Load().view(int(l.baseN.Load()))
+	v := tagsView{}
+	if len(hashes) > 0 {
+		v.base = make([]tagEnt, len(hashes))
+		for i, h := range hashes {
+			v.base[i] = tagEnt{hash: h, it: items[i]}
+		}
+	}
+	tl := int(l.tailLen.Load())
+	for i := 0; i < tl && i < tagTailMax; i++ {
+		v.tail = append(v.tail, tagEnt{hash: l.tailHash[i].Load(), it: l.tailItem[i].Load()})
+	}
+	return v
+}
+
+// setTags publishes entries ((hash, key)-sorted) as the new base block
+// and empties the tail; caller holds mu.
+func (l *leafNode) setTags(entries []tagEnt) {
+	l.base.Store(makeTagBlock(entries))
+	l.baseN.Store(int32(len(entries)))
+	l.tailLen.Store(0)
+}
+
+// findTags locates (h, key) in the hash index: positioned search over the
+// base block's dense hash array (§3.2's direct positioning or binary
+// search), then — on a miss only — a linear scan of the short inline
+// tail. Safe without any lock; optimistic callers bracket it with the
+// seqlock (see the tagBlock comment for why no read here can fault).
+func (l *leafNode) findTags(h uint32, key []byte, directPos bool) *kv {
+	hashes, items := l.base.Load().view(int(l.baseN.Load()))
+	if directPos && len(items) > 0 {
+		// Touch the item slot at the speculative position while the hash
+		// walk's own loads are in flight; the final position is almost
+		// always on the same or an adjacent line, so the item-array miss
+		// overlaps the hash-array miss instead of following it. The
+		// comparison feeds a benign branch so the load stays live.
+		if items[int(uint64(h)*uint64(len(items))>>32)] == nil && h == 0 {
+			return nil
+		}
+	}
+	if i := tagPos(hashes, h, directPos); i < len(hashes) {
+		for ; i < len(hashes) && hashes[i] == h; i++ {
+			if it := items[i]; it != nil && bytes.Equal(it.key, key) {
+				return it
+			}
+		}
+	}
+	tl := int(l.tailLen.Load())
+	for i := 0; i < tl && i < tagTailMax; i++ {
+		if l.tailHash[i].Load() == h {
+			if it := l.tailItem[i].Load(); it != nil && bytes.Equal(it.key, key) {
+				return it
+			}
+		}
+	}
+	return nil
+}
+
+// beginMutate/endMutate bracket every item-set mutation and every
+// in-place value overwrite with the seqlock (caller holds mu).
+func (l *leafNode) beginMutate() { l.seq.Add(1) }
+func (l *leafNode) endMutate()   { l.seq.Add(1) }
+
+// slabChunk is the kv-slab growth unit cap.
+const slabChunk = 64
+
+// newKV allocates an item from the leaf's slab (caller holds mu). Chunks
+// are never reallocated in place — kv addresses are stable for the life
+// of the index, which both the published tag arrays and the no-copy rule
+// on kv (it embeds atomics) rely on.
+func (l *leafNode) newKV(h uint32, key, val []byte) *kv {
+	if len(l.slab) == cap(l.slab) {
+		c := cap(l.slab) * 2
+		if c < 8 {
+			c = 8
+		}
+		if c > slabChunk {
+			c = slabChunk
+		}
+		l.slab = make([]kv, 0, c)
+	}
+	l.slab = l.slab[:len(l.slab)+1]
+	it := &l.slab[len(l.slab)-1]
+	it.hash = h
+	it.key = key
+	if val != nil {
+		it.setValue(val)
+	}
+	return it
+}
+
 func (l *leafNode) size() int { return len(l.kvs) }
 
-// hashPos returns the index in byHash where an item with hash h and key
-// resides or would be inserted, plus whether it was found.
+// tagPos returns the first index in the sorted hash array a whose value
+// is >= h (== len(a) when every hash is smaller).
 //
 // With directPos the start index is speculated as hash*size/2^32 — with a
 // uniform hash this lands within a step or two of the right run (§3.2's
-// direct speculative positioning). Otherwise a binary search is used.
-func (l *leafNode) hashPos(h uint32, key []byte, directPos bool) (int, bool) {
-	a := l.byHash
+// direct speculative positioning), and on the dense 4-byte array the
+// speculation and the true position almost always share a cache line.
+// Otherwise a binary search is used.
+func tagPos(a []uint32, h uint32, directPos bool) int {
 	n := len(a)
 	if n == 0 {
-		return 0, false
+		return 0
 	}
-	var i int
-	if directPos {
-		i = int(uint64(h) * uint64(n) >> 32)
-		for i > 0 && h <= a[i-1].hash {
-			i--
-		}
-		for i < n && h > a[i].hash {
-			i++
-		}
-	} else {
-		i = sort.Search(n, func(j int) bool { return a[j].hash >= h })
+	if !directPos {
+		return sort.Search(n, func(j int) bool { return a[j] >= h })
 	}
-	for i < n && a[i].hash == h {
-		c := bytes.Compare(key, a[i].it.key)
-		if c == 0 {
-			return i, true
-		}
-		if c < 0 {
-			return i, false
-		}
+	i := int(uint64(h) * uint64(n) >> 32)
+	for i > 0 && h <= a[i-1] {
+		i--
+	}
+	for i < n && h > a[i] {
 		i++
 	}
-	return i, false
+	return i
 }
 
-// find locates key in the leaf. With sortByTag it searches the hash-ordered
-// array; without (BaseWormhole) it binary-searches the key-sorted region
-// and scans the unsorted tail, comparing full keys — the behaviour Figure
-// 11's ablation isolates.
+// find locates key in the leaf. With sortByTag it searches the published
+// tag-array snapshot; without (BaseWormhole) it binary-searches the
+// key-sorted region and scans the unsorted tail, comparing full keys —
+// the behaviour Figure 11's ablation isolates. The kvs path requires mu
+// to be held.
 func (l *leafNode) find(h uint32, key []byte, sortByTag, directPos bool) *kv {
 	if sortByTag {
-		if i, ok := l.hashPos(h, key, directPos); ok {
-			return l.byHash[i].it
-		}
-		return nil
+		return l.findTags(h, key, directPos)
 	}
 	s := l.kvs[:l.sorted]
 	i := sort.Search(len(s), func(j int) bool { return bytes.Compare(s[j].key, key) >= 0 })
@@ -127,27 +419,119 @@ func (l *leafNode) find(h uint32, key []byte, sortByTag, directPos bool) *kv {
 	return nil
 }
 
-// insert adds a new item; the caller has verified the key is absent.
+// insert adds a new item; the caller holds mu and has verified the key is
+// absent. The common case appends to the inline tail — three atomic
+// stores, no allocation — and the tail is folded into a fresh base block
+// on the insert that would exceed tagTailMax.
 func (l *leafNode) insert(it *kv) {
+	l.beginMutate()
 	// Keep the sorted prefix maximal for the common ascending-insert case.
 	if l.sorted == len(l.kvs) &&
 		(l.sorted == 0 || bytes.Compare(l.kvs[l.sorted-1].key, it.key) < 0) {
 		l.sorted++
 	}
 	l.kvs = append(l.kvs, it)
-	i, _ := l.hashPos(it.hash, it.key, false)
-	l.byHash = append(l.byHash, tagEnt{})
-	copy(l.byHash[i+1:], l.byHash[i:])
-	l.byHash[i] = tagEnt{hash: it.hash, it: it}
+	tl := int(l.tailLen.Load())
+	if tl < tagTailMax {
+		l.tailHash[tl].Store(it.hash)
+		l.tailItem[tl].Store(it)
+		l.tailLen.Store(int32(tl + 1))
+	} else {
+		// Fold: sort the tagTailMax+1 new entries, then two-way merge with
+		// the already-sorted base straight into a fresh block — O(size)
+		// copies, no full re-sort, no intermediate entry array.
+		oh, oi := l.base.Load().view(int(l.baseN.Load()))
+		var tbuf [tagTailMax + 1]tagEnt
+		t := tbuf[:0]
+		for i := 0; i < tl; i++ {
+			t = append(t, tagEnt{hash: l.tailHash[i].Load(), it: l.tailItem[i].Load()})
+		}
+		t = append(t, tagEnt{hash: it.hash, it: it})
+		sortTagEnts(t)
+		n := len(oh) + len(t)
+		nh, ni := newTagBlockInto(l, n)
+		o := 0
+		bi := 0
+		for bi < len(oh) && len(t) > 0 {
+			e := tagEnt{hash: oh[bi], it: oi[bi]}
+			if cmpTagEnts(e, t[0]) <= 0 {
+				nh[o], ni[o] = e.hash, e.it
+				bi++
+			} else {
+				nh[o], ni[o] = t[0].hash, t[0].it
+				t = t[1:]
+			}
+			o++
+		}
+		for ; bi < len(oh); bi++ {
+			nh[o], ni[o] = oh[bi], oi[bi]
+			o++
+		}
+		for _, e := range t {
+			nh[o], ni[o] = e.hash, e.it
+			o++
+		}
+		l.publishTagBlock(n)
+	}
+	l.endMutate()
 }
 
-// remove deletes the item (previously returned by find).
+// pendingTagBlock passes the block under construction from
+// newTagBlockInto to publishTagBlock (single writer; caller holds mu).
+//
+// newTagBlockInto allocates a block sized for n entries and returns its
+// writable arrays; publishTagBlock stores it as the new base and empties
+// the tail.
+func newTagBlockInto(l *leafNode, n int) ([]uint32, []*kv) {
+	b := &tagBlock{}
+	if n > tagBlockCap {
+		b.big = &tagBlockBig{hashes: make([]uint32, n), items: make([]*kv, n)}
+		l.pendingBlock = b
+		return b.big.hashes, b.big.items
+	}
+	l.pendingBlock = b
+	return b.hashes[:n], b.items[:n]
+}
+
+func (l *leafNode) publishTagBlock(n int) {
+	l.base.Store(l.pendingBlock)
+	l.pendingBlock = nil
+	l.baseN.Store(int32(n))
+	l.tailLen.Store(0)
+}
+
+// remove deletes the item (previously returned by find); caller holds mu.
+// The item's slab slot is not recycled — an optimistic reader may still
+// hold a reference to it — but its value pointer is dropped so the slot
+// does not pin the value buffer for the life of its slab chunk. (The key
+// field stays: it is read race-free by lock-free readers precisely
+// because it is never written after construction.)
 func (l *leafNode) remove(it *kv) {
-	for i, k := range l.byHash {
-		if k.it == it {
-			l.byHash = append(l.byHash[:i], l.byHash[i+1:]...)
-			break
+	l.beginMutate()
+	// Inside the bracket: a reader that loaded the (nil, 0) pair observes
+	// the seqlock moving and discards it; validated readers never see it.
+	it.vptr.Store(nil)
+	it.vlen.Store(0)
+	if ti := l.tailIndexOf(it); ti >= 0 {
+		// Swap the last tail slot into the vacated one.
+		last := int(l.tailLen.Load()) - 1
+		l.tailHash[ti].Store(l.tailHash[last].Load())
+		l.tailItem[ti].Store(l.tailItem[last].Load())
+		l.tailLen.Store(int32(last))
+	} else {
+		// The item is in the base: publish a copy without it.
+		oh, oi := l.base.Load().view(int(l.baseN.Load()))
+		nh, ni := newTagBlockInto(l, len(oh)-1)
+		o := 0
+		for i, m := range oi {
+			if m != it {
+				nh[o], ni[o] = oh[i], m
+				o++
+			}
 		}
+		tl := l.tailLen.Load() // publishTagBlock clears the tail; keep it
+		l.publishTagBlock(o)
+		l.tailLen.Store(tl)
 	}
 	for i, k := range l.kvs {
 		if k != it {
@@ -161,25 +545,48 @@ func (l *leafNode) remove(it *kv) {
 			l.kvs[i] = l.kvs[len(l.kvs)-1]
 			l.kvs = l.kvs[:len(l.kvs)-1]
 		}
-		return
+		break
 	}
+	l.endMutate()
+}
+
+// tailIndexOf returns it's slot in the inline tail, or -1.
+func (l *leafNode) tailIndexOf(it *kv) int {
+	tl := int(l.tailLen.Load())
+	for i := 0; i < tl; i++ {
+		if l.tailItem[i].Load() == it {
+			return i
+		}
+	}
+	return -1
+}
+
+// incSortScratch recycles the merge buffer of incSort across calls; the
+// buffer never escapes the lock-holding caller, so pooling it makes the
+// scan/split sort path allocation-free for leaves within LeafCap.
+var incSortScratch = sync.Pool{
+	New: func() any {
+		b := make([]*kv, 0, 128)
+		return &b
+	},
 }
 
 // incSort makes kvs fully key-sorted: sort the unsorted tail, then merge it
-// with the sorted prefix (Algorithm 3's incSort). byHash is untouched.
+// with the sorted prefix (Algorithm 3's incSort). The published tag array
+// is untouched — kvs order is invisible to lock-free readers. Caller
+// holds mu (write).
 func (l *leafNode) incSort() {
 	if l.sorted == len(l.kvs) {
 		return
 	}
 	tail := l.kvs[l.sorted:]
-	sort.Slice(tail, func(i, j int) bool {
-		return bytes.Compare(tail[i].key, tail[j].key) < 0
-	})
+	slices.SortFunc(tail, func(x, y *kv) int { return bytes.Compare(x.key, y.key) })
 	if l.sorted == 0 {
 		l.sorted = len(l.kvs)
 		return
 	}
-	merged := make([]*kv, 0, len(l.kvs))
+	bufp := incSortScratch.Get().(*[]*kv)
+	merged := (*bufp)[:0]
 	a, b := l.kvs[:l.sorted], tail
 	for len(a) > 0 && len(b) > 0 {
 		if bytes.Compare(a[0].key, b[0].key) <= 0 {
@@ -194,20 +601,20 @@ func (l *leafNode) incSort() {
 	merged = append(merged, b...)
 	copy(l.kvs, merged)
 	l.sorted = len(l.kvs)
+	*bufp = merged[:0]
+	incSortScratch.Put(bufp)
 }
 
-// rebuildByHash resorts the tag array from scratch (used after splits).
-func (l *leafNode) rebuildByHash() {
-	l.byHash = l.byHash[:0]
-	for _, it := range l.kvs {
-		l.byHash = append(l.byHash, tagEnt{hash: it.hash, it: it})
+// rebuildTags builds and publishes a fresh fully-sorted base block from
+// kvs (used after splits and bulk loads). The previous block is left
+// intact for readers still holding it. Caller holds mu.
+func (l *leafNode) rebuildTags() {
+	nb := make([]tagEnt, len(l.kvs))
+	for i, it := range l.kvs {
+		nb[i] = tagEnt{hash: it.hash, it: it}
 	}
-	sort.Slice(l.byHash, func(i, j int) bool {
-		if l.byHash[i].hash != l.byHash[j].hash {
-			return l.byHash[i].hash < l.byHash[j].hash
-		}
-		return bytes.Compare(l.byHash[i].it.key, l.byHash[j].it.key) < 0
-	})
+	sortTagEnts(nb)
+	l.setTags(nb)
 }
 
 // firstAtLeast returns the index of the first sorted item with key >= k.

@@ -11,7 +11,9 @@ import (
 
 func mkKV(key string) *kv {
 	k := []byte(key)
-	return &kv{hash: hashKey(k), key: k, val: []byte("v")}
+	it := &kv{hash: hashKey(k), key: k}
+	it.setValue([]byte("v"))
+	return it
 }
 
 func TestLeafInsertFindRemove(t *testing.T) {
@@ -38,8 +40,8 @@ func TestLeafInsertFindRemove(t *testing.T) {
 	if l.find(hashKey([]byte("bravo")), []byte("bravo"), true, true) != nil {
 		t.Fatal("bravo still findable after remove")
 	}
-	if l.size() != 4 || len(l.byHash) != 4 {
-		t.Fatalf("size %d / byHash %d after remove", l.size(), len(l.byHash))
+	if l.size() != 4 || l.tags().size() != 4 {
+		t.Fatalf("size %d / byHash %d after remove", l.size(), l.tags().size())
 	}
 }
 
@@ -92,30 +94,40 @@ func TestLeafHashPosQuick(t *testing.T) {
 			present[k] = true
 			l.insert(mkKV(k))
 		}
+		l.rebuildTags() // fold the append tail so tagPos sees every item
+		base := l.tags().base
+		hashes := make([]uint32, len(base))
+		for i, e := range base {
+			hashes[i] = e.hash
+		}
 		for k := range present {
 			h := hashKey([]byte(k))
 			for _, dp := range []bool{true, false} {
-				i, ok := l.hashPos(h, []byte(k), dp)
-				if !ok || string(l.byHash[i].it.key) != k {
+				i := tagPos(hashes, h, dp)
+				found := false
+				for ; i < len(base) && base[i].hash == h; i++ {
+					if string(base[i].it.key) == k {
+						found = true
+						break
+					}
+				}
+				if !found {
 					return false
 				}
 			}
 		}
-		// Misses: position must be a valid insertion point (hash order kept).
+		// Misses: tagPos must return the first index with hash >= h.
 		for i := 0; i < 20; i++ {
 			k := []byte(fmt.Sprintf("miss%04d", r.Intn(10000)))
 			if present[string(k)] {
 				continue
 			}
 			h := hashKey(k)
-			pos, ok := l.hashPos(h, k, i%2 == 0)
-			if ok {
+			pos := tagPos(hashes, h, i%2 == 0)
+			if pos > 0 && hashes[pos-1] >= h {
 				return false
 			}
-			if pos > 0 && l.byHash[pos-1].hash > h {
-				return false
-			}
-			if pos < len(l.byHash) && l.byHash[pos].hash < h {
+			if pos < len(hashes) && hashes[pos] < h {
 				return false
 			}
 		}
@@ -158,21 +170,24 @@ func TestMergeLeavesKeepsOrder(t *testing.T) {
 		b.insert(mkKV(k))
 	}
 	mergeLeaves(a, b)
-	if !b.dead {
+	if !b.dead.Load() {
 		t.Fatal("victim not marked dead")
 	}
-	if a.size() != 5 || len(a.byHash) != 5 {
-		t.Fatalf("merged sizes wrong: %d/%d", a.size(), len(a.byHash))
+	if a.size() != 5 || a.tags().size() != 5 {
+		t.Fatalf("merged sizes wrong: %d/%d", a.size(), a.tags().size())
 	}
 	if a.sorted != 5 {
 		t.Fatalf("merged sorted prefix = %d, want 5", a.sorted)
 	}
 	var hs []uint32
-	for _, it := range a.byHash {
+	for _, it := range a.tags().base {
 		hs = append(hs, it.hash)
 	}
+	if len(hs) != 5 {
+		t.Fatal("merged snapshot should be fully folded into the base")
+	}
 	if !sort.SliceIsSorted(hs, func(i, j int) bool { return hs[i] < hs[j] }) {
-		t.Fatal("merged byHash not hash-sorted")
+		t.Fatal("merged tag base not hash-sorted")
 	}
 }
 

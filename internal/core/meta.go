@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/bits"
+	"unsafe"
 )
 
 // metaNode is one MetaTrieHT item (Figure 5/6). An item is either a leaf
@@ -83,6 +84,42 @@ type metaBucket struct {
 	next  *metaBucket // overflow chain; rare after resize
 }
 
+// littleEndian reports whether uint16 lanes viewed through a uint64 map
+// low lane to low bits — the layout tagMask's SWAR compare assumes.
+var littleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// tagMask compares all eight slot tags against tag at once (two 64-bit
+// SWAR compares over the contiguous tag array — the cache-line bucket
+// layout of Figure 6 pays off here) and returns a bitmask of matching
+// slots. Empty slots carry tag 0 and a nil node, so callers must still
+// nil-check the node behind a set bit. On big-endian hosts, where the
+// lane order would invert the slot mapping, it falls back to a scalar
+// scan (the branch is a package-constant predict).
+func (b *metaBucket) tagMask(tag uint16) uint32 {
+	if !littleEndian {
+		var m uint32
+		for i := 0; i < metaBucketWidth; i++ {
+			if b.tags[i] == tag {
+				m |= 1 << i
+			}
+		}
+		return m
+	}
+	t := uint64(tag)
+	pat := t | t<<16 | t<<32 | t<<48
+	p := (*[2]uint64)(unsafe.Pointer(&b.tags[0]))
+	return swarZero16(p[0]^pat) | swarZero16(p[1]^pat)<<4
+}
+
+// swarZero16 returns a 4-bit mask of which 16-bit lanes of x are zero.
+func swarZero16(x uint64) uint32 {
+	y := (x - 0x0001000100010001) & ^x & 0x8000800080008000
+	return uint32(y>>15&1 | y>>30&2 | y>>45&4 | y>>60&8)
+}
+
 // metaTable is one copy of the MetaTrieHT. Wormhole keeps two copies (§2.5):
 // the published one, read lock-free under QSBR protection, and a spare. A
 // table is only ever mutated while it is the spare (never observable), so
@@ -94,6 +131,12 @@ type metaTable struct {
 	count   int
 	maxLen  int // length of the longest stored anchor (L_anc)
 	version uint64
+	// root caches the empty-key item — the anchor of every LPM binary
+	// search — so lookups skip one bucket probe per operation. It exists
+	// in every consistent table (the head leaf's anchor is the empty key
+	// or ⊥-extends it, and every proper prefix of a stored anchor has an
+	// internal item).
+	root *metaNode
 }
 
 func newMetaTable(buckets int) *metaTable {
@@ -112,15 +155,18 @@ func newMetaTable(buckets int) *metaTable {
 func (t *metaTable) get(h uint32, key []byte, tagMatch bool) *metaNode {
 	tag := metaTag(h)
 	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
+		if tagMatch {
+			for m := b.tagMask(tag); m != 0; m &= m - 1 {
+				n := b.nodes[bits.TrailingZeros32(m)]
+				if n != nil && bytes.Equal(n.key, key) {
+					return n
+				}
+			}
+			continue
+		}
 		for i := 0; i < metaBucketWidth; i++ {
 			n := b.nodes[i]
-			if n == nil {
-				continue
-			}
-			if tagMatch && b.tags[i] != tag {
-				continue
-			}
-			if bytes.Equal(n.key, key) {
+			if n != nil && bytes.Equal(n.key, key) {
 				return n
 			}
 		}
@@ -135,9 +181,9 @@ func (t *metaTable) get(h uint32, key []byte, tagMatch bool) *metaNode {
 func (t *metaTable) getTagOnly(h uint32) *metaNode {
 	tag := metaTag(h)
 	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
-		for i := 0; i < metaBucketWidth; i++ {
-			if b.nodes[i] != nil && b.tags[i] == tag {
-				return b.nodes[i]
+		for m := b.tagMask(tag); m != 0; m &= m - 1 {
+			if n := b.nodes[bits.TrailingZeros32(m)]; n != nil {
+				return n
 			}
 		}
 	}
@@ -147,17 +193,12 @@ func (t *metaTable) getTagOnly(h uint32) *metaNode {
 // getChild looks up parent.key + one extra token without materializing the
 // concatenation. parentHash must be the hash of parent.key.
 func (t *metaTable) getChild(parentHash uint32, parent []byte, tok byte) *metaNode {
-	var ext [1]byte
-	ext[0] = tok
-	h := hashExtend(parentHash, ext[:])
+	h := hashExtendByte(parentHash, tok)
 	tag := metaTag(h)
 	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
-		for i := 0; i < metaBucketWidth; i++ {
-			n := b.nodes[i]
-			if n == nil || b.tags[i] != tag {
-				continue
-			}
-			if equalWithSuffixByte(n.key, parent, tok) {
+		for m := b.tagMask(tag); m != 0; m &= m - 1 {
+			n := b.nodes[bits.TrailingZeros32(m)]
+			if n != nil && equalWithSuffixByte(n.key, parent, tok) {
 				return n
 			}
 		}
@@ -175,6 +216,9 @@ func (t *metaTable) set(node *metaNode) {
 	t.count++
 	if len(node.key) > t.maxLen {
 		t.maxLen = len(node.key)
+	}
+	if len(node.key) == 0 {
+		t.root = node
 	}
 }
 
@@ -196,7 +240,11 @@ func (t *metaTable) insert(h uint32, node *metaNode) {
 	}
 }
 
-// remove deletes the item with the given stored key, returning it.
+// remove deletes the item with the given stored key, returning it. When
+// the removed key was (one of) the longest stored, maxLen is recomputed:
+// leaving it stale would keep the LPM binary search probing to an upper
+// bound no anchor can reach anymore, so after heavy delete/merge cycles
+// every lookup would pay for the longest anchor the table ever held.
 func (t *metaTable) remove(key []byte) *metaNode {
 	h := hashKey(key)
 	for b := &t.buckets[h&t.mask]; b != nil; b = b.next {
@@ -206,11 +254,30 @@ func (t *metaTable) remove(key []byte) *metaNode {
 				b.nodes[i] = nil
 				b.tags[i] = 0
 				t.count--
+				if len(key) == t.maxLen {
+					t.recomputeMaxLen()
+				}
+				if len(key) == 0 {
+					t.root = nil // transient; recreated before publication
+				}
 				return n
 			}
 		}
 	}
 	return nil
+}
+
+// recomputeMaxLen rescans the table for the longest stored key. O(items),
+// but only runs when the longest anchor is removed — a structural-writer
+// path already paying a grace period.
+func (t *metaTable) recomputeMaxLen() {
+	m := 0
+	t.forEach(func(n *metaNode) {
+		if len(n.key) > m {
+			m = len(n.key)
+		}
+	})
+	t.maxLen = m
 }
 
 // grow doubles the bucket array and rehashes every item. Safe because

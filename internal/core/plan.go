@@ -1,7 +1,5 @@
 package core
 
-import "bytes"
-
 // This file implements Algorithm 4 (split and merge) as two halves:
 //
 //  1. Planning — pure computation of the new anchor, its ⊥-extension, and
@@ -161,21 +159,26 @@ func tryCut(a, b, own, nextStored []byte, cut int) *splitPlan {
 // executeLeafSplit mutates the LeafList for a planned split: moves the
 // upper half of l's items into a new leaf, re-keys l's anchor if the plan
 // converted it, and links the new leaf after l. It returns the new leaf.
-// The caller holds l's write lock; the new leaf is not yet reachable.
+// The caller holds l's write lock and has already bumped l's version, so
+// optimistic readers that observe the truncated tag array retry; the seq
+// bump additionally invalidates any read overlapping the mutation. The
+// new leaf is not yet reachable.
 func executeLeafSplit(l *leafNode, p *splitPlan) *leafNode {
 	right := l.kvs[p.cut:]
 	newL := newLeafNode(anchor{stored: p.stored, realLen: p.realLen}, cap(l.kvs))
 	newL.kvs = append(newL.kvs, right...)
 	newL.sorted = len(newL.kvs)
-	newL.rebuildByHash()
+	newL.rebuildTags()
 
+	l.beginMutate()
 	l.kvs = l.kvs[:p.cut]
 	l.sorted = p.cut
-	l.rebuildByHash()
+	l.rebuildTags()
 	if p.conv != nil {
 		old := l.anchor.Load()
 		l.anchor.Store(&anchor{stored: p.conv.to, realLen: old.realLen})
 	}
+	l.endMutate()
 	return newL
 }
 
@@ -294,8 +297,14 @@ func applyMerge(t *metaTable, p *mergePlan) {
 }
 
 // mergeLeaves moves every item of victim into left and unlinks victim.
-// Caller holds both write locks; left is victim's immediate predecessor.
+// Caller holds both write locks and has bumped victim's version, so
+// optimistic readers routed to victim through a stale table retry (the
+// dead flag catches those routed through any table). left's merged tag
+// array is published as a fresh snapshot; victim's is left intact for
+// readers still holding it.
 func mergeLeaves(left, victim *leafNode) {
+	left.beginMutate()
+	victim.beginMutate()
 	if left.sorted == len(left.kvs) {
 		// All of victim's keys sort after all of left's, so victim's sorted
 		// prefix extends left's.
@@ -304,27 +313,22 @@ func mergeLeaves(left, victim *leafNode) {
 	} else {
 		left.kvs = append(left.kvs, victim.kvs...)
 	}
-	// Merge the two hash-ordered arrays.
-	merged := make([]tagEnt, 0, len(left.byHash)+len(victim.byHash))
-	a, b := left.byHash, victim.byHash
-	for len(a) > 0 && len(b) > 0 {
-		if a[0].hash < b[0].hash ||
-			(a[0].hash == b[0].hash && bytes.Compare(a[0].it.key, b[0].it.key) <= 0) {
-			merged = append(merged, a[0])
-			a = a[1:]
-		} else {
-			merged = append(merged, b[0])
-			b = b[1:]
-		}
-	}
-	merged = append(merged, a...)
-	merged = append(merged, b...)
-	left.byHash = merged
+	// Combine the two snapshots into one fully sorted base. Both leaves
+	// are small (their sizes sum below MergeSize), so a flatten-and-sort
+	// beats maintaining a 4-way merge across two bases and two tails.
+	a, b := left.tags(), victim.tags()
+	merged := make([]tagEnt, 0, a.size()+b.size())
+	merged = a.all(merged)
+	merged = b.all(merged)
+	sortTagEnts(merged)
+	left.setTags(merged)
 
-	victim.dead = true
+	victim.dead.Store(true)
 	r := victim.next.Load()
 	left.next.Store(r)
 	if r != nil {
 		r.prev.Store(left)
 	}
+	victim.endMutate()
+	left.endMutate()
 }

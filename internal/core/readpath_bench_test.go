@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchKeys returns n distinct keys shaped like the paper's composite
+// keysets: a shared prefix, a variable numeric run, and a suffix.
+func benchKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("az-%09d-suffix", i*7))
+	}
+	return keys
+}
+
+// BenchmarkGet measures the concurrent point-read path (one-shot QSBR
+// reader section per call).
+func BenchmarkGet(b *testing.B) {
+	w := New(DefaultOptions())
+	keys := benchKeys(200000)
+	for _, k := range keys {
+		w.Set(k, k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Get(keys[(i*2654435761)%len(keys)])
+	}
+}
+
+// BenchmarkReaderGet measures the same lookup through a pinned read
+// handle, the amortized path a server connection uses.
+func BenchmarkReaderGet(b *testing.B) {
+	w := New(DefaultOptions())
+	keys := benchKeys(200000)
+	for _, k := range keys {
+		w.Set(k, k)
+	}
+	r := w.NewReader()
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Get(keys[(i*2654435761)%len(keys)])
+	}
+}
+
+// BenchmarkGetParallel measures Get under GOMAXPROCS-way concurrency,
+// each worker on a pinned handle.
+func BenchmarkGetParallel(b *testing.B) {
+	w := New(DefaultOptions())
+	keys := benchKeys(200000)
+	for _, k := range keys {
+		w.Set(k, k)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := w.NewReader()
+		defer r.Close()
+		i := 0
+		for pb.Next() {
+			r.Get(keys[(i*2654435761)%len(keys)])
+			i++
+		}
+	})
+}
+
+// BenchmarkSet measures insertion into fresh indexes (splits included).
+func BenchmarkSet(b *testing.B) {
+	keys := benchKeys(200000)
+	b.ResetTimer()
+	var w *Wormhole
+	for i := 0; i < b.N; i++ {
+		if i%len(keys) == 0 {
+			b.StopTimer()
+			w = New(DefaultOptions())
+			b.StartTimer()
+		}
+		k := keys[i%len(keys)]
+		w.Set(k, k)
+	}
+}

@@ -91,7 +91,7 @@ func (w *Wormhole) Scan(start []byte, fn func(key, val []byte) bool) {
 			end = len(l.kvs)
 		}
 		for ; i < end; i++ {
-			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].val})
+			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].value()})
 		}
 		more := end < len(l.kvs)
 		var nxt *leafNode
@@ -184,7 +184,7 @@ func (w *Wormhole) ScanDesc(start []byte, fn func(key, val []byte) bool) {
 		}
 		low := i - scanChunk
 		for ; i >= 0 && i > low; i-- {
-			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].val})
+			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].value()})
 		}
 		more := i >= 0
 		var prv *leafNode
@@ -221,7 +221,7 @@ func (w *Wormhole) ScanDesc(start []byte, fn func(key, val []byte) bool) {
 // the caller must re-seek.
 func (w *Wormhole) lockScanLeaf(l *leafNode, version uint64, checkVersion bool) (write, ok bool) {
 	l.mu.RLock()
-	if l.dead || (checkVersion && l.version.Load() > version) {
+	if l.dead.Load() || (checkVersion && l.version.Load() > version) {
 		l.mu.RUnlock()
 		return false, false
 	}
@@ -230,7 +230,7 @@ func (w *Wormhole) lockScanLeaf(l *leafNode, version uint64, checkVersion bool) 
 	}
 	l.mu.RUnlock()
 	l.mu.Lock()
-	if l.dead || (checkVersion && l.version.Load() > version) {
+	if l.dead.Load() || (checkVersion && l.version.Load() > version) {
 		l.mu.Unlock()
 		return false, false
 	}
@@ -249,7 +249,7 @@ func unlockScanLeaf(l *leafNode, write bool) {
 // rightmostLeaf returns the last LeafList node: the root item's rightmost
 // subtree boundary (O(1), no list walk).
 func (w *Wormhole) rightmostLeaf(t *metaTable) *leafNode {
-	root := t.get(0, nil, w.opt.TagMatching)
+	root := t.root
 	if root.isLeafItem() {
 		return root.leaf
 	}
@@ -263,7 +263,7 @@ func (w *Wormhole) scanUnsafe(start []byte, fn func(key, val []byte) bool) {
 	i := l.firstAtLeast(start)
 	for l != nil {
 		for ; i < len(l.kvs); i++ {
-			if !fn(l.kvs[i].key, l.kvs[i].val) {
+			if !fn(l.kvs[i].key, l.kvs[i].value()) {
 				return
 			}
 		}
@@ -290,7 +290,7 @@ func (w *Wormhole) scanDescUnsafe(start []byte, fn func(key, val []byte) bool) {
 	}
 	for l != nil {
 		for ; i >= 0; i-- {
-			if !fn(l.kvs[i].key, l.kvs[i].val) {
+			if !fn(l.kvs[i].key, l.kvs[i].value()) {
 				return
 			}
 		}

@@ -25,11 +25,18 @@ func (w *Wormhole) searchLPM(t *metaTable, key []byte) (*metaNode, uint32) {
 	return node, h
 }
 
+// maxEagerPrefix bounds the stack-resident prefix-hash array of the
+// memory-parallel LPM pass; longer keys fall back to the lazy pass.
+const maxEagerPrefix = 64
+
 func (w *Wormhole) lpmPass(t *metaTable, key []byte, optimistic bool) (*metaNode, uint32, bool) {
 	maxl := min(len(key), t.maxLen)
+	if w.opt.IncHashing && maxl <= maxEagerPrefix {
+		return w.lpmPassEager(t, key, maxl, optimistic)
+	}
 	m, n := 0, maxl+1
 	var crcM uint32
-	nodeM := t.get(0, nil, w.opt.TagMatching) // the root item always exists
+	nodeM := t.root // the root item always exists in a published table
 	for m+1 < n {
 		pl := (m + n) / 2
 		var h uint32
@@ -54,6 +61,70 @@ func (w *Wormhole) lpmPass(t *metaTable, key []byte, optimistic bool) (*metaNode
 		return nil, 0, false
 	}
 	return nodeM, crcM, true
+}
+
+// lpmPassEager is the memory-parallel variant of the prefix binary
+// search, used whenever IncHashing is on and the key fits the stack
+// array. The lazy pass above extends the confirmed prefix's CRC on each
+// probe, which chains every probe's *address* through the previous
+// probe's *data* — the CPU cannot begin fetching probe k+1's bucket
+// until probe k's cache miss resolves, so the search costs log2(maxLen)
+// serialized memory latencies. Here the incremental CRC is instead run
+// eagerly over the key once (the same table steps in total), giving
+// every candidate depth's bucket address up front; probe addresses then
+// depend only on branch outcomes, and the buckets of the first two
+// search levels are touched explicitly before the loop so their misses
+// overlap. This is the memory-level-parallelism argument of the Cuckoo
+// Trie applied to Wormhole's Algorithm 1.
+func (w *Wormhole) lpmPassEager(t *metaTable, key []byte, maxl int, optimistic bool) (*metaNode, uint32, bool) {
+	// hs[i] = CRC32-C of key[:i], one table step per byte (§3.1's
+	// incremental hashing, run ahead of the search instead of inside it).
+	var hs [maxEagerPrefix + 1]uint32
+	c := ^uint32(0)
+	for i := 0; i < maxl; i++ {
+		c = crcTable[byte(c)^key[i]] ^ (c >> 8)
+		hs[i+1] = ^c
+	}
+	m, n := 0, maxl+1
+	nodeM := t.root // the root item always exists in a published table
+	if n > 2 {
+		// Touch the buckets of the first three binary-search levels (the
+		// level-1 probe, both level-2 candidates, all four level-3
+		// candidates): seven independent loads the memory system runs
+		// concurrently, where the search loop alone would serialize them
+		// behind branch resolution. Duplicate depths just reload a hot
+		// line. The sum feeds a benign branch so the loads stay live.
+		p1 := n / 2
+		p2a, p2b := p1/2, (p1+n)/2
+		warm := t.buckets[hs[p1]&t.mask].tags[0] +
+			t.buckets[hs[p2a]&t.mask].tags[0] +
+			t.buckets[hs[p2b]&t.mask].tags[0] +
+			t.buckets[hs[p2a/2]&t.mask].tags[0] +
+			t.buckets[hs[(p2a+p1)/2]&t.mask].tags[0] +
+			t.buckets[hs[(p1+p2b)/2]&t.mask].tags[0] +
+			t.buckets[hs[(p2b+n)/2]&t.mask].tags[0]
+		if warm == 0xFFFF {
+			nodeM = t.root
+		}
+	}
+	for m+1 < n {
+		pl := (m + n) / 2
+		var nd *metaNode
+		if optimistic {
+			nd = t.getTagOnly(hs[pl])
+		} else {
+			nd = t.get(hs[pl], key[:pl], w.opt.TagMatching)
+		}
+		if nd != nil {
+			m, nodeM = pl, nd
+		} else {
+			n = pl
+		}
+	}
+	if optimistic && !bytes.Equal(nodeM.key, key[:m]) {
+		return nil, 0, false
+	}
+	return nodeM, hs[m], true
 }
 
 // searchMeta resolves key to its target leaf — the leaf whose real anchor

@@ -51,12 +51,21 @@ func (w *Wormhole) Footprint() int64 {
 	leafHdr := int64(unsafe.Sizeof(leafNode{}))
 	kvHdr := int64(unsafe.Sizeof(kv{}))
 	ptr := int64(unsafe.Sizeof(uintptr(0)))
+	blockSz := int64(unsafe.Sizeof(tagBlock{}))
 	for l := w.head; l != nil; l = l.next.Load() {
-		total += leafHdr
+		total += leafHdr // includes the inline tag tail arrays
 		total += int64(len(l.anchor.Load().stored)) + int64(unsafe.Sizeof(anchor{}))
-		total += int64(cap(l.kvs))*ptr + int64(cap(l.byHash))*ptr
+		total += int64(cap(l.kvs)) * ptr
+		// The published base block is a fixed-size allocation regardless
+		// of occupancy; big (overflow) blocks add their slices.
+		if b := l.base.Load(); b != emptyTagBlock {
+			total += blockSz
+			if b.big != nil {
+				total += int64(cap(b.big.hashes))*4 + int64(cap(b.big.items))*ptr
+			}
+		}
 		for _, it := range l.kvs {
-			total += kvHdr + int64(len(it.key)) + int64(len(it.val))
+			total += kvHdr + int64(len(it.key)) + int64(len(it.value()))
 		}
 	}
 	total += tableFootprint(w.cur.Load())

@@ -19,10 +19,11 @@ type Options struct {
 	// MergeSize: after a deletion, two adjacent leaves whose combined size
 	// is below this are merged. Defaults to 2*LeafCap/3.
 	MergeSize int
-	// Concurrent selects the thread-safe index (per-leaf RW locks, dual
-	// MetaTrieHT with QSBR grace periods, version validation — §2.5).
-	// With Concurrent=false the index is the paper's "Wormhole-unsafe":
-	// a single meta table and no locking; the caller must serialize.
+	// Concurrent selects the thread-safe index (seqlock leaves over
+	// published tag-array snapshots, dual MetaTrieHT with QSBR grace
+	// periods, version validation — §2.5). With Concurrent=false the index
+	// is the paper's "Wormhole-unsafe": a single meta table and no
+	// locking; the caller must serialize.
 	Concurrent bool
 
 	TagMatching bool // §3.1: 16-bit tags + optimistic tag-only LPM probes
@@ -36,7 +37,8 @@ type Options struct {
 	// binary search's upper bound. Off by default to match the paper.
 	ShortAnchors bool
 
-	// QSBRSlots sizes the reader-slot array (Concurrent only).
+	// QSBRSlots sizes the initial reader-slot bank (Concurrent only); the
+	// slot set grows on demand when more readers pin simultaneously.
 	QSBRSlots int
 }
 
@@ -106,23 +108,89 @@ func New(opt Options) *Wormhole {
 // Count returns the number of keys in the index.
 func (w *Wormhole) Count() int64 { return w.count.Load() }
 
+// getUnsafe is the single-threaded lookup (no reader section, no leaf
+// validation).
+func (w *Wormhole) getUnsafe(h uint32, key []byte) ([]byte, bool) {
+	l := w.searchMeta(w.cur.Load(), key)
+	if it := l.find(h, key, w.opt.SortByTag, w.opt.DirectPos); it != nil {
+		return it.value(), true
+	}
+	return nil, false
+}
+
 // Get returns the value stored under key.
 func (w *Wormhole) Get(key []byte) ([]byte, bool) {
 	h := hashKey(key)
 	if !w.opt.Concurrent {
-		l := w.searchMeta(w.cur.Load(), key)
-		if it := l.find(h, key, w.opt.SortByTag, w.opt.DirectPos); it != nil {
-			return it.val, true
-		}
-		return nil, false
+		return w.getUnsafe(h, key)
 	}
 	s := w.q.Enter()
-	defer w.q.Leave(s)
+	val, ok := w.getOnline(s, h, key)
+	w.q.Leave(s)
+	return val, ok
+}
+
+// seqlockAttempts bounds how many optimistic tries Get makes against
+// leaf-writer collisions before falling back to the per-leaf read lock.
+const seqlockAttempts = 4
+
+// getOnline performs one lookup inside an already-announced QSBR reader
+// section (slot s, used only to Refresh on a stale-table retry).
+//
+// The fast path is coordination-free: it loads the published table, walks
+// it to the target leaf, and performs the whole leaf read — §2.5's
+// version/dead validation, the tag-block search, the (vptr, vlen) value
+// load — bracketed between two loads of the leaf's seqlock word, with no
+// stores to any shared cache line. Every individual load is atomic and
+// every published tag block is immutable and self-describing, so no read
+// can tear or fault; what CAN be observed is a mixed generation (a value
+// pair mid-overwrite, a new base with an old tail, a truncated post-split
+// base under a version check that passed just before the split began).
+// Every writer that creates such a window bumps the seqlock first, so the
+// bracket detects all of them: if seq was even before and unchanged
+// after, no mutation overlapped and the result is consistent with a
+// stable leaf state inside the bracket.
+//
+// After seqlockAttempts collisions (or when SortByTag is off and the leaf
+// must be searched key-sorted in place) it falls back to the classic
+// locked read path.
+func (w *Wormhole) getOnline(s *qsbr.Slot, h uint32, key []byte) ([]byte, bool) {
+	if w.opt.SortByTag {
+		for tries := 0; tries < seqlockAttempts; {
+			t := w.cur.Load()
+			l := w.searchMeta(t, key)
+			s1 := l.seq.Load()
+			if s1&1 != 0 { // writer mid-mutation
+				tries++
+				continue
+			}
+			if l.version.Load() > t.version || l.dead.Load() {
+				w.q.Refresh(s)
+				continue // stale table: re-resolve, doesn't count as a collision
+			}
+			var vp *byte
+			var vn int64
+			ok := false
+			if it := l.findTags(h, key, w.opt.DirectPos); it != nil {
+				vp, vn = it.valueParts()
+				ok = true
+			}
+			if l.seq.Load() == s1 {
+				// The bracket held, so the (vp, vn) pair is consistent and
+				// may be materialized now — never before the validation.
+				if !ok {
+					return nil, false
+				}
+				return valueSlice(vp, vn), true
+			}
+			tries++
+		}
+	}
 	for {
 		t := w.cur.Load()
 		l := w.searchMeta(t, key)
 		l.mu.RLock()
-		if l.version.Load() > t.version || l.dead {
+		if l.version.Load() > t.version || l.dead.Load() {
 			l.mu.RUnlock()
 			w.q.Refresh(s)
 			continue
@@ -131,10 +199,97 @@ func (w *Wormhole) Get(key []byte) ([]byte, bool) {
 		var val []byte
 		ok := false
 		if it != nil {
-			val, ok = it.val, true
+			val, ok = it.value(), true
 		}
 		l.mu.RUnlock()
 		return val, ok
+	}
+}
+
+// GetBatch answers keys[i] into vals[i] and found[i] for every i in idxs
+// (nil idxs means all of keys). The whole batch shares one QSBR reader
+// announcement — the server-side analogue of netkv's request batching,
+// used by the sharded store's per-shard groups.
+func (w *Wormhole) GetBatch(keys, vals [][]byte, found []bool, idxs []int) {
+	if idxs == nil {
+		idxs = make([]int, len(keys))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	if !w.opt.Concurrent {
+		for _, i := range idxs {
+			vals[i], found[i] = w.getUnsafe(hashKey(keys[i]), keys[i])
+		}
+		return
+	}
+	s := w.q.Enter()
+	for _, i := range idxs {
+		vals[i], found[i] = w.getOnline(s, hashKey(keys[i]), keys[i])
+	}
+	w.q.Leave(s)
+}
+
+// Reader is an amortized read handle: it claims one QSBR slot at creation
+// and reuses it for every operation, so a long-lived goroutine (a server
+// connection, a benchmark worker) pays the slot acquisition once instead
+// of per request, and each Get costs two plain stores to the handle's own
+// cache line instead of a shared compare-and-swap. Between operations the
+// slot is parked (quiescent), so an idle Reader never stalls writers'
+// grace periods. A Reader must not be used concurrently; Close releases
+// the slot.
+type Reader struct {
+	w   *Wormhole
+	pin *qsbr.Pin // nil when the index is not concurrent
+}
+
+// NewReader returns a read handle bound to this index.
+func (w *Wormhole) NewReader() *Reader {
+	r := &Reader{w: w}
+	if w.opt.Concurrent {
+		r.pin = w.q.Pin()
+	}
+	return r
+}
+
+// Get returns the value stored under key.
+func (r *Reader) Get(key []byte) ([]byte, bool) {
+	h := hashKey(key)
+	if r.pin == nil {
+		return r.w.getUnsafe(h, key)
+	}
+	s := r.pin.Enter()
+	val, ok := r.w.getOnline(s, h, key)
+	r.pin.Leave()
+	return val, ok
+}
+
+// GetBatch answers keys[i] into vals[i] and found[i] for every i in idxs
+// (nil idxs means all of keys), under a single reader announcement.
+func (r *Reader) GetBatch(keys, vals [][]byte, found []bool, idxs []int) {
+	if r.pin == nil {
+		r.w.GetBatch(keys, vals, found, idxs)
+		return
+	}
+	if idxs == nil {
+		idxs = make([]int, len(keys))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	s := r.pin.Enter()
+	for _, i := range idxs {
+		vals[i], found[i] = r.w.getOnline(s, hashKey(keys[i]), keys[i])
+	}
+	r.pin.Leave()
+}
+
+// Close releases the handle's reader slot. The Reader must not be used
+// afterwards.
+func (r *Reader) Close() {
+	if r.pin != nil {
+		r.pin.Unpin()
+		r.pin = nil
 	}
 }
 
@@ -151,19 +306,23 @@ func (w *Wormhole) Set(key, val []byte) {
 		t := w.cur.Load()
 		l := w.searchMeta(t, key)
 		l.mu.Lock()
-		if l.version.Load() > t.version || l.dead {
+		if l.version.Load() > t.version || l.dead.Load() {
 			l.mu.Unlock()
 			w.q.Refresh(s)
 			continue
 		}
 		if it := l.find(h, key, true, w.opt.DirectPos); it != nil {
-			it.val = val
+			// The (vptr, vlen) pair is only atomic as a unit under the
+			// seqlock; optimistic readers revalidate seq after reading it.
+			l.beginMutate()
+			it.setValue(val)
+			l.endMutate()
 			l.mu.Unlock()
 			w.q.Leave(s)
 			return
 		}
 		if l.size() < w.opt.LeafCap {
-			l.insert(&kv{hash: h, key: key, val: val})
+			l.insert(l.newKV(h, key, val))
 			w.count.Add(1)
 			l.mu.Unlock()
 			w.q.Leave(s)
@@ -175,29 +334,31 @@ func (w *Wormhole) Set(key, val []byte) {
 		// metaMu owner's grace period forever.
 		l.mu.Unlock()
 		w.q.Leave(s)
-		w.splitInsert(&kv{hash: h, key: key, val: val})
+		w.splitInsert(h, key, val)
 		return
 	}
 }
 
-// splitInsert inserts it into a leaf that was observed full, splitting the
-// leaf if a legal cut exists. It re-resolves the target under metaMu:
-// holding metaMu freezes the published table (tables are only replaced by
-// metaMu owners) and all leaf versions, so one search + one leaf lock is
-// race-free here.
-func (w *Wormhole) splitInsert(it *kv) {
+// splitInsert inserts (key, val) into a leaf that was observed full,
+// splitting the leaf if a legal cut exists. It re-resolves the target
+// under metaMu: holding metaMu freezes the published table (tables are
+// only replaced by metaMu owners) and all leaf versions, so one search +
+// one leaf lock is race-free here.
+func (w *Wormhole) splitInsert(h uint32, key, val []byte) {
 	w.metaMu.Lock()
 	t := w.cur.Load()
-	l := w.searchMeta(t, it.key)
+	l := w.searchMeta(t, key)
 	l.mu.Lock()
-	if ex := l.find(it.hash, it.key, true, w.opt.DirectPos); ex != nil {
-		ex.val = it.val
+	if ex := l.find(h, key, true, w.opt.DirectPos); ex != nil {
+		l.beginMutate()
+		ex.setValue(val)
+		l.endMutate()
 		l.mu.Unlock()
 		w.metaMu.Unlock()
 		return
 	}
 	if l.size() < w.opt.LeafCap {
-		l.insert(it)
+		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
 		l.mu.Unlock()
 		w.metaMu.Unlock()
@@ -207,7 +368,7 @@ func (w *Wormhole) splitInsert(it *kv) {
 	p := planSplit(l, w.opt.ShortAnchors)
 	if p == nil {
 		// No legal anchor at any cut point: grow a fat leaf (§3.3).
-		l.insert(it)
+		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
 		l.mu.Unlock()
 		w.metaMu.Unlock()
@@ -223,10 +384,10 @@ func (w *Wormhole) splitInsert(it *kv) {
 	linkAfter(l, newL)
 	// Insert the pending item into the correct half before publication.
 	target := l
-	if bytes.Compare(it.key, newL.anchor.Load().real()) >= 0 {
+	if bytes.Compare(key, newL.anchor.Load().real()) >= 0 {
 		target = newL
 	}
-	target.insert(it)
+	target.insert(target.newKV(h, key, val))
 	w.count.Add(1)
 
 	sp := w.spare
@@ -247,18 +408,18 @@ func (w *Wormhole) setUnsafe(h uint32, key, val []byte) {
 	t := w.cur.Load()
 	l := w.searchMeta(t, key)
 	if it := l.find(h, key, true, w.opt.DirectPos); it != nil {
-		it.val = val
+		it.setValue(val)
 		return
 	}
 	if l.size() < w.opt.LeafCap {
-		l.insert(&kv{hash: h, key: key, val: val})
+		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
 		return
 	}
 	l.incSort()
 	p := planSplit(l, w.opt.ShortAnchors)
 	if p == nil {
-		l.insert(&kv{hash: h, key: key, val: val})
+		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
 		return
 	}
@@ -269,7 +430,7 @@ func (w *Wormhole) setUnsafe(h uint32, key, val []byte) {
 	if bytes.Compare(key, newL.anchor.Load().real()) >= 0 {
 		target = newL
 	}
-	target.insert(&kv{hash: h, key: key, val: val})
+	target.insert(target.newKV(h, key, val))
 	w.count.Add(1)
 	applySplit(t, l, newL, oldRight, p)
 }
@@ -287,7 +448,7 @@ func (w *Wormhole) Del(key []byte) bool {
 		t := w.cur.Load()
 		l := w.searchMeta(t, key)
 		l.mu.Lock()
-		if l.version.Load() > t.version || l.dead {
+		if l.version.Load() > t.version || l.dead.Load() {
 			l.mu.Unlock()
 			w.q.Refresh(s)
 			continue
@@ -321,7 +482,7 @@ func (w *Wormhole) tryMerge(l *leafNode) {
 	defer w.metaMu.Unlock()
 	// dead, prev and next only change under metaMu, so these reads are
 	// stable for the duration of the lock.
-	if l.dead {
+	if l.dead.Load() {
 		return
 	}
 	if left := l.prev.Load(); left != nil && w.mergePair(left, l) {

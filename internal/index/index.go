@@ -47,6 +47,25 @@ type Batcher interface {
 	DelBatch(keys [][]byte) []bool
 }
 
+// ReadHandle is an amortized read session. A handle claims whatever
+// per-reader synchronization state the index needs (for Wormhole, one
+// QSBR slot) once, and reuses it for every Get, so a long-lived goroutine
+// — a server connection, a benchmark worker — pays the acquisition once
+// instead of per operation. A handle must not be used concurrently; Close
+// releases its state.
+type ReadHandle interface {
+	Get(key []byte) ([]byte, bool)
+	Close()
+}
+
+// ReadPinner is implemented by indexes whose readers can amortize
+// per-operation synchronization across a session (Wormhole's pinned QSBR
+// readers). Callers that hold a goroutine for many operations should
+// prefer a handle; others fall back to plain Get.
+type ReadPinner interface {
+	NewReadHandle() ReadHandle
+}
+
 // Info describes one registered index implementation.
 type Info struct {
 	Name string

@@ -61,16 +61,32 @@ type Response struct {
 // dispatched to a pool of per-shard workers: one worker owns each shard,
 // so disjoint shards execute a batch concurrently while every operation
 // on one shard — and hence on one key — keeps its batch order.
+//
+// When the index supports pinned readers (index.ReadPinner), every
+// connection handler and every shard worker claims one read handle for
+// its lifetime, so a served GET pays the index's per-reader registration
+// once per connection instead of once per request — the paper's §2.5
+// lock-free readers amortized across the wire.
 type Server struct {
 	ix  index.Index
 	bx  index.Batcher // non-nil when ix supports shard dispatch
+	rp  index.ReadPinner
 	ln  net.Listener
 	mu  sync.Mutex
 	wg  sync.WaitGroup
 	cls bool
 
-	workers  []chan func() // one job channel per shard
+	workers  []chan func(index.ReadHandle) // one job channel per shard
 	workerWG sync.WaitGroup
+}
+
+// newReadHandle returns a pinned read handle for one goroutine's
+// lifetime, or nil when the index has no amortized read path.
+func (s *Server) newReadHandle() index.ReadHandle {
+	if s.rp == nil {
+		return nil
+	}
+	return s.rp.NewReadHandle()
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
@@ -81,17 +97,24 @@ func Serve(addr string, ix index.Index) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{ix: ix, ln: ln}
+	if rp, ok := ix.(index.ReadPinner); ok {
+		s.rp = rp
+	}
 	if bx, ok := ix.(index.Batcher); ok && bx.NumShards() > 1 {
 		s.bx = bx
-		s.workers = make([]chan func(), bx.NumShards())
+		s.workers = make([]chan func(index.ReadHandle), bx.NumShards())
 		for i := range s.workers {
-			ch := make(chan func(), 16)
+			ch := make(chan func(index.ReadHandle), 16)
 			s.workers[i] = ch
 			s.workerWG.Add(1)
 			go func() {
 				defer s.workerWG.Done()
+				h := s.newReadHandle() // the worker's own pinned reader
+				if h != nil {
+					defer h.Close()
+				}
 				for job := range ch {
-					job()
+					job(h)
 				}
 			}()
 		}
@@ -144,6 +167,10 @@ func (s *Server) acceptLoop() {
 func (s *Server) handle(conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 1<<20)
 	w := bufio.NewWriterSize(conn, 1<<20)
+	h := s.newReadHandle() // one pinned reader per connection
+	if h != nil {
+		defer h.Close()
+	}
 	scratch := make([]Request, 0, DefaultBatch)
 	for {
 		reqs, err := readRequests(r, scratch[:0])
@@ -151,10 +178,10 @@ func (s *Server) handle(conn net.Conn) {
 			return // EOF or protocol error: drop the connection
 		}
 		if s.dispatchable(reqs) {
-			if err := s.processSharded(w, reqs); err != nil {
+			if err := s.processSharded(w, reqs, h); err != nil {
 				return
 			}
-		} else if err := s.process(w, reqs); err != nil {
+		} else if err := s.process(w, reqs, h); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
@@ -188,12 +215,19 @@ func (s *Server) dispatchable(reqs []Request) bool {
 // execPoint executes one point operation against the index, returning the
 // response status plus, for operations whose response carries a value
 // section (Get), the value. Both processing paths share it so the wire
-// semantics cannot diverge. Set copies its buffers: the request slices
-// are reused per batch.
-func (s *Server) execPoint(rq *Request) (status byte, val []byte, hasVal bool) {
+// semantics cannot diverge. Gets go through the calling goroutine's
+// pinned read handle when one exists. Set copies its buffers: the request
+// slices are reused per batch.
+func (s *Server) execPoint(rq *Request, h index.ReadHandle) (status byte, val []byte, hasVal bool) {
 	switch rq.Op {
 	case OpGet:
-		v, ok := s.ix.Get(rq.Key)
+		var v []byte
+		var ok bool
+		if h != nil {
+			v, ok = h.Get(rq.Key)
+		} else {
+			v, ok = s.ix.Get(rq.Key)
+		}
 		if !ok {
 			return StatusNotFound, nil, true
 		}
@@ -218,7 +252,9 @@ func (s *Server) execPoint(rq *Request) (status byte, val []byte, hasVal bool) {
 // A batch that lands entirely on one shard (e.g. a skewed keyspace under
 // a uniform partitioner) runs inline on the connection handler instead,
 // so concurrent connections never serialize behind a single worker.
-func (s *Server) processSharded(w *bufio.Writer, reqs []Request) error {
+// connHandle is the connection goroutine's pinned reader, used only on
+// that inline path; dispatched groups use their worker's own handle.
+func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle index.ReadHandle) error {
 	type result struct {
 		status byte
 		val    []byte // Get only; nil means no value section
@@ -234,16 +270,16 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request) error {
 		groups[g] = append(groups[g], i)
 	}
 	results := make([]result, len(reqs))
-	runGroup := func(g []int) {
+	runGroup := func(g []int, h index.ReadHandle) {
 		for _, i := range g {
-			st, v, hasVal := s.execPoint(&reqs[i])
+			st, v, hasVal := s.execPoint(&reqs[i], h)
 			results[i] = result{status: st, val: v, hasVal: hasVal}
 		}
 	}
 	if active == 1 {
 		for _, g := range groups {
 			if len(g) > 0 {
-				runGroup(g)
+				runGroup(g, connHandle)
 			}
 		}
 	} else {
@@ -254,9 +290,9 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request) error {
 			}
 			wg.Add(1)
 			g := g
-			s.workers[sh] <- func() {
+			s.workers[sh] <- func(h index.ReadHandle) {
 				defer wg.Done()
-				runGroup(g)
+				runGroup(g, h)
 			}
 		}
 		wg.Wait()
@@ -279,7 +315,7 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request) error {
 	return err
 }
 
-func (s *Server) process(w *bufio.Writer, reqs []Request) error {
+func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) error {
 	var hdr [6]byte
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(reqs)))
 	// The frame length is not known upfront; buffer the body.
@@ -287,7 +323,7 @@ func (s *Server) process(w *bufio.Writer, reqs []Request) error {
 	for _, rq := range reqs {
 		switch rq.Op {
 		case OpGet, OpSet, OpDel:
-			st, v, hasVal := s.execPoint(&rq)
+			st, v, hasVal := s.execPoint(&rq, h)
 			body = append(body, st)
 			if hasVal {
 				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))

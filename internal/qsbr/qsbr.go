@@ -10,120 +10,226 @@
 // exactly a grace period.
 //
 // Readers are goroutines, and Go offers no per-goroutine registration hook,
-// so reader sections acquire one of a fixed array of cache-line-padded epoch
-// slots with a single compare-and-swap. The starting probe position is
-// derived from the address of a stack variable, which is distinct per
-// goroutine stack, so unrelated goroutines rarely collide on a slot.
+// so reader sections run on cache-line-padded epoch slots. There are two
+// ways to hold one:
+//
+//   - Enter/Leave claims a slot with a compare-and-swap per reader section
+//     — the right shape for one-shot readers;
+//   - Pin claims a slot once and parks it between sections, so a
+//     long-lived goroutine (a server connection, a benchmark worker) pays
+//     the claim once and each subsequent section costs two uncontended
+//     plain stores on its own cache line. This is the amortization that
+//     keeps the read path free of shared read-modify-write traffic.
+//
+// The slot array grows on demand (in appended banks, so existing slots
+// never move), which makes the number of concurrent pins unbounded.
 package qsbr
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 	"unsafe"
 )
 
-// DefaultSlots is the slot-array size used by New. It bounds the number of
-// concurrent reader sections; additional readers spin briefly until a slot
-// frees up. 512 is far beyond any realistic GOMAXPROCS.
+// DefaultSlots is the initial slot-bank size used by New. Additional banks
+// are appended when every existing slot is claimed, so this bounds nothing
+// — it only sizes the first allocation. 512 is far beyond any realistic
+// GOMAXPROCS.
 const DefaultSlots = 512
 
-// Slot is one reader registration cell. A Slot is exclusively owned by a
-// single reader section between Enter and Leave.
+// Slot states. Values >= firstEpoch are the global epoch the reader
+// observed when its current section began.
+const (
+	slotFree   = 0 // unclaimed
+	slotParked = 1 // claimed by a Pin, between reader sections (quiescent)
+	firstEpoch = 2
+)
+
+// Slot is one reader registration cell, exclusively owned by a single
+// reader between Enter/Leave or Pin/Unpin.
 type Slot struct {
-	// state is 0 when the slot is free, otherwise the global epoch the
-	// reader observed when it entered.
+	// state is slotFree, slotParked, or the epoch the reader observed.
 	state atomic.Uint64
 	_     [56]byte // pad to a cache line so slots never false-share
 }
 
-// QSBR tracks a global epoch and a fixed set of reader slots.
-type QSBR struct {
-	epoch atomic.Uint64
+// bank is one fixed slot array. Banks are only ever appended, never
+// resized, so a *Slot stays valid for the life of the QSBR domain.
+type bank struct {
 	slots []Slot
 	mask  uint64
+	next  atomic.Pointer[bank]
 }
 
-// New returns a QSBR domain with DefaultSlots reader slots.
+// QSBR tracks a global epoch and a growable set of reader slots.
+type QSBR struct {
+	epoch atomic.Uint64
+	head  *bank
+	grow  sync.Mutex
+}
+
+// New returns a QSBR domain with DefaultSlots initial reader slots.
 func New() *QSBR { return NewWithSlots(DefaultSlots) }
 
-// NewWithSlots returns a QSBR domain with n reader slots, rounded up to a
-// power of two (minimum 2).
+// NewWithSlots returns a QSBR domain whose first slot bank holds n slots,
+// rounded up to a power of two (minimum 2).
 func NewWithSlots(n int) *QSBR {
 	size := 2
 	for size < n {
 		size <<= 1
 	}
-	q := &QSBR{slots: make([]Slot, size), mask: uint64(size - 1)}
-	// Epoch 0 is reserved to mean "offline" in slot state, so the global
-	// epoch starts at 1.
-	q.epoch.Store(1)
+	q := &QSBR{head: &bank{slots: make([]Slot, size), mask: uint64(size - 1)}}
+	// States 0 and 1 are reserved (free, parked), so the epoch starts at 2.
+	q.epoch.Store(firstEpoch)
 	return q
 }
 
 // stackHint returns a probe seed that differs between goroutines: the
 // address of a local variable lands on the calling goroutine's stack.
 // Stacks may move, so this is only a locality hint, never a correctness
-// requirement.
+// requirement. The pointer is laundered through a uintptr immediately so
+// the variable itself does not escape to the heap.
 //
 //go:nosplit
 func stackHint() uint64 {
 	var b byte
-	return uint64(uintptr(unsafe.Pointer(&b)) >> 7)
+	p := uintptr(unsafe.Pointer(&b))
+	runtime.KeepAlive(&b)
+	return uint64(p >> 7)
 }
 
-// Enter begins a reader section and returns the acquired slot. The caller
-// must load any RCU-protected pointer after Enter returns and call Leave
-// when it no longer dereferences that pointer.
-func (q *QSBR) Enter() *Slot {
+// probesPerBank bounds how many slots acquire tries in one bank before
+// moving on; small enough that a saturated bank is abandoned quickly,
+// large enough that collisions in a half-full bank stay rare.
+const probesPerBank = 64
+
+// acquire claims a free slot, growing the slot list when every existing
+// slot is taken. The claimed state is the current epoch (online) or
+// slotParked, per pinned.
+func (q *QSBR) acquire(pinned bool) *Slot {
 	i := stackHint()
-	for spins := 0; ; spins++ {
-		s := &q.slots[i&q.mask]
-		if s.state.Load() == 0 {
-			e := q.epoch.Load()
-			if s.state.CompareAndSwap(0, e) {
-				return s
+	for {
+		last := q.head
+		for b := q.head; b != nil; b = b.next.Load() {
+			last = b
+			probes := len(b.slots)
+			if probes > probesPerBank {
+				probes = probesPerBank
+			}
+			for p := 0; p < probes; p++ {
+				s := &b.slots[(i+uint64(p))&b.mask]
+				if s.state.Load() != slotFree {
+					continue
+				}
+				to := uint64(slotParked)
+				if !pinned {
+					to = q.epoch.Load()
+				}
+				if s.state.CompareAndSwap(slotFree, to) {
+					return s
+				}
 			}
 		}
-		i++
-		if spins&63 == 63 {
-			runtime.Gosched()
-		}
+		q.growBanks(last)
 	}
 }
 
-// Leave ends the reader section that acquired s.
-func (q *QSBR) Leave(s *Slot) {
-	s.state.Store(0)
+// growBanks appends a new bank (double the previous size) after last,
+// unless another goroutine already did.
+func (q *QSBR) growBanks(last *bank) {
+	q.grow.Lock()
+	defer q.grow.Unlock()
+	if last.next.Load() != nil {
+		return // lost the race; retry the probe loop with the new bank
+	}
+	size := len(last.slots) * 2
+	last.next.Store(&bank{slots: make([]Slot, size), mask: uint64(size - 1)})
 }
 
-// Refresh re-announces the current epoch on an already-held slot. A reader
-// that re-loads the protected pointer mid-section (e.g. a lookup retry)
-// should Refresh first so it does not stall writers behind its old epoch.
+// Enter begins a one-shot reader section and returns the acquired slot.
+// The caller must load any RCU-protected pointer after Enter returns and
+// call Leave when it no longer dereferences that pointer. Long-lived
+// goroutines should prefer Pin, which amortizes the slot claim.
+func (q *QSBR) Enter() *Slot {
+	return q.acquire(false)
+}
+
+// Leave ends the reader section that acquired s via Enter, freeing the
+// slot.
+func (q *QSBR) Leave(s *Slot) {
+	s.state.Store(slotFree)
+}
+
+// Refresh re-announces the current epoch on an online slot. A reader that
+// re-loads the protected pointer mid-section (e.g. a lookup retry) should
+// Refresh first so it does not stall writers behind its old epoch.
 func (q *QSBR) Refresh(s *Slot) {
 	s.state.Store(q.epoch.Load())
 }
 
+// Pin claims a slot for long-term reuse and returns a handle. The slot
+// starts parked (quiescent): it never blocks writers until Enter puts it
+// online. A Pin is exclusively owned — its methods must not be called
+// concurrently — and must be released with Unpin.
+func (q *QSBR) Pin() *Pin {
+	return &Pin{q: q, s: q.acquire(true)}
+}
+
+// Pin is a long-lived reader registration: one slot, claimed once, reused
+// across many reader sections.
+type Pin struct {
+	q *QSBR
+	s *Slot
+}
+
+// Enter begins a reader section on the pinned slot and returns it (for
+// Refresh). It costs one epoch load and one store to the pin's own cache
+// line — no read-modify-write on shared state.
+func (p *Pin) Enter() *Slot {
+	p.s.state.Store(p.q.epoch.Load())
+	return p.s
+}
+
+// Leave ends the current reader section, parking the slot. A parked pin
+// is quiescent: writers' grace periods skip over it, so a pin may stay
+// claimed across arbitrary idle time (a blocked connection read) without
+// stalling anyone.
+func (p *Pin) Leave() {
+	p.s.state.Store(slotParked)
+}
+
+// Unpin releases the pinned slot entirely. The Pin must not be used
+// afterwards.
+func (p *Pin) Unpin() {
+	p.s.state.Store(slotFree)
+	p.s = nil
+}
+
 // Synchronize waits for a full grace period: every reader section that began
 // before the call (and could therefore hold a previously published pointer)
-// has finished. Reader sections that begin after Synchronize starts do not
-// block it, because they observe the bumped epoch.
+// has finished or refreshed. Sections that begin after Synchronize starts do
+// not block it, because they observe the bumped epoch; parked pins never
+// block it.
 func (q *QSBR) Synchronize() {
 	target := q.epoch.Add(1)
-	for i := range q.slots {
-		s := &q.slots[i]
-		for spins := 0; ; spins++ {
-			v := s.state.Load()
-			if v == 0 || v >= target {
-				break
+	for b := q.head; b != nil; b = b.next.Load() {
+		for i := range b.slots {
+			s := &b.slots[i]
+			for spins := 0; ; spins++ {
+				v := s.state.Load()
+				if v <= slotParked || v >= target {
+					break
+				}
+				if spins < 128 {
+					runtime.Gosched()
+					continue
+				}
+				// A reader section is running long (preempted goroutine);
+				// back off politely instead of burning the CPU.
+				time.Sleep(10 * time.Microsecond)
 			}
-			if spins < 128 {
-				runtime.Gosched()
-				continue
-			}
-			// A reader section is running long (preempted goroutine);
-			// back off politely instead of burning the CPU.
-			time.Sleep(10 * time.Microsecond)
 		}
 	}
 }
@@ -131,13 +237,26 @@ func (q *QSBR) Synchronize() {
 // Epoch reports the current global epoch; exposed for tests and stats.
 func (q *QSBR) Epoch() uint64 { return q.epoch.Load() }
 
-// ActiveReaders counts slots currently held; exposed for tests and stats.
+// ActiveReaders counts slots currently inside a reader section (parked
+// pins excluded); exposed for tests and stats.
 func (q *QSBR) ActiveReaders() int {
 	n := 0
-	for i := range q.slots {
-		if q.slots[i].state.Load() != 0 {
-			n++
+	for b := q.head; b != nil; b = b.next.Load() {
+		for i := range b.slots {
+			if b.slots[i].state.Load() >= firstEpoch {
+				n++
+			}
 		}
+	}
+	return n
+}
+
+// Slots reports the current slot capacity across all banks; exposed for
+// tests.
+func (q *QSBR) Slots() int {
+	n := 0
+	for b := q.head; b != nil; b = b.next.Load() {
+		n += len(b.slots)
 	}
 	return n
 }

@@ -24,12 +24,12 @@ func TestEnterLeave(t *testing.T) {
 
 func TestSlotsRoundUp(t *testing.T) {
 	q := NewWithSlots(3)
-	if len(q.slots) != 4 {
-		t.Fatalf("slots = %d, want 4", len(q.slots))
+	if q.Slots() != 4 {
+		t.Fatalf("slots = %d, want 4", q.Slots())
 	}
 	q = NewWithSlots(1)
-	if len(q.slots) != 2 {
-		t.Fatalf("slots = %d, want 2", len(q.slots))
+	if q.Slots() != 2 {
+		t.Fatalf("slots = %d, want 2", q.Slots())
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"github.com/repro/wormhole/internal/core"
+	"github.com/repro/wormhole/internal/index"
 )
 
 // DefaultShards is the shard count used when Options.Shards is zero; the
@@ -205,17 +206,67 @@ func (s *Store) fanOut(groups [][]int, total int, run func(shard int, idxs []int
 }
 
 // GetBatch looks up keys grouped by shard; vals[i], found[i] answer
-// keys[i]. Results for distinct shards may be produced concurrently.
+// keys[i]. Results for distinct shards may be produced concurrently, and
+// each shard group enters one QSBR reader section for its whole group
+// instead of one per key.
 func (s *Store) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
 	vals = make([][]byte, len(keys))
 	found = make([]bool, len(keys))
 	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
-		w := s.shards[sh]
-		for _, i := range idxs {
-			vals[i], found[i] = w.Get(keys[i])
-		}
+		s.shards[sh].GetBatch(keys, vals, found, idxs)
 	})
 	return vals, found
+}
+
+// Reader is an amortized read handle over the whole store: one pinned
+// core.Reader per shard, claimed once and reused, so a long-lived
+// goroutine pays each shard's QSBR slot acquisition once instead of per
+// request. A Reader must not be used concurrently; Close releases every
+// per-shard handle.
+type Reader struct {
+	s  *Store
+	rs []*core.Reader
+}
+
+// NewReader returns a read handle bound to this store.
+func (s *Store) NewReader() *Reader {
+	rs := make([]*core.Reader, len(s.shards))
+	for i, w := range s.shards {
+		rs[i] = w.NewReader()
+	}
+	return &Reader{s: s, rs: rs}
+}
+
+// NewReadHandle implements index.ReadPinner.
+func (s *Store) NewReadHandle() index.ReadHandle { return s.NewReader() }
+
+// Get returns the value stored under key, through the owning shard's
+// pinned reader.
+func (r *Reader) Get(key []byte) ([]byte, bool) {
+	return r.rs[r.s.part.Locate(key)].Get(key)
+}
+
+// GetBatch looks up keys grouped by shard through the pinned readers;
+// vals[i], found[i] answer keys[i]. Groups run sequentially on the
+// caller's goroutine (the handles are single-goroutine); use the store's
+// GetBatch for fan-out across shards.
+func (r *Reader) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	for sh, idxs := range r.s.group(keys) {
+		if len(idxs) > 0 {
+			r.rs[sh].GetBatch(keys, vals, found, idxs)
+		}
+	}
+	return vals, found
+}
+
+// Close releases every per-shard reader slot.
+func (r *Reader) Close() {
+	for _, cr := range r.rs {
+		cr.Close()
+	}
+	r.rs = nil
 }
 
 // SetBatch inserts or replaces keys[i] -> vals[i], grouped by shard.

@@ -74,3 +74,27 @@ func (sx *Sharded) DelBatch(keys [][]byte) []bool { return sx.s.DelBatch(keys) }
 
 // ShardCounts reports the per-shard key counts, for balance diagnostics.
 func (sx *Sharded) ShardCounts() []int64 { return sx.s.ShardCounts() }
+
+// ShardedReader is an amortized read handle over every shard: each
+// shard's RCU reader registration is claimed once and reused across
+// operations. It must not be used from multiple goroutines at once; call
+// Close when done with it.
+type ShardedReader struct {
+	r *shard.Reader
+}
+
+// Reader returns a read handle bound to this store.
+func (sx *Sharded) Reader() *ShardedReader { return &ShardedReader{r: sx.s.NewReader()} }
+
+// Get returns the value stored under key, through the owning shard's
+// pinned reader.
+func (r *ShardedReader) Get(key []byte) ([]byte, bool) { return r.r.Get(key) }
+
+// GetBatch looks up keys grouped by shard through the pinned readers;
+// vals[i], found[i] answer keys[i].
+func (r *ShardedReader) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	return r.r.GetBatch(keys)
+}
+
+// Close releases every per-shard reader registration.
+func (r *ShardedReader) Close() { r.r.Close() }

@@ -129,6 +129,27 @@ func (ix *Index) Iter(start []byte) *Iterator {
 	return &Iterator{it: ix.t.NewIter(start)}
 }
 
+// Reader is an amortized read handle: it registers with the index's RCU
+// machinery once and reuses that registration for every Get, so a
+// goroutine that performs many lookups (a server connection, a worker)
+// pays the per-reader setup once instead of per operation. Between calls
+// the registration is quiescent, so an idle Reader never delays writers.
+// A Reader must not be used from multiple goroutines at once; call Close
+// when done with it.
+type Reader struct {
+	r *core.Reader
+}
+
+// Reader returns a read handle bound to this index.
+func (ix *Index) Reader() *Reader { return &Reader{r: ix.t.NewReader()} }
+
+// Get returns the value stored under key.
+func (r *Reader) Get(key []byte) ([]byte, bool) { return r.r.Get(key) }
+
+// Close releases the handle's reader registration. The Reader must not
+// be used afterwards.
+func (r *Reader) Close() { r.r.Close() }
+
 // Iterator walks the index in ascending key order. It holds no locks
 // between Next calls.
 type Iterator struct {
