@@ -107,6 +107,10 @@ func (ix *whIx) Scan(s []byte, fn func(k, v []byte) bool) {
 	ix.t.Scan(s, fn)
 }
 
+func (ix *whIx) ScanDesc(s []byte, fn func(k, v []byte) bool) {
+	ix.t.ScanDesc(s, fn)
+}
+
 // NewReadHandle implements index.ReadPinner with a pinned QSBR reader
 // (core.Reader satisfies index.ReadHandle structurally).
 func (ix *whIx) NewReadHandle() index.ReadHandle { return ix.t.NewReader() }

@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/wormhole/internal/index"
+)
+
+// ScanPath isolates the range-scan path of the concurrent Wormhole — the
+// Figure 18 workload the lock-free scan work targets. On Az1 it measures,
+// against both the default build and a LockedScans build (the pre-snapshot
+// per-leaf-lock chunk path, kept in the binary as the baseline):
+//
+//   - "scan100": seek + 100-key ascending scan (Figure 18's shape);
+//   - "scan100-desc": the descending twin;
+//   - "scan100-pinned": scan100 through per-worker pinned read handles
+//     (index.ScanHandle), the amortized path a server connection uses;
+//   - "iter100": open a pull cursor, draw 100 pairs, close;
+//   - "scanfull": million pairs per second over full-index traversals;
+//   - "scan100-churn": scan100 while two writers churn inserts and
+//     deletes through the same index, driving splits and merges under
+//     the scans (run last: churn leaves residue in the index).
+//
+// Locked-baseline rows carry index "wormhole-locked". The goroutine
+// ladder always includes 8 even on smaller machines so the BENCH_*.json
+// trajectory stays comparable across hosts.
+func ScanPath(c *Config) {
+	keys := c.Keyset("Az1")
+	points := readPathThreads(c.Threads)
+
+	lockfree := NewWormholeLeafCap(0)
+	locked := NewWormholeLockedScans()
+	for _, ix := range []*whDirect{lockfree, locked} {
+		for _, k := range keys {
+			ix.Set(k, k)
+		}
+		// One full pass folds pending append regions so both builds start
+		// from sorted leaves — the steady state long-lived stores reach.
+		ix.Scan(nil, func(_, _ []byte) bool { return true })
+	}
+	runtime.GC()
+
+	// One throwaway measurement settles the load phase's garbage and the
+	// CPU before the first recorded cell.
+	_ = Throughput(1, c.Duration/4, c.Seed, func(_ int, r *Rng) {
+		cnt := 0
+		lockfree.Scan(keys[r.Intn(len(keys))], func(_, _ []byte) bool { cnt++; return cnt < 100 })
+	})
+
+	c.printf("scan path: keyset Az1, %d keys (MOPS of scans; scanfull: M pairs/s)\n", len(keys))
+	c.printf("%-22s", "op/threads")
+	for _, t := range points {
+		c.printf("%8d", t)
+	}
+	c.printf("%14s\n", "allocs/op")
+
+	row := func(op, ixName string, pts []int, allocs float64, cell func(threads int) float64) {
+		c.printf("%-22s", op+"/"+ixName)
+		for _, t := range points {
+			in := false
+			for _, p := range pts {
+				in = in || p == t
+			}
+			if !in {
+				c.printf("%8s", "-")
+				continue
+			}
+			// Wall and process-CPU clocks bracket each cell (see readpath):
+			// mops_cpu is the trajectory metric of record on noisy hosts.
+			w0, u0 := time.Now(), processCPUTime()
+			mops := cell(t)
+			wall, cpu := time.Since(w0), processCPUTime()-u0
+			mopsCPU := mops
+			if cpu > 0 && wall > 0 {
+				mopsCPU = mops * wall.Seconds() / cpu.Seconds()
+			}
+			c.printf("%8.3f", mops)
+			c.record(Result{
+				Exp: "scanpath", Op: op, Index: ixName, Threads: t,
+				Keys: len(keys), MOPS: mops, MOPSCPU: mopsCPU,
+				NsPerOp: 1e3 / mops, AllocsPerOp: allocs,
+			})
+		}
+		c.printf("%14.2f\n", allocs)
+	}
+
+	scan100 := func(ix *whDirect, desc bool) func(int) float64 {
+		return func(t int) float64 {
+			n := len(keys)
+			return Throughput(t, c.Duration, c.Seed, func(_ int, r *Rng) {
+				cnt := 0
+				fn := func(_, _ []byte) bool { cnt++; return cnt < 100 }
+				if desc {
+					ix.ScanDesc(keys[r.Intn(n)], fn)
+				} else {
+					ix.Scan(keys[r.Intn(n)], fn)
+				}
+			})
+		}
+	}
+	scanAllocs := func(ix *whDirect) float64 {
+		cnt := 0
+		fn := func(_, _ []byte) bool { cnt++; return cnt < 100 }
+		return allocsPerOp(500, func() { cnt = 0; ix.Scan(keys[0], fn) })
+	}
+
+	la, ka := scanAllocs(lockfree), scanAllocs(locked)
+	row("scan100", "wormhole", points, la, scan100(lockfree, false))
+	row("scan100", "wormhole-locked", points, ka, scan100(locked, false))
+	row("scan100-desc", "wormhole", points, la, scan100(lockfree, true))
+
+	row("scan100-pinned", "wormhole", points, la, func(t int) float64 {
+		handles := make([]index.ScanHandle, t)
+		for i := range handles {
+			handles[i] = lockfree.NewReadHandle().(index.ScanHandle)
+		}
+		defer func() {
+			for _, h := range handles {
+				h.Close()
+			}
+		}()
+		n := len(keys)
+		return Throughput(t, c.Duration, c.Seed, func(tid int, r *Rng) {
+			cnt := 0
+			handles[tid].Scan(keys[r.Intn(n)], func(_, _ []byte) bool { cnt++; return cnt < 100 })
+		})
+	})
+
+	iterAllocs := func() float64 {
+		return allocsPerOp(500, func() {
+			it := lockfree.t.NewIter(keys[0])
+			for j := 0; j < 100 && it.Next(); j++ {
+			}
+			it.Close()
+		})
+	}()
+	row("iter100", "wormhole", points, iterAllocs, func(t int) float64 {
+		n := len(keys)
+		return Throughput(t, c.Duration, c.Seed, func(_ int, r *Rng) {
+			it := lockfree.t.NewIter(keys[r.Intn(n)])
+			for j := 0; j < 100 && it.Next(); j++ {
+			}
+			it.Close()
+		})
+	})
+
+	fullPoints := []int{1, points[len(points)-1]}
+	scanfull := func(ix *whDirect) func(int) float64 {
+		return func(t int) float64 {
+			total := float64(ix.Count())
+			scans := Throughput(t, c.Duration, c.Seed, func(_ int, _ *Rng) {
+				ix.Scan(nil, func(_, _ []byte) bool { return true })
+			})
+			return scans * total // scans is M scans/s, so this is M pairs/s
+		}
+	}
+	row("scanfull", "wormhole", fullPoints, la, scanfull(lockfree))
+	row("scanfull", "wormhole-locked", fullPoints, ka, scanfull(locked))
+
+	// Churn rows last: the writers leave residue keys in the indexes.
+	// Scan MOPS alone would reward a baseline that starves writers (a
+	// locked scan blocks every Set on the leaf it holds), so the writers'
+	// own throughput during the cell is recorded alongside ("churn-set",
+	// printed as its own row): the lock-free path's claim is that the two
+	// sides stop costing each other.
+	churn := func(ix *whDirect, f func() float64) (scanMOPS, writeMOPS float64) {
+		var stop atomic.Bool
+		var wrote atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				r := NewRng(uint64(c.Seed) + uint64(g)*131)
+				n := len(keys)
+				ops := int64(0)
+				for !stop.Load() {
+					// Churn keys sit right beside real keys, so the leaves
+					// the scans traverse are the ones splitting and merging.
+					k := append(append([]byte(nil), keys[r.Intn(n)]...), '!', byte('a'+g))
+					if r.Next()%2 == 0 {
+						ix.Set(k, k)
+					} else {
+						ix.Del(k)
+					}
+					ops++
+				}
+				wrote.Add(ops)
+			}(g)
+		}
+		w0 := time.Now()
+		scanMOPS = f()
+		wall := time.Since(w0)
+		stop.Store(true)
+		wg.Wait()
+		return scanMOPS, float64(wrote.Load()) / wall.Seconds() / 1e6
+	}
+	churnPoints := []int{1, points[len(points)-1]}
+	writeRows := map[string][]float64{}
+	churnCell := func(ix *whDirect, ixName string) func(int) float64 {
+		return func(t int) float64 {
+			scanMOPS, writeMOPS := churn(ix, func() float64 { return scan100(ix, false)(t) })
+			writeRows[ixName] = append(writeRows[ixName], writeMOPS)
+			c.record(Result{
+				Exp: "scanpath", Op: "churn-set", Index: ixName, Threads: t,
+				Keys: len(keys), MOPS: writeMOPS, NsPerOp: 1e3 / writeMOPS,
+			})
+			return scanMOPS
+		}
+	}
+	row("scan100-churn", "wormhole", churnPoints, la, churnCell(lockfree, "wormhole"))
+	row("scan100-churn", "wormhole-locked", churnPoints, ka, churnCell(locked, "wormhole-locked"))
+	for _, name := range []string{"wormhole", "wormhole-locked"} {
+		c.printf("%-22s", "churn-set/"+name)
+		i := 0
+		for _, t := range points {
+			in := false
+			for _, p := range churnPoints {
+				in = in || p == t
+			}
+			if !in {
+				c.printf("%8s", "-")
+				continue
+			}
+			c.printf("%8.3f", writeRows[name][i])
+			i++
+		}
+		c.printf("\n")
+	}
+}

@@ -15,8 +15,10 @@ import (
 //   - leaf spans: real(anchor) <= every key < real(next anchor);
 //   - leaf internals: sorted prefix really sorted, the published tag array
 //     strictly (hash, key)-ordered and in 1:1 pointer correspondence with
-//     kvs (every item exactly once, no stale or duplicate entries), all
-//     keys unique, the seqlock word even (no writer abandoned mid-section);
+//     kvs (every item exactly once, no stale or duplicate entries), the
+//     published key-sorted scan view strictly key-ordered and in 1:1
+//     correspondence with the base entries, all keys unique, the seqlock
+//     word even (no writer abandoned mid-section);
 //   - MetaTrieHT completeness: leaf item per anchor, internal item per
 //     proper prefix, no extras, bitmap bits exactly matching existing
 //     children, leftmost/rightmost equal to the true subtree boundaries;
@@ -144,6 +146,45 @@ func (w *Wormhole) checkLeafList() error {
 			if err := check(e, "tail", i); err != nil {
 				return err
 			}
+		}
+		// The published key-sorted view (the scan path's snapshot) must be
+		// a strictly key-increasing permutation of the base entries, and
+		// every tail slot's merge position must match a fresh search of
+		// that view, so a refactor cannot silently desynchronize what
+		// lock-free scans walk from what lookups see.
+		block := l.base.Load()
+		bn := int(l.baseN.Load())
+		_, baseItems := block.view(bn)
+		order := block.orderView(bn)
+		if len(order) != len(tags.base) {
+			return fmt.Errorf("sorted view size mismatch in leaf %q: %d entries, base has %d",
+				a.stored, len(order), len(tags.base))
+		}
+		seenIdx := make([]bool, len(order))
+		for i, ix := range order {
+			if ix < 0 || int(ix) >= len(baseItems) || seenIdx[ix] {
+				return fmt.Errorf("sorted view entry %d of leaf %q has bad or duplicate index %d",
+					i, a.stored, ix)
+			}
+			seenIdx[ix] = true // each base item exactly once
+			if i > 0 && bytes.Compare(baseItems[order[i-1]].key, baseItems[ix].key) >= 0 {
+				return fmt.Errorf("sorted view out of key order in leaf %q at %d", a.stored, i)
+			}
+		}
+		tl := int(l.tailLen.Load())
+		var prevPos int32 = -1
+		var prevKey []byte
+		for i := 0; i < tl && i < tagTailMax; i++ {
+			itm := l.tailItem[i].Load()
+			pos := l.tailPos[i].Load()
+			if want := lowerBoundIdx(baseItems, order, itm.key, true); int(pos) != want {
+				return fmt.Errorf("tail slot %d of leaf %q has merge position %d, want %d",
+					i, a.stored, pos, want)
+			}
+			if pos < prevPos || (pos == prevPos && bytes.Compare(prevKey, itm.key) >= 0) {
+				return fmt.Errorf("tail slots of leaf %q out of (pos, key) order at %d", a.stored, i)
+			}
+			prevPos, prevKey = pos, itm.key
 		}
 		total += int64(len(l.kvs))
 		prevLeaf = l

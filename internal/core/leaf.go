@@ -123,22 +123,36 @@ const tagBlockCap = 160
 // by construction: any index the walk can produce stays inside the fixed
 // arrays, where a stale slot holds either zero or a still-live item — and
 // the seqlock bracket rejects such reads anyway.
+//
+// order is the published key-sorted view lock-free range scans walk:
+// order[k] is the items index of the k-th smallest key. Indices, not a
+// second pointer array — the array stays out of the garbage collector's
+// pointer scans and costs half the bytes, which matters because a block
+// is reallocated on every fold, so its size is a write-path cost. The
+// lookup side keeps its direct hashes[i]/items[i] layout (one less
+// dependent load on the Get path); scans pay the one-hop
+// items[order[k]] indirection per emitted pair, which long chunks
+// pipeline well.
 type tagBlock struct {
 	big    *tagBlockBig // non-nil iff the entries exceed tagBlockCap
 	hashes [tagBlockCap]uint32
 	items  [tagBlockCap]*kv
+	order  [tagBlockCap]int32
 }
 
 // tagBlockBig is the overflow form for leaves beyond tagBlockCap items.
 type tagBlockBig struct {
 	hashes []uint32
 	items  []*kv
+	order  []int32
 }
 
 // emptyTagBlock is the zero-entry block shared by all fresh leaves.
 var emptyTagBlock = &tagBlock{}
 
-// makeTagBlock packs (hash, key)-sorted entries into a fresh block.
+// makeTagBlock packs (hash, key)-sorted entries into a fresh block,
+// deriving the key-sorted index view with one extra sort (cold paths
+// only; the insert fold maintains it by position-merging instead).
 func makeTagBlock(entries []tagEnt) *tagBlock {
 	if len(entries) == 0 {
 		return emptyTagBlock
@@ -148,19 +162,58 @@ func makeTagBlock(entries []tagEnt) *tagBlock {
 		bg := &tagBlockBig{
 			hashes: make([]uint32, len(entries)),
 			items:  make([]*kv, len(entries)),
+			order:  make([]int32, len(entries)),
 		}
 		for i, e := range entries {
 			bg.hashes[i] = e.hash
 			bg.items[i] = e.it
+			bg.order[i] = int32(i)
 		}
+		sortOrderIdx(bg.order, bg.items)
 		b.big = bg
 		return b
 	}
 	for i, e := range entries {
 		b.hashes[i] = e.hash
 		b.items[i] = e.it
+		b.order[i] = int32(i)
 	}
+	sortOrderIdx(b.order[:len(entries)], b.items[:len(entries)])
 	return b
+}
+
+// sortOrderIdx orders the index view by the referenced items' keys.
+func sortOrderIdx(idx []int32, items []*kv) {
+	slices.SortFunc(idx, func(x, y int32) int { return bytes.Compare(items[x].key, items[y].key) })
+}
+
+// lowerBoundIdx returns the first position in the key-sorted index view
+// whose key is >= bound (incl) or > bound (!incl); len(idx) when none
+// qualifies. A plain loop instead of sort.Search keeps callers
+// closure-free.
+func lowerBoundIdx(items []*kv, idx []int32, bound []byte, incl bool) int {
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		cmp := bytes.Compare(items[idx[mid]].key, bound)
+		if cmp < 0 || (!incl && cmp == 0) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// keyPosIn returns key's merge position in the key-sorted view, with a
+// one-compare fast path for the common append-at-end (ascending insert)
+// case.
+func keyPosIn(items []*kv, idx []int32, key []byte) int {
+	n := len(idx)
+	if n == 0 || bytes.Compare(items[idx[n-1]].key, key) < 0 {
+		return n
+	}
+	return lowerBoundIdx(items, idx, key, true)
 }
 
 // view returns the block's entry arrays; n is the leaf's published entry
@@ -174,6 +227,21 @@ func (b *tagBlock) view(n int) ([]uint32, []*kv) {
 		n = tagBlockCap
 	}
 	return b.hashes[:n], b.items[:n]
+}
+
+// orderView returns the block's key-sorted index view (indices into the
+// item array); n is the leaf's published entry count (authoritative while
+// the caller's seqlock bracket holds). Like view, any count a racing
+// reader can pass stays in bounds — and so does every index the view
+// holds, because indices and items are published together in one block.
+func (b *tagBlock) orderView(n int) []int32 {
+	if bg := b.big; bg != nil {
+		return bg.order[:min(n, len(bg.order))]
+	}
+	if n > tagBlockCap {
+		n = tagBlockCap
+	}
+	return b.order[:n]
 }
 
 // tagsView is a point-in-time view of a leaf's hash index, materialized
@@ -253,6 +321,17 @@ type leafNode struct {
 
 	tailHash [tagTailMax]atomic.Uint32
 	tailItem [tagTailMax]atomic.Pointer[kv]
+	// tailPos[i] is tailItem[i]'s merge position in the published
+	// key-sorted view: the index in the view before which the item sorts
+	// (the count of base keys below it). The writer computes it
+	// once per insert — one binary search on a path that already walks
+	// the leaf — and keeps the tail slots (pos, key)-sorted, so scans
+	// merge the tail into the sorted view straight from the slots,
+	// comparing integers instead of keys and sorting nothing at read
+	// time. Remove keeps positions consistent: those above a removed
+	// base item's slot shift down by one (a monotone adjustment, so the
+	// slot order survives).
+	tailPos [tagTailMax]atomic.Int32
 
 	// pendingBlock stages a base block under construction (see
 	// newTagBlockInto); guarded by mu.
@@ -433,42 +512,139 @@ func (l *leafNode) insert(it *kv) {
 	l.kvs = append(l.kvs, it)
 	tl := int(l.tailLen.Load())
 	if tl < tagTailMax {
-		l.tailHash[tl].Store(it.hash)
-		l.tailItem[tl].Store(it)
+		b := l.base.Load()
+		bn := int(l.baseN.Load())
+		_, items := b.view(bn)
+		pos := int32(keyPosIn(items, b.orderView(bn), it.key))
+		// Keep the inline tail (pos, key)-sorted: find the insertion
+		// slot, shift the greater suffix up one, store the new item. The
+		// shift's transient duplicates are inside this bracket, so
+		// optimistic readers discard them; scans then merge the tail by
+		// position straight from the slots, sorting nothing at read time.
+		s := tl
+		for s > 0 {
+			p := l.tailPos[s-1].Load()
+			if p < pos || (p == pos && bytes.Compare(l.tailItem[s-1].Load().key, it.key) < 0) {
+				break
+			}
+			s--
+		}
+		for i := tl; i > s; i-- {
+			l.tailHash[i].Store(l.tailHash[i-1].Load())
+			l.tailItem[i].Store(l.tailItem[i-1].Load())
+			l.tailPos[i].Store(l.tailPos[i-1].Load())
+		}
+		l.tailHash[s].Store(it.hash)
+		l.tailItem[s].Store(it)
+		l.tailPos[s].Store(pos)
 		l.tailLen.Store(int32(tl + 1))
 	} else {
-		// Fold: sort the tagTailMax+1 new entries, then two-way merge with
-		// the already-sorted base straight into a fresh block — O(size)
-		// copies, no full re-sort, no intermediate entry array.
-		oh, oi := l.base.Load().view(int(l.baseN.Load()))
-		var tbuf [tagTailMax + 1]tagEnt
-		t := tbuf[:0]
-		for i := 0; i < tl; i++ {
-			t = append(t, tagEnt{hash: l.tailHash[i].Load(), it: l.tailItem[i].Load()})
+		// Fold: merge the tail into a fresh base block — O(size) copies,
+		// no full re-sort, no intermediate entry array. Two walks share
+		// the work: the (hash, key) merge fills the lookup arrays and
+		// records every element's position in the new item array; the
+		// key-order walk then rebuilds the index view by merging the old
+		// view with the (pos, key)-sorted tail slots through those
+		// recorded positions — comparing integers, not keys. The only key
+		// comparisons are the new item's own placement (its merge
+		// position plus its slot among the sorted tail) and hash ties in
+		// the small tail sort.
+		ob := l.base.Load()
+		bn := int(l.baseN.Load())
+		oh, oldItems := ob.view(bn)
+		oo := ob.orderView(bn)
+
+		// The new item joins the (pos, key)-sorted tail in a local copy.
+		newPos := int32(keyPosIn(oldItems, oo, it.key))
+		sl := tl
+		for sl > 0 {
+			p := l.tailPos[sl-1].Load()
+			if p < newPos || (p == newPos && bytes.Compare(l.tailItem[sl-1].Load().key, it.key) < 0) {
+				break
+			}
+			sl--
 		}
-		t = append(t, tagEnt{hash: it.hash, it: it})
-		sortTagEnts(t)
-		n := len(oh) + len(t)
-		nh, ni := newTagBlockInto(l, n)
+		var titems [tagTailMax + 1]*kv
+		var thash [tagTailMax + 1]uint32
+		var tpos [tagTailMax + 1]int32
+		for i := 0; i < sl; i++ {
+			titems[i], thash[i], tpos[i] = l.tailItem[i].Load(), l.tailHash[i].Load(), l.tailPos[i].Load()
+		}
+		titems[sl], thash[sl], tpos[sl] = it, it.hash, newPos
+		for i := sl; i < tl; i++ {
+			titems[i+1], thash[i+1], tpos[i+1] = l.tailItem[i].Load(), l.tailHash[i].Load(), l.tailPos[i].Load()
+		}
+		m := tl + 1
+
+		// hIdx: tail slots in (hash, key) order for the lookup-array merge.
+		var hIdx [tagTailMax + 1]int32
+		for i := 0; i < m; i++ {
+			hIdx[i] = int32(i)
+		}
+		hs := hIdx[:m]
+		for i := 1; i < m; i++ {
+			for j := i; j > 0; j-- {
+				x, y := hs[j], hs[j-1]
+				if thash[x] > thash[y] || (thash[x] == thash[y] &&
+					bytes.Compare(titems[x].key, titems[y].key) >= 0) {
+					break
+				}
+				hs[j], hs[j-1] = hs[j-1], hs[j]
+			}
+		}
+
+		n := len(oh) + m
+		nh, ni, no := newTagBlockInto(l, n)
+		var onBuf [tagBlockCap]int32
+		oldToNew := onBuf[:]
+		if len(oh) > tagBlockCap {
+			oldToNew = make([]int32, len(oh)) // fat leaf: rare
+		}
+		oldToNew = oldToNew[:len(oh)]
+		var tailToNew [tagTailMax + 1]int32
 		o := 0
 		bi := 0
-		for bi < len(oh) && len(t) > 0 {
-			e := tagEnt{hash: oh[bi], it: oi[bi]}
-			if cmpTagEnts(e, t[0]) <= 0 {
-				nh[o], ni[o] = e.hash, e.it
+		ti := 0
+		for bi < len(oh) && ti < m {
+			j := hs[ti]
+			if oh[bi] < thash[j] || (oh[bi] == thash[j] &&
+				bytes.Compare(oldItems[bi].key, titems[j].key) < 0) {
+				nh[o], ni[o] = oh[bi], oldItems[bi]
+				oldToNew[bi] = int32(o)
 				bi++
 			} else {
-				nh[o], ni[o] = t[0].hash, t[0].it
-				t = t[1:]
+				nh[o], ni[o] = thash[j], titems[j]
+				tailToNew[j] = int32(o)
+				ti++
 			}
 			o++
 		}
 		for ; bi < len(oh); bi++ {
-			nh[o], ni[o] = oh[bi], oi[bi]
+			nh[o], ni[o] = oh[bi], oldItems[bi]
+			oldToNew[bi] = int32(o)
 			o++
 		}
-		for _, e := range t {
-			nh[o], ni[o] = e.hash, e.it
+		for ; ti < m; ti++ {
+			j := hs[ti]
+			nh[o], ni[o] = thash[j], titems[j]
+			tailToNew[j] = int32(o)
+			o++
+		}
+
+		// Key-order walk: old view interleaved with the pos-sorted tail.
+		o = 0
+		tj := 0
+		for x := 0; x < len(oo); x++ {
+			for tj < m && int(tpos[tj]) == x {
+				no[o] = tailToNew[tj]
+				o++
+				tj++
+			}
+			no[o] = oldToNew[oo[x]]
+			o++
+		}
+		for ; tj < m; tj++ {
+			no[o] = tailToNew[tj]
 			o++
 		}
 		l.publishTagBlock(n)
@@ -482,15 +658,15 @@ func (l *leafNode) insert(it *kv) {
 // newTagBlockInto allocates a block sized for n entries and returns its
 // writable arrays; publishTagBlock stores it as the new base and empties
 // the tail.
-func newTagBlockInto(l *leafNode, n int) ([]uint32, []*kv) {
+func newTagBlockInto(l *leafNode, n int) ([]uint32, []*kv, []int32) {
 	b := &tagBlock{}
 	if n > tagBlockCap {
-		b.big = &tagBlockBig{hashes: make([]uint32, n), items: make([]*kv, n)}
+		b.big = &tagBlockBig{hashes: make([]uint32, n), items: make([]*kv, n), order: make([]int32, n)}
 		l.pendingBlock = b
-		return b.big.hashes, b.big.items
+		return b.big.hashes, b.big.items, b.big.order
 	}
 	l.pendingBlock = b
-	return b.hashes[:n], b.items[:n]
+	return b.hashes[:n], b.items[:n], b.order[:n]
 }
 
 func (l *leafNode) publishTagBlock(n int) {
@@ -513,25 +689,57 @@ func (l *leafNode) remove(it *kv) {
 	it.vptr.Store(nil)
 	it.vlen.Store(0)
 	if ti := l.tailIndexOf(it); ti >= 0 {
-		// Swap the last tail slot into the vacated one.
+		// Shift the greater suffix down one, preserving the tail's
+		// (pos, key) order.
 		last := int(l.tailLen.Load()) - 1
-		l.tailHash[ti].Store(l.tailHash[last].Load())
-		l.tailItem[ti].Store(l.tailItem[last].Load())
+		for i := ti; i < last; i++ {
+			l.tailHash[i].Store(l.tailHash[i+1].Load())
+			l.tailItem[i].Store(l.tailItem[i+1].Load())
+			l.tailPos[i].Store(l.tailPos[i+1].Load())
+		}
 		l.tailLen.Store(int32(last))
 	} else {
-		// The item is in the base: publish a copy without it.
-		oh, oi := l.base.Load().view(int(l.baseN.Load()))
-		nh, ni := newTagBlockInto(l, len(oh)-1)
+		// The item is in the base: publish a copy without it (both the
+		// lookup arrays and the key-sorted index view, whose indices above
+		// the removed item's array slot shift down by one).
+		ob := l.base.Load()
+		bn := int(l.baseN.Load())
+		oh, oi := ob.view(bn)
+		oo := ob.orderView(bn)
+		nh, ni, no := newTagBlockInto(l, len(oh)-1)
 		o := 0
+		ri := len(oi) // removed item's index in the old item array
 		for i, m := range oi {
 			if m != it {
 				nh[o], ni[o] = oh[i], m
 				o++
+			} else {
+				ri = i
 			}
+		}
+		j := 0
+		rp := len(oo) // removed item's slot in the old key-sorted view
+		for x, ix := range oo {
+			if int(ix) == ri {
+				rp = x
+				continue
+			}
+			if int(ix) > ri {
+				ix--
+			}
+			no[j] = ix
+			j++
 		}
 		tl := l.tailLen.Load() // publishTagBlock clears the tail; keep it
 		l.publishTagBlock(o)
 		l.tailLen.Store(tl)
+		// Tail merge positions above the removed key slot shift down; a
+		// monotone adjustment, so the slots' (pos, key) order survives.
+		for i := 0; i < int(tl); i++ {
+			if p := l.tailPos[i].Load(); p > int32(rp) {
+				l.tailPos[i].Store(p - 1)
+			}
+		}
 	}
 	for i, k := range l.kvs {
 		if k != it {

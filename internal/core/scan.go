@@ -3,42 +3,514 @@ package core
 import (
 	"bytes"
 	"sync"
+
+	"github.com/repro/wormhole/internal/qsbr"
 )
 
 // Range scans (Algorithm 2's RangeSearchAscending, plus the descending
 // twin): one meta-table lookup finds the starting leaf, then the scan walks
-// the LeafList directly. Each leaf is visited under its own lock (write
-// lock only when the leaf's append region must first be incSort-ed), its
-// qualifying items are copied out as slice headers, and the callback runs
-// unlocked so it may call back into the index.
+// the LeafList directly through a resumable cursor.
 //
-// Concurrent splits and merges are tolerated by two rules:
+// The fast path is coordination-free, the scan-side twin of getOnline: each
+// chunk is copied out of the leaf's published key-sorted view (the tag
+// block's sorted index over its item array) interleaved with the short
+// inline tail of recent inserts by pre-published merge positions, the
+// whole copy bracketed between two loads of the leaf's seqlock word. Nothing is locked, nothing is written to shared state, and
+// the leaf's append region is never incSort-ed on behalf of a reader. Only
+// after the bracket validates are the copied (vptr, vlen) pairs
+// materialized and handed to the callback, which therefore runs with no
+// locks held and may call back into the index. Leaves under persistent
+// write pressure (seqlockAttempts collisions) fall back to the classic
+// locked chunk copy, which sorts the append region in place.
 //
-//   - resume strictly after the last emitted key, so a leaf reached twice
+// Concurrent splits and merges are tolerated by three rules:
+//
+//   - resume strictly beyond the last emitted key, so a leaf reached twice
 //     (e.g. re-seek after landing on a merged-away node) emits no
 //     duplicates and loses no keys;
-//   - an ascending hop pointer captured under the predecessor's lock stays
-//     valid across a split of the target (the target keeps its lower half
-//     and the scan re-reads .next), but a descending hop must verify
-//     hopped.next == current and otherwise re-seek, because a split moves
-//     the upper half — the keys the descending scan needs next — into a
-//     node the stale pointer bypasses.
+//   - an ascending hop pointer captured inside a validated bracket (or
+//     under the predecessor's lock) stays valid across a split of the
+//     target — the target keeps its lower half and the scan re-reads
+//     .next — but a descending hop must verify hopped.next == current and
+//     otherwise re-seek, because a split moves the upper half — the keys
+//     the descending scan needs next — into a node the stale pointer
+//     bypasses;
+//   - a descending same-leaf continuation must observe an unchanged leaf
+//     version: a split between chunks moves the upper half — keys the
+//     cursor still owes — into a right sibling the continuation would
+//     skip. (Ascending continuations need no check: the lower half stays,
+//     and the moved upper half is reached through .next in order.)
 
-type pair struct{ k, v []byte }
-
-// scanChunk bounds how many pairs are copied out per lock acquisition:
-// small enough that a short range query does not pay for a whole 128-key
-// leaf, large enough that long scans amortize the locking.
+// scanChunk bounds how many pairs are copied out per leaf visit: small
+// enough that a short range query does not pay for a whole 128-key leaf,
+// large enough that long scans amortize the copy-out bookkeeping.
 const scanChunk = 128
 
-// pairBufPool recycles scan copy-out buffers; range-heavy workloads
+// scanEntry is one copied-out pair in pre-materialized form: the item —
+// whose key field is immutable and therefore safe to read even after the
+// bracket — plus the raw (vptr, vlen) value pair, which was loaded inside
+// the bracket and may only be turned into a slice once the bracket has
+// validated (or under the leaf lock, where the pair is always consistent).
+// Not retaining the key's slice header keeps the entry at 24 bytes, so a
+// chunk copy moves 40% less batch memory.
+type scanEntry struct {
+	it *kv
+	vp *byte
+	vn int64
+}
+
+func (e *scanEntry) key() []byte   { return e.it.key }
+func (e *scanEntry) value() []byte { return valueSlice(e.vp, e.vn) }
+
+// scanBufPool recycles chunk copy-out buffers; range-heavy workloads
 // (Figure 18) would otherwise allocate one batch per scan and spend their
 // time in the garbage collector.
-var pairBufPool = sync.Pool{
+var scanBufPool = sync.Pool{
 	New: func() any {
-		b := make([]pair, 0, scanChunk)
+		b := make([]scanEntry, 0, scanChunk)
 		return &b
 	},
+}
+
+// cursor is a resumable scan position, shared by Scan/ScanDesc (which
+// drive it to exhaustion inside one reader section) and Iter (which parks
+// between chunks on a pinned slot). Instead of paying a meta-table lookup
+// per chunk, the cursor retains the leaf the next chunk starts in and
+// walks next/prev LeafList pointers; it re-seeks through the meta table
+// only when the retained leaf can no longer serve the scan (dead, stale
+// version, or a failed descending-hop validation).
+type cursor struct {
+	w    *Wormhole
+	desc bool
+	// start is the original seek bound; nil means the smallest key
+	// (ascending) or the largest (descending).
+	start []byte
+	// bound is the last emitted key once started; resume is strictly
+	// beyond it. It aliases an index-owned key buffer, which is immutable,
+	// so retaining it across chunks is race-free and allocation-free.
+	bound   []byte
+	started bool
+	done    bool
+
+	// Retained resume position: leaf is the node the next chunk starts in
+	// (nil: re-seek through the meta table). For descending hops, from is
+	// the node the cursor left, validated as leaf.next on arrival; for
+	// descending same-leaf continuations, seenVer is the leaf version the
+	// previous chunk observed.
+	leaf     *leafNode
+	from     *leafNode
+	sameLeaf bool
+	seenVer  uint64
+}
+
+// reseek drops the retained position; the next chunk resolves its leaf
+// through the meta table from the bound.
+func (c *cursor) reseek() {
+	c.leaf, c.from, c.sameLeaf = nil, nil, false
+}
+
+// advance folds one successful chunk into the cursor state. l is the leaf
+// the chunk came from, adj its next/prev pointer when the leaf was
+// exhausted (captured inside the chunk's validation), ver the leaf version
+// observed by the chunk, more whether qualifying items remain in l.
+func (c *cursor) advance(l, adj *leafNode, ver uint64, more bool, out []scanEntry) {
+	if len(out) > 0 {
+		c.bound = out[len(out)-1].key()
+		c.started = true
+	}
+	if more {
+		if c.desc && !c.w.opt.Concurrent {
+			// Unsafe-mode splits do not bump leaf versions, so the
+			// descending same-leaf validation could not detect a split an
+			// interleaved Set performs between an Iter's chunks; re-seek
+			// from the bound instead of retaining the leaf.
+			c.reseek()
+			return
+		}
+		c.leaf, c.from = l, nil
+		c.sameLeaf, c.seenVer = true, ver
+		return
+	}
+	c.sameLeaf = false
+	c.leaf = adj
+	c.from = nil
+	if c.desc {
+		c.from = l
+	}
+	if adj == nil {
+		c.done = true
+	}
+}
+
+// boundKey returns the current resume bound and whether it is inclusive
+// (only the original seek bound is; after the first emission resume is
+// strictly beyond the last key). unbounded reports a descending scan with
+// no upper bound (start from the largest key).
+func (c *cursor) boundKey() (bound []byte, incl, unbounded bool) {
+	if c.started {
+		return c.bound, false, false
+	}
+	return c.start, true, c.start == nil
+}
+
+// fastResult classifies one optimistic chunk attempt.
+type fastResult int
+
+const (
+	fastRetry  fastResult = iota // seqlock collision: try again
+	fastReseek                   // leaf cannot serve the scan: re-seek
+	fastOK
+)
+
+// tryFastChunk performs one optimistic chunk copy-out from l: the validity
+// checks, the boundary search over the published key-sorted view, the
+// inline-tail merge, the value-pair loads, and the adjacency pointer all
+// sit between two loads of l's seqlock word, so a validated chunk is
+// consistent with one stable leaf state. No store to shared memory, no
+// incSort, no lock.
+func (c *cursor) tryFastChunk(l *leafNode, tver uint64, checkVer bool, buf []scanEntry) ([]scanEntry, fastResult) {
+	s1 := l.seq.Load()
+	if s1&1 != 0 {
+		return nil, fastRetry // writer mid-mutation
+	}
+	if l.dead.Load() || (checkVer && l.version.Load() > tver) {
+		return nil, fastReseek
+	}
+	ver := l.version.Load()
+	if c.desc {
+		if c.from != nil && l.next.Load() != c.from {
+			// A split slid new keys in between since the hop pointer was
+			// captured; re-seek.
+			return nil, fastReseek
+		}
+		if c.sameLeaf && ver != c.seenVer {
+			// The leaf split while the cursor paused: its upper half moved
+			// to a right sibling this continuation would skip.
+			return nil, fastReseek
+		}
+	}
+	b := l.base.Load()
+	bn := int(l.baseN.Load())
+	_, items := b.view(bn)
+	order := b.orderView(bn)
+	bound, incl, unbounded := c.boundKey()
+	// After a validated hop every key in l lies strictly beyond the bound
+	// (leaf spans are ordered and a real anchor never moves down), so the
+	// merge starts at the leaf edge without any boundary search.
+	edge := c.leaf != nil && !c.sameLeaf
+	var out []scanEntry
+	var more bool
+	if c.desc {
+		out, more = mergeDesc(l, items, order, bound, incl, unbounded || edge, buf)
+	} else {
+		out, more = mergeAsc(l, items, order, bound, incl, edge, buf)
+	}
+	var adj *leafNode
+	if !more {
+		if c.desc {
+			adj = l.prev.Load()
+		} else {
+			adj = l.next.Load()
+		}
+	}
+	if l.seq.Load() != s1 {
+		return nil, fastRetry
+	}
+	c.advance(l, adj, ver, more, out)
+	return out, fastOK
+}
+
+// mergeAsc merge-walks the key-sorted base view and the leaf's inline
+// tail in ascending order, appending every pair beyond the bound (>= when
+// incl, > otherwise) until the chunk (cap(buf)) fills. more reports
+// whether qualifying items remain in this leaf beyond the chunk.
+//
+// The writer keeps the tail slots (pos, key)-sorted and publishes each
+// item's merge position at insert time, so the walk reads the slots
+// directly and interleaves the two views comparing integers: a tail entry
+// with pos == oi sits between order[oi-1] and order[oi] and is emitted
+// first. Key bytes are compared only at the boundary (tail entries whose
+// base gap straddles the bound) — and not at all when edge says the walk
+// starts at the leaf's edge (a validated hop) — never per emitted pair. A
+// nil tail slot
+// (mid-insert) is skipped: the writer that created it bumped the seqlock,
+// so the enclosing bracket discards the chunk anyway.
+func mergeAsc(l *leafNode, items []*kv, order []int32, bound []byte, incl, edge bool, buf []scanEntry) ([]scanEntry, bool) {
+	tl := int(l.tailLen.Load())
+	if tl > tagTailMax {
+		tl = tagTailMax
+	}
+	oi, ti := 0, 0
+	if !edge {
+		oi = lowerBoundIdx(items, order, bound, incl)
+		for ti < tl && int(l.tailPos[ti].Load()) < oi {
+			ti++
+		}
+		for ti < tl && int(l.tailPos[ti].Load()) == oi {
+			it := l.tailItem[ti].Load()
+			if it == nil {
+				ti++
+				continue
+			}
+			cmp := bytes.Compare(it.key, bound)
+			if cmp > 0 || (incl && cmp == 0) {
+				break
+			}
+			ti++
+		}
+	}
+	out := buf
+	for {
+		// Emit the tail entries due at this position (pos <= oi), then a
+		// tight compare-free run of base items below the next tail
+		// position — the common case is one long run per chunk.
+		for ti < tl && len(out) < cap(out) && int(l.tailPos[ti].Load()) <= oi {
+			it := l.tailItem[ti].Load()
+			ti++
+			if it == nil {
+				continue // torn slot mid-insert: the bracket will reject
+			}
+			vp, vn := it.valueParts()
+			out = append(out, scanEntry{it: it, vp: vp, vn: vn})
+		}
+		if len(out) == cap(out) {
+			return out, oi < len(order) || ti < tl
+		}
+		end := len(order)
+		if ti < tl {
+			if p := int(l.tailPos[ti].Load()); p < end {
+				end = p
+			}
+		}
+		if n := oi + cap(out) - len(out); end > n {
+			end = n
+		}
+		for ; oi < end; oi++ {
+			it := items[order[oi]]
+			vp, vn := it.valueParts()
+			out = append(out, scanEntry{it: it, vp: vp, vn: vn})
+		}
+		if len(out) == cap(out) {
+			return out, oi < len(order) || ti < tl
+		}
+		if oi >= len(order) && ti >= tl {
+			return out, false
+		}
+	}
+}
+
+// mergeDesc is the descending twin: walk both views downward from the
+// bound (<= when incl, < otherwise; no bound at all when unbounded). A
+// tail entry with pos == oi+1 sits between order[oi] and order[oi+1], so
+// going down it is emitted before order[oi].
+func mergeDesc(l *leafNode, items []*kv, order []int32, bound []byte, incl, unbounded bool, buf []scanEntry) ([]scanEntry, bool) {
+	tl := int(l.tailLen.Load())
+	if tl > tagTailMax {
+		tl = tagTailMax
+	}
+	oi := len(order) - 1
+	ti := tl - 1
+	if !unbounded {
+		oi = lowerBoundIdx(items, order, bound, !incl) - 1
+		for ti >= 0 && int(l.tailPos[ti].Load()) > oi+1 {
+			ti--
+		}
+		for ti >= 0 && int(l.tailPos[ti].Load()) == oi+1 {
+			it := l.tailItem[ti].Load()
+			if it == nil {
+				ti--
+				continue
+			}
+			cmp := bytes.Compare(it.key, bound)
+			if cmp < 0 || (incl && cmp == 0) {
+				break
+			}
+			ti--
+		}
+	}
+	out := buf
+	for {
+		// Emit the tail entries due above this position (pos > oi), then
+		// a tight compare-free run of base items down to the next tail
+		// position.
+		for ti >= 0 && len(out) < cap(out) && int(l.tailPos[ti].Load()) > oi {
+			it := l.tailItem[ti].Load()
+			ti--
+			if it == nil {
+				continue // torn slot mid-insert: the bracket will reject
+			}
+			vp, vn := it.valueParts()
+			out = append(out, scanEntry{it: it, vp: vp, vn: vn})
+		}
+		if len(out) == cap(out) {
+			return out, oi >= 0 || ti >= 0
+		}
+		low := 0
+		if ti >= 0 {
+			// The next tail entry (pos <= oi) comes after order[pos..oi].
+			low = int(l.tailPos[ti].Load())
+		}
+		if n := oi - (cap(out) - len(out)) + 1; low < n {
+			low = n
+		}
+		for ; oi >= low; oi-- {
+			it := items[order[oi]]
+			vp, vn := it.valueParts()
+			out = append(out, scanEntry{it: it, vp: vp, vn: vn})
+		}
+		if len(out) == cap(out) {
+			return out, oi >= 0 || ti >= 0
+		}
+		if oi < 0 && ti < 0 {
+			return out, false
+		}
+	}
+}
+
+// lockedChunk is the contention fallback (and, with Options.LockedScans,
+// the whole path): lock the leaf — write-locked only when the append
+// region must first be incSort-ed — validate it, copy one chunk out of
+// kvs, and unlock before anything is emitted.
+func (c *cursor) lockedChunk(l *leafNode, tver uint64, checkVer bool, buf []scanEntry) ([]scanEntry, bool) {
+	write, ok := c.w.lockScanLeaf(l, tver, checkVer)
+	if !ok {
+		return nil, false
+	}
+	if c.desc {
+		if c.from != nil && l.next.Load() != c.from {
+			unlockScanLeaf(l, write)
+			return nil, false
+		}
+		if c.sameLeaf && l.version.Load() != c.seenVer {
+			unlockScanLeaf(l, write)
+			return nil, false
+		}
+	}
+	out := buf
+	var more bool
+	var adj *leafNode
+	if c.desc {
+		var i int
+		switch {
+		case c.started:
+			i = l.firstAtLeast(c.bound) - 1
+		case c.start != nil:
+			i = l.firstGreater(c.start) - 1
+		default:
+			i = len(l.kvs) - 1
+		}
+		for ; i >= 0 && len(out) < cap(out); i-- {
+			it := l.kvs[i]
+			vp, vn := it.valueParts() // consistent under the leaf lock
+			out = append(out, scanEntry{it: it, vp: vp, vn: vn})
+		}
+		more = i >= 0
+		if !more {
+			adj = l.prev.Load()
+		}
+	} else {
+		var i int
+		if c.started {
+			i = l.firstGreater(c.bound)
+		} else {
+			i = l.firstAtLeast(c.start)
+		}
+		for ; i < len(l.kvs) && len(out) < cap(out); i++ {
+			it := l.kvs[i]
+			vp, vn := it.valueParts()
+			out = append(out, scanEntry{it: it, vp: vp, vn: vn})
+		}
+		more = i < len(l.kvs)
+		if !more {
+			adj = l.next.Load()
+		}
+	}
+	ver := l.version.Load()
+	unlockScanLeaf(l, write)
+	c.advance(l, adj, ver, more, out)
+	return out, true
+}
+
+// nextChunk copies out the next batch of pairs into buf (up to cap(buf))
+// and advances the cursor. It returns an empty slice exactly when the scan
+// is exhausted. The caller must be inside a QSBR reader section on slot s
+// (nil s: non-concurrent index, no section needed).
+func (c *cursor) nextChunk(s *qsbr.Slot, buf []scanEntry) []scanEntry {
+	w := c.w
+outer:
+	for !c.done {
+		// Re-announce the current epoch every chunk, not just on re-seeks:
+		// the chunk reads only immutable published blocks and GC-held
+		// leaves, so nothing from the previous epoch is still needed, and
+		// a long scan must not stall writers' grace periods behind the
+		// epoch it started in.
+		if s != nil {
+			w.q.Refresh(s)
+		}
+		var (
+			l        *leafNode
+			tver     uint64
+			checkVer bool
+		)
+		if c.leaf != nil {
+			l = c.leaf
+		} else {
+			t := w.cur.Load()
+			switch {
+			case c.started:
+				l = w.searchMeta(t, c.bound)
+			case !c.desc || c.start != nil:
+				l = w.searchMeta(t, c.start)
+			default:
+				l = w.rightmostLeaf(t)
+			}
+			tver, checkVer = t.version, true
+		}
+		if !w.opt.LockedScans {
+			for tries := 0; tries < seqlockAttempts; tries++ {
+				out, res := c.tryFastChunk(l, tver, checkVer, buf)
+				switch res {
+				case fastOK:
+					if len(out) > 0 {
+						return out
+					}
+					continue outer // empty leaf in the path: hop over it
+				case fastReseek:
+					c.reseek()
+					continue outer
+				}
+			}
+		}
+		out, ok := c.lockedChunk(l, tver, checkVer, buf)
+		if !ok {
+			c.reseek()
+			continue
+		}
+		if len(out) > 0 {
+			return out
+		}
+	}
+	return buf[:0]
+}
+
+// scanLoop drives a cursor chunk by chunk inside an already-announced
+// reader section, materializing each validated chunk and emitting it to fn
+// with no locks held (fn may call back into the index).
+func (w *Wormhole) scanLoop(s *qsbr.Slot, start []byte, desc bool, fn func(key, val []byte) bool) {
+	bufp := scanBufPool.Get().(*[]scanEntry)
+	defer scanBufPool.Put(bufp)
+	c := cursor{w: w, desc: desc, start: start}
+	for {
+		batch := c.nextChunk(s, (*bufp)[:0])
+		if len(batch) == 0 {
+			return
+		}
+		for i := range batch {
+			if !fn(batch[i].key(), batch[i].value()) {
+				return
+			}
+		}
+	}
 }
 
 // Scan visits keys >= start in ascending order until fn returns false.
@@ -50,72 +522,7 @@ func (w *Wormhole) Scan(start []byte, fn func(key, val []byte) bool) {
 	}
 	s := w.q.Enter()
 	defer w.q.Leave(s)
-	bufp := pairBufPool.Get().(*[]pair)
-	defer pairBufPool.Put(bufp)
-	var (
-		last    []byte
-		started bool
-		l       *leafNode
-		hop     bool // l was reached by a list hop or same-leaf continuation
-	)
-	for {
-		w.q.Refresh(s)
-		var write, ok bool
-		if hop {
-			write, ok = w.lockScanLeaf(l, 0, false)
-			if !ok {
-				hop = false
-				continue
-			}
-		} else {
-			t := w.cur.Load()
-			seek := start
-			if started {
-				seek = last
-			}
-			l = w.searchMeta(t, seek)
-			write, ok = w.lockScanLeaf(l, t.version, true)
-			if !ok {
-				continue
-			}
-		}
-		batch := (*bufp)[:0]
-		var i int
-		if started {
-			i = l.firstGreater(last)
-		} else {
-			i = l.firstAtLeast(start)
-		}
-		end := i + scanChunk
-		if end > len(l.kvs) {
-			end = len(l.kvs)
-		}
-		for ; i < end; i++ {
-			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].value()})
-		}
-		more := end < len(l.kvs)
-		var nxt *leafNode
-		if !more {
-			nxt = l.next.Load()
-		}
-		unlockScanLeaf(l, write)
-		*bufp = batch[:0]
-
-		for _, p := range batch {
-			started, last = true, p.k
-			if !fn(p.k, p.v) {
-				return
-			}
-		}
-		if more {
-			hop = true // continue in the same leaf, resuming after last
-			continue
-		}
-		if nxt == nil {
-			return
-		}
-		l, hop = nxt, true
-	}
+	w.scanLoop(s, start, false, fn)
 }
 
 // ScanDesc visits keys <= start in descending order until fn returns false.
@@ -127,98 +534,14 @@ func (w *Wormhole) ScanDesc(start []byte, fn func(key, val []byte) bool) {
 	}
 	s := w.q.Enter()
 	defer w.q.Leave(s)
-	bufp := pairBufPool.Get().(*[]pair)
-	defer pairBufPool.Put(bufp)
-	var (
-		last     []byte
-		started  bool
-		l, from  *leafNode
-		hop      bool
-		sameLeaf bool
-		seenVer  uint64
-	)
-	for {
-		w.q.Refresh(s)
-		var write, ok bool
-		if hop {
-			write, ok = w.lockScanLeaf(l, 0, false)
-			if ok && from != nil && l.next.Load() != from {
-				// A split slid new keys in between; re-seek.
-				unlockScanLeaf(l, write)
-				ok = false
-			}
-			if ok && sameLeaf && l.version.Load() != seenVer {
-				// The leaf split while we paused: its upper half — keys the
-				// descending scan still owes — moved to a right sibling this
-				// continuation would skip. Re-seek from the last key.
-				unlockScanLeaf(l, write)
-				ok = false
-			}
-			if !ok {
-				hop, sameLeaf = false, false
-				continue
-			}
-		} else {
-			t := w.cur.Load()
-			if started {
-				l = w.searchMeta(t, last)
-			} else if start != nil {
-				l = w.searchMeta(t, start)
-			} else {
-				l = w.rightmostLeaf(t)
-			}
-			write, ok = w.lockScanLeaf(l, t.version, true)
-			if !ok {
-				continue
-			}
-		}
-		batch := (*bufp)[:0]
-		var i int
-		switch {
-		case started:
-			i = l.firstAtLeast(last) - 1
-		case start != nil:
-			i = l.firstGreater(start) - 1
-		default:
-			i = len(l.kvs) - 1
-		}
-		low := i - scanChunk
-		for ; i >= 0 && i > low; i-- {
-			batch = append(batch, pair{l.kvs[i].key, l.kvs[i].value()})
-		}
-		more := i >= 0
-		var prv *leafNode
-		if !more {
-			prv = l.prev.Load()
-		}
-		seenVer = l.version.Load()
-		unlockScanLeaf(l, write)
-		*bufp = batch[:0]
-
-		for _, p := range batch {
-			started, last = true, p.k
-			if !fn(p.k, p.v) {
-				return
-			}
-		}
-		if more {
-			// Same leaf: skip the next-pointer check but insist the leaf
-			// version is unchanged (no split slipped in).
-			from, hop, sameLeaf = nil, true, true
-			continue
-		}
-		if prv == nil {
-			return
-		}
-		from, l, hop, sameLeaf = l, prv, true, false
-	}
+	w.scanLoop(s, start, true, fn)
 }
 
-// lockScanLeaf locks l for scanning: a read lock when the leaf is already
-// fully sorted, otherwise a write lock so incSort may run. checkVersion
-// applies the §2.5 stale-table test (only meaningful when the leaf was
-// found through a meta table). ok=false means the lock was abandoned and
-// the caller must re-seek.
+// lockScanLeaf locks l for a chunk copy-out: a read lock when the leaf is
+// already fully sorted, otherwise a write lock so incSort may run.
+// checkVersion applies the §2.5 stale-table test (only meaningful when the
+// leaf was found through a meta table). ok=false means the lock was
+// abandoned and the caller must re-seek.
 func (w *Wormhole) lockScanLeaf(l *leafNode, version uint64, checkVersion bool) (write, ok bool) {
 	l.mu.RLock()
 	if l.dead.Load() || (checkVersion && l.version.Load() > version) {
@@ -336,59 +659,107 @@ func (w *Wormhole) RangeAsc(start []byte, limit int) (keys, vals [][]byte) {
 	return keys, vals
 }
 
-// Iter is a pull-style cursor over the index in ascending key order. It
-// holds no locks between Next calls; mutations made while iterating may or
-// may not be observed, but every key present for the whole iteration is
-// visited exactly once.
+// RangeDesc collects up to limit pairs with key <= start, descending (a
+// nil start collects from the largest key).
+func (w *Wormhole) RangeDesc(start []byte, limit int) (keys, vals [][]byte) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	keys = make([][]byte, 0, limit)
+	vals = make([][]byte, 0, limit)
+	w.ScanDesc(start, func(k, v []byte) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < limit
+	})
+	return keys, vals
+}
+
+// Iter is a pull-style cursor over the index. It holds no locks between
+// Next calls; mutations made while iterating may or may not be observed,
+// but every key present for the whole iteration is visited exactly once.
+//
+// The iterator owns a long-lived pinned QSBR registration, claimed once at
+// creation, and resumes each chunk by walking the retained LeafList
+// position instead of paying a meta-table lookup — the boundary key is
+// never re-fetched or re-compared. Between Next calls the registration is
+// parked, so an idle iterator never stalls writers. An Iter must not be
+// used concurrently; call Close when abandoning it before exhaustion (an
+// iterator that ran dry has already released its registration).
 type Iter struct {
-	w         *Wormhole
-	batch     []pair
-	i         int
-	seek      []byte
-	inclusive bool
-	done      bool
+	c     cursor
+	pin   *qsbr.Pin
+	bufp  *[]scanEntry // pooled chunk buffer; returned on Close
+	batch []scanEntry
+	i     int
 }
 
 // NewIter returns an iterator positioned before the first key >= start
-// (nil start means the smallest key).
-func (w *Wormhole) NewIter(start []byte) *Iter {
-	return &Iter{w: w, seek: start, inclusive: true, i: -1}
+// (nil start means the smallest key), in ascending order.
+func (w *Wormhole) NewIter(start []byte) *Iter { return w.newIter(start, false) }
+
+// NewIterDesc returns an iterator positioned before the first key <=
+// start (nil start means the largest key), in descending order.
+func (w *Wormhole) NewIterDesc(start []byte) *Iter { return w.newIter(start, true) }
+
+func (w *Wormhole) newIter(start []byte, desc bool) *Iter {
+	it := &Iter{
+		c:    cursor{w: w, desc: desc, start: start},
+		bufp: scanBufPool.Get().(*[]scanEntry),
+		i:    -1,
+	}
+	if w.opt.Concurrent {
+		it.pin = w.q.Pin()
+	}
+	return it
 }
 
 // Next advances the iterator; it returns false when the keys are exhausted.
 func (i *Iter) Next() bool {
-	if i.done {
-		return false
-	}
 	i.i++
 	if i.i < len(i.batch) {
 		return true
 	}
-	i.batch = i.batch[:0]
-	i.i = 0
-	const chunk = 64
-	skip := !i.inclusive
-	i.w.Scan(i.seek, func(k, v []byte) bool {
-		if skip {
-			skip = false
-			if bytes.Equal(k, i.seek) {
-				return true // resume strictly after the last emitted key
-			}
-		}
-		i.batch = append(i.batch, pair{k, v})
-		return len(i.batch) < chunk
-	})
-	if len(i.batch) == 0 {
-		i.done = true
+	if i.c.done {
+		// The previous chunk was the last one; release the registration
+		// and the pooled buffer now (Close is idempotent).
+		i.Close()
+		i.i = 0
 		return false
 	}
-	i.seek = i.batch[len(i.batch)-1].k
-	i.inclusive = false
+	var s *qsbr.Slot
+	if i.pin != nil {
+		s = i.pin.Enter()
+	}
+	i.batch = i.c.nextChunk(s, (*i.bufp)[:0])
+	if i.pin != nil {
+		i.pin.Leave()
+	}
+	i.i = 0
+	if len(i.batch) == 0 {
+		i.Close() // exhausted: release the pinned slot eagerly
+		return false
+	}
 	return true
 }
 
 // Key returns the current key; valid after Next reports true.
-func (i *Iter) Key() []byte { return i.batch[i.i].k }
+func (i *Iter) Key() []byte { return i.batch[i.i].key() }
 
 // Value returns the current value; valid after Next reports true.
-func (i *Iter) Value() []byte { return i.batch[i.i].v }
+func (i *Iter) Value() []byte { return i.batch[i.i].value() }
+
+// Close releases the iterator's pinned reader registration and recycles
+// its chunk buffer; the iterator must not be used afterwards. It is
+// idempotent and runs automatically when the iterator is exhausted.
+func (i *Iter) Close() {
+	if i.pin != nil {
+		i.pin.Unpin()
+		i.pin = nil
+	}
+	if i.bufp != nil {
+		scanBufPool.Put(i.bufp)
+		i.bufp = nil
+		i.batch = nil
+	}
+}

@@ -61,7 +61,8 @@ func (w *Wormhole) Footprint() int64 {
 		if b := l.base.Load(); b != emptyTagBlock {
 			total += blockSz
 			if b.big != nil {
-				total += int64(cap(b.big.hashes))*4 + int64(cap(b.big.items))*ptr
+				total += int64(cap(b.big.hashes))*4 +
+					int64(cap(b.big.items))*ptr + int64(cap(b.big.order))*4
 			}
 		}
 		for _, it := range l.kvs {

@@ -30,6 +30,11 @@ type Options struct {
 	IncHashing  bool // §3.1: incremental CRC across the prefix binary search
 	SortByTag   bool // §3.2: hash-ordered leaf search instead of key-sorted
 	DirectPos   bool // §3.2: speculative start position in the tag array
+	// LockedScans forces every range-scan chunk through the per-leaf lock
+	// (the pre-snapshot behavior), disabling the seqlock scan fast path.
+	// It exists so the scanpath benchmark can measure the locked baseline
+	// in the same binary; leave it off.
+	LockedScans bool
 	// ShortAnchors enables the split-point optimization the paper defers
 	// to future work: among the cuts in a full leaf's middle half, pick
 	// the one producing the shortest anchor instead of the middlemost
@@ -281,6 +286,33 @@ func (r *Reader) GetBatch(keys, vals [][]byte, found []bool, idxs []int) {
 	for _, i := range idxs {
 		vals[i], found[i] = r.w.getOnline(s, hashKey(keys[i]), keys[i])
 	}
+	r.pin.Leave()
+}
+
+// Scan visits keys >= start in ascending order until fn returns false,
+// through the handle's pinned slot — a long-lived goroutine (a server
+// connection) pays no per-scan reader registration. A nil start scans
+// from the smallest key; fn runs with no locks held.
+func (r *Reader) Scan(start []byte, fn func(key, val []byte) bool) {
+	if r.pin == nil {
+		r.w.scanUnsafe(start, fn)
+		return
+	}
+	s := r.pin.Enter()
+	r.w.scanLoop(s, start, false, fn)
+	r.pin.Leave()
+}
+
+// ScanDesc visits keys <= start in descending order until fn returns
+// false, through the handle's pinned slot. A nil start scans from the
+// largest key.
+func (r *Reader) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	if r.pin == nil {
+		r.w.scanDescUnsafe(start, fn)
+		return
+	}
+	s := r.pin.Enter()
+	r.w.scanLoop(s, start, true, fn)
 	r.pin.Leave()
 }
 

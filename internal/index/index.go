@@ -27,6 +27,15 @@ type Ordered interface {
 	Scan(start []byte, fn func(key, val []byte) bool)
 }
 
+// OrderedDesc is implemented by ordered indexes that can also scan
+// downward (Wormhole and the sharded store).
+type OrderedDesc interface {
+	Ordered
+	// ScanDesc visits keys <= start descending until fn returns false. A
+	// nil start scans from the largest key.
+	ScanDesc(start []byte, fn func(key, val []byte) bool)
+}
+
 // Batcher is implemented by partitioned stores (internal/shard) that
 // execute operations grouped by shard. Batches amortize routing and
 // per-shard synchronization and let callers — notably the netkv server's
@@ -56,6 +65,18 @@ type Batcher interface {
 type ReadHandle interface {
 	Get(key []byte) ([]byte, bool)
 	Close()
+}
+
+// ScanHandle is a ReadHandle that can also serve ordered scans through
+// its amortized per-reader state (Wormhole's lock-free scan path on a
+// pinned slot). The netkv server serves range operations through the
+// connection's handle when it supports this.
+type ScanHandle interface {
+	ReadHandle
+	// Scan visits keys >= start ascending until fn returns false.
+	Scan(start []byte, fn func(key, val []byte) bool)
+	// ScanDesc visits keys <= start descending until fn returns false.
+	ScanDesc(start []byte, fn func(key, val []byte) bool)
 }
 
 // ReadPinner is implemented by indexes whose readers can amortize

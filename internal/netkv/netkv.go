@@ -27,6 +27,7 @@ const (
 	OpSet
 	OpDel
 	OpScan
+	OpScanDesc
 )
 
 // Status codes.
@@ -66,7 +67,9 @@ type Response struct {
 // connection handler and every shard worker claims one read handle for
 // its lifetime, so a served GET pays the index's per-reader registration
 // once per connection instead of once per request — the paper's §2.5
-// lock-free readers amortized across the wire.
+// lock-free readers amortized across the wire. Range operations (SCAN,
+// SCANDESC) go through the same per-connection handle when it supports
+// scans (index.ScanHandle), so they ride the lock-free scan path too.
 type Server struct {
 	ix  index.Index
 	bx  index.Batcher // non-nil when ix supports shard dispatch
@@ -315,6 +318,29 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 	return err
 }
 
+// scanner resolves the function serving a range operation: the calling
+// goroutine's pinned read handle when it supports scans (the lock-free
+// scan path amortized per connection, like Gets), otherwise the index
+// itself. nil means the index has no scan in that direction.
+func (s *Server) scanner(h index.ReadHandle, desc bool) func([]byte, func(k, v []byte) bool) {
+	if sh, ok := h.(index.ScanHandle); ok {
+		if desc {
+			return sh.ScanDesc
+		}
+		return sh.Scan
+	}
+	if desc {
+		if od, ok := s.ix.(index.OrderedDesc); ok {
+			return od.ScanDesc
+		}
+		return nil
+	}
+	if ord, ok := s.ix.(index.Ordered); ok {
+		return ord.Scan
+	}
+	return nil
+}
+
 func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) error {
 	var hdr [6]byte
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(len(reqs)))
@@ -329,9 +355,9 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
 				body = append(body, v...)
 			}
-		case OpScan:
-			ord, ok := s.ix.(index.Ordered)
-			if !ok {
+		case OpScan, OpScanDesc:
+			scan := s.scanner(h, rq.Op == OpScanDesc)
+			if scan == nil {
 				body = append(body, StatusNotFound)
 				body = binary.LittleEndian.AppendUint16(body, 0)
 				break
@@ -340,7 +366,13 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 			lenAt := len(body)
 			body = binary.LittleEndian.AppendUint16(body, 0)
 			n := 0
-			ord.Scan(rq.Key, func(k, v []byte) bool {
+			start := rq.Key
+			if len(start) == 0 {
+				// The wire cannot carry nil: an empty key means "from the
+				// smallest key" ascending, "from the largest" descending.
+				start = nil
+			}
+			scan(start, func(k, v []byte) bool {
 				body = binary.LittleEndian.AppendUint32(body, uint32(len(k)))
 				body = append(body, k...)
 				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
@@ -390,7 +422,7 @@ func readRequests(r *bufio.Reader, reqs []Request) ([]Request, error) {
 		body = body[klen:]
 		extra := binary.LittleEndian.Uint32(body[:4])
 		body = body[4:]
-		if rq.Op == OpScan {
+		if rq.Op == OpScan || rq.Op == OpScanDesc {
 			rq.Limit = extra
 		} else {
 			if uint32(len(body)) < extra {
@@ -441,9 +473,16 @@ func (c *Client) QueueSet(key, val []byte) { c.queue(OpSet, key, val, 0) }
 // QueueDel appends a DEL to the current batch.
 func (c *Client) QueueDel(key []byte) { c.queue(OpDel, key, nil, 0) }
 
-// QueueScan appends a SCAN (up to limit pairs from key) to the batch.
+// QueueScan appends a SCAN (up to limit ascending pairs from key; an
+// empty key starts at the smallest) to the batch.
 func (c *Client) QueueScan(key []byte, limit int) {
 	c.queue(OpScan, key, nil, uint32(limit))
+}
+
+// QueueScanDesc appends a descending SCAN (up to limit pairs downward
+// from key; an empty key starts at the largest) to the batch.
+func (c *Client) QueueScanDesc(key []byte, limit int) {
+	c.queue(OpScanDesc, key, nil, uint32(limit))
 }
 
 // Pending returns the number of queued operations.
@@ -453,7 +492,7 @@ func (c *Client) queue(op byte, key, val []byte, limit uint32) {
 	c.out = append(c.out, op)
 	c.out = binary.LittleEndian.AppendUint32(c.out, uint32(len(key)))
 	c.out = append(c.out, key...)
-	if op == OpScan {
+	if op == OpScan || op == OpScanDesc {
 		c.out = binary.LittleEndian.AppendUint32(c.out, limit)
 	} else {
 		c.out = binary.LittleEndian.AppendUint32(c.out, uint32(len(val)))
@@ -524,7 +563,7 @@ func (c *Client) readResponses(ops []byte) ([]Response, error) {
 			}
 			rp.Val = body[:vlen]
 			body = body[vlen:]
-		case OpScan:
+		case OpScan, OpScanDesc:
 			if len(body) < 2 {
 				return nil, errors.New("netkv: truncated scan response")
 			}

@@ -344,3 +344,66 @@ func TestShardedConcurrentClients(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestScanDescOverWire exercises the OpScanDesc opcode end to end on both
+// a single Wormhole (served through the connection's pinned scan handle)
+// and the sharded store (stitched across shards), including the
+// empty-key-means-largest convention.
+func TestScanDescOverWire(t *testing.T) {
+	for _, name := range []string{"wormhole", "wormhole-sharded"} {
+		t.Run(name, func(t *testing.T) {
+			_, c := startServer(t, name)
+			for i := 0; i < 300; i++ {
+				c.QueueSet([]byte(fmt.Sprintf("d%04d", i)), []byte(fmt.Sprintf("v%d", i)))
+				if c.Pending() >= 64 {
+					if _, err := c.Flush(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if _, err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			c.QueueScanDesc([]byte("d0100"), 5)
+			c.QueueScanDesc(nil, 3) // empty key: from the largest
+			c.QueueScan([]byte("d0100"), 2)
+			rs, err := c.Flush()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rs) != 3 {
+				t.Fatalf("got %d responses", len(rs))
+			}
+			if len(rs[0].Keys) != 5 || string(rs[0].Keys[0]) != "d0100" ||
+				string(rs[0].Keys[4]) != "d0096" || string(rs[0].Vals[4]) != "v96" {
+				t.Fatalf("desc scan = %+v", rs[0].Keys)
+			}
+			if len(rs[1].Keys) != 3 || string(rs[1].Keys[0]) != "d0299" ||
+				string(rs[1].Keys[2]) != "d0297" {
+				t.Fatalf("unbounded desc scan = %+v", rs[1].Keys)
+			}
+			if len(rs[2].Keys) != 2 || string(rs[2].Keys[0]) != "d0100" {
+				t.Fatalf("asc scan after desc = %+v", rs[2].Keys)
+			}
+		})
+	}
+}
+
+// TestScanDescUnsupported: an index with no descending scan answers
+// StatusNotFound instead of breaking the framing.
+func TestScanDescUnsupported(t *testing.T) {
+	_, c := startServer(t, "btree")
+	c.QueueSet([]byte("k"), []byte("v"))
+	c.QueueScanDesc([]byte("zzz"), 4)
+	c.QueueGet([]byte("k"))
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 || rs[1].Status != StatusNotFound || len(rs[1].Keys) != 0 {
+		t.Fatalf("unsupported desc scan = %+v", rs)
+	}
+	if rs[2].Status != StatusOK || string(rs[2].Val) != "v" {
+		t.Fatalf("get after unsupported desc scan = %+v", rs[2])
+	}
+}

@@ -162,6 +162,55 @@ func (s *Store) Scan(start []byte, fn func(key, val []byte) bool) {
 	}
 }
 
+// ScanDesc visits keys <= start in descending order until fn returns
+// false (nil start: from the largest key). The mirror of Scan: the owning
+// shard runs down from start, then every preceding shard from its largest
+// key. Partitions are ordered and disjoint, so stitching per-shard
+// cursors in partition order is already the k-way merge a general
+// partitioner would need — with zero per-key comparison overhead.
+func (s *Store) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	first := len(s.shards) - 1
+	if start != nil {
+		first = s.part.Locate(start)
+	}
+	more := true
+	for i := first; i >= 0 && more; i-- {
+		from := start
+		if i < first {
+			from = nil
+		}
+		s.shards[i].ScanDesc(from, func(k, v []byte) bool {
+			more = fn(k, v)
+			return more
+		})
+	}
+}
+
+// RangeAsc collects up to limit pairs with key >= start, ascending.
+func (s *Store) RangeAsc(start []byte, limit int) (keys, vals [][]byte) {
+	return collectRange(limit, start, s.Scan)
+}
+
+// RangeDesc collects up to limit pairs with key <= start, descending (nil
+// start: from the largest key).
+func (s *Store) RangeDesc(start []byte, limit int) (keys, vals [][]byte) {
+	return collectRange(limit, start, s.ScanDesc)
+}
+
+func collectRange(limit int, start []byte, scan func([]byte, func(k, v []byte) bool)) (keys, vals [][]byte) {
+	if limit <= 0 {
+		return nil, nil
+	}
+	keys = make([][]byte, 0, limit)
+	vals = make([][]byte, 0, limit)
+	scan(start, func(k, v []byte) bool {
+		keys = append(keys, k)
+		vals = append(vals, v)
+		return len(keys) < limit
+	})
+	return keys, vals
+}
+
 // group partitions batch indexes by owning shard, preserving the batch's
 // relative order inside each shard so same-key operations in one batch
 // keep their program order (equal keys always route to the same shard).
@@ -259,6 +308,48 @@ func (r *Reader) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
 		}
 	}
 	return vals, found
+}
+
+// Scan visits keys >= start ascending until fn returns false, stitching
+// the shards' lock-free scan cursors through the handle's pinned per-shard
+// readers — a long-lived goroutine (a netkv connection) pays no per-scan
+// reader registration on any shard.
+func (r *Reader) Scan(start []byte, fn func(key, val []byte) bool) {
+	first := 0
+	if len(start) > 0 {
+		first = r.s.part.Locate(start)
+	}
+	more := true
+	for i := first; i < len(r.rs) && more; i++ {
+		from := start
+		if i > first {
+			from = nil
+		}
+		r.rs[i].Scan(from, func(k, v []byte) bool {
+			more = fn(k, v)
+			return more
+		})
+	}
+}
+
+// ScanDesc visits keys <= start descending until fn returns false (nil
+// start: from the largest key), through the pinned per-shard readers.
+func (r *Reader) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	first := len(r.rs) - 1
+	if start != nil {
+		first = r.s.part.Locate(start)
+	}
+	more := true
+	for i := first; i >= 0 && more; i-- {
+		from := start
+		if i < first {
+			from = nil
+		}
+		r.rs[i].ScanDesc(from, func(k, v []byte) bool {
+			more = fn(k, v)
+			return more
+		})
+	}
 }
 
 // Close releases every per-shard reader slot.

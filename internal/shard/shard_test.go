@@ -257,3 +257,151 @@ func TestZeroOptionsDefaults(t *testing.T) {
 		t.Fatalf("Stats().Keys = %d", st.Stats().Keys)
 	}
 }
+
+// TestCrossShardScanDescAndRanges mirrors the ascending ordering test for
+// the descending direction and the Range collectors: a descending scan
+// must stitch shards in reverse partition order with global key order
+// preserved across every boundary, and RangeAsc/RangeDesc must agree with
+// the sorted key set.
+func TestCrossShardScanDescAndRanges(t *testing.T) {
+	keys := sampleFrom(indextest.GenPrefixed, 5000, 31)
+	st := New(Options{Shards: 5, Sample: keys})
+	sorted := make([]string, 0, len(keys))
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			sorted = append(sorted, string(k))
+		}
+	}
+	sort.Strings(sorted)
+	for _, k := range keys {
+		st.Set(k, k)
+	}
+	nonEmpty := 0
+	for _, n := range st.ShardCounts() {
+		if n > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("only %d non-empty shards; desc scan never crosses a boundary", nonEmpty)
+	}
+
+	checkDesc := func(start []byte) {
+		t.Helper()
+		want := sorted
+		if start != nil {
+			at := sort.SearchStrings(sorted, string(start))
+			if at < len(sorted) && sorted[at] == string(start) {
+				at++
+			}
+			want = sorted[:at]
+		}
+		i := len(want) - 1
+		st.ScanDesc(start, func(k, v []byte) bool {
+			if i < 0 || string(k) != want[i] {
+				t.Fatalf("desc scan(%q) = %q, want %q", start, k, want[i])
+			}
+			if !bytes.Equal(k, v) {
+				t.Fatalf("desc scan(%q): value mismatch at %q", start, k)
+			}
+			i--
+			return true
+		})
+		if i != -1 {
+			t.Fatalf("desc scan(%q) stopped %d keys early", start, i+1)
+		}
+	}
+	checkDesc(nil)
+	for _, b := range st.part.Bounds() {
+		checkDesc(b)
+		checkDesc(append(append([]byte(nil), b...), 0))
+	}
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 15; i++ {
+		checkDesc(keys[r.Intn(len(keys))])
+	}
+
+	ka, _ := st.RangeAsc([]byte(sorted[10]), 25)
+	if len(ka) != 25 || string(ka[0]) != sorted[10] || string(ka[24]) != sorted[34] {
+		t.Fatalf("RangeAsc misaligned: got %d keys, first %q", len(ka), ka[0])
+	}
+	kd, vd := st.RangeDesc([]byte(sorted[100]), 30)
+	if len(kd) != 30 || string(kd[0]) != sorted[100] || string(kd[29]) != sorted[71] {
+		t.Fatalf("RangeDesc misaligned: got %d keys, first %q", len(kd), kd[0])
+	}
+	for i := range kd {
+		if !bytes.Equal(kd[i], vd[i]) {
+			t.Fatalf("RangeDesc value mismatch at %q", kd[i])
+		}
+	}
+}
+
+// TestReaderScans drives both scan directions through the pinned
+// per-shard read handles and checks they agree with the store's own scans
+// while writers churn other shards' keys.
+func TestReaderScans(t *testing.T) {
+	keys := sampleFrom(indextest.GenASCII, 4000, 41)
+	st := New(Options{Shards: 4, Sample: keys})
+	unique := map[string]bool{}
+	for _, k := range keys {
+		unique[string(k)] = true
+		st.Set(k, k)
+	}
+	stable := len(unique)
+	rd := st.NewReader()
+	defer rd.Close()
+	var stop sync.WaitGroup
+	done := make(chan struct{})
+	stop.Add(1)
+	go func() {
+		defer stop.Done()
+		r := rand.New(rand.NewSource(42))
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			k := []byte(fmt.Sprintf("churn-%05d", r.Intn(2000)))
+			if r.Intn(2) == 0 {
+				st.Set(k, k)
+			} else {
+				st.Del(k)
+			}
+		}
+	}()
+	for round := 0; round < 20; round++ {
+		var prev []byte
+		n := 0
+		rd.Scan(nil, func(k, v []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Errorf("reader scan out of order: %q then %q", prev, k)
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		if n < stable {
+			t.Errorf("reader scan round %d saw only %d keys, want >= %d", round, n, stable)
+		}
+		prev = nil
+		n = 0
+		rd.ScanDesc(nil, func(k, v []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) <= 0 {
+				t.Errorf("reader desc scan out of order: %q then %q", prev, k)
+				return false
+			}
+			prev = append(prev[:0], k...)
+			n++
+			return true
+		})
+		if n < stable {
+			t.Errorf("reader desc scan round %d saw only %d keys, want >= %d", round, n, stable)
+		}
+	}
+	close(done)
+	stop.Wait()
+}

@@ -59,6 +59,25 @@ func (sx *Sharded) Scan(start []byte, fn func(key, val []byte) bool) {
 	sx.s.Scan(start, fn)
 }
 
+// ScanDesc visits keys <= start in descending order until fn returns
+// false, stitching per-shard scans across shard boundaries. A nil start
+// scans from the largest key.
+func (sx *Sharded) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	sx.s.ScanDesc(start, fn)
+}
+
+// RangeAsc collects up to limit key/value pairs with key >= start,
+// ascending.
+func (sx *Sharded) RangeAsc(start []byte, limit int) (keys, vals [][]byte) {
+	return sx.s.RangeAsc(start, limit)
+}
+
+// RangeDesc collects up to limit key/value pairs with key <= start,
+// descending (nil start: from the largest key).
+func (sx *Sharded) RangeDesc(start []byte, limit int) (keys, vals [][]byte) {
+	return sx.s.RangeDesc(start, limit)
+}
+
 // GetBatch looks up keys grouped by shard; vals[i], found[i] answer
 // keys[i]. Large batches execute disjoint shards concurrently.
 func (sx *Sharded) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
@@ -94,6 +113,18 @@ func (r *ShardedReader) Get(key []byte) ([]byte, bool) { return r.r.Get(key) }
 // vals[i], found[i] answer keys[i].
 func (r *ShardedReader) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
 	return r.r.GetBatch(keys)
+}
+
+// Scan visits keys >= start in ascending order until fn returns false,
+// through the handle's pinned per-shard readers.
+func (r *ShardedReader) Scan(start []byte, fn func(key, val []byte) bool) {
+	r.r.Scan(start, fn)
+}
+
+// ScanDesc visits keys <= start in descending order until fn returns
+// false, through the handle's pinned per-shard readers.
+func (r *ShardedReader) ScanDesc(start []byte, fn func(key, val []byte) bool) {
+	r.r.ScanDesc(start, fn)
 }
 
 // Close releases every per-shard reader registration.

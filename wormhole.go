@@ -117,6 +117,12 @@ func (ix *Index) RangeAsc(start []byte, limit int) (keys, vals [][]byte) {
 	return ix.t.RangeAsc(start, limit)
 }
 
+// RangeDesc collects up to limit key/value pairs with key <= start,
+// descending (nil start: from the largest key).
+func (ix *Index) RangeDesc(start []byte, limit int) (keys, vals [][]byte) {
+	return ix.t.RangeDesc(start, limit)
+}
+
 // Min returns the smallest key and its value.
 func (ix *Index) Min() (key, val []byte, ok bool) { return ix.t.Min() }
 
@@ -124,9 +130,15 @@ func (ix *Index) Min() (key, val []byte, ok bool) { return ix.t.Min() }
 func (ix *Index) Max() (key, val []byte, ok bool) { return ix.t.Max() }
 
 // Iter returns a pull-style iterator positioned before the first key >=
-// start (nil start means the smallest key).
+// start (nil start means the smallest key), in ascending order.
 func (ix *Index) Iter(start []byte) *Iterator {
 	return &Iterator{it: ix.t.NewIter(start)}
+}
+
+// IterDesc returns a pull-style iterator positioned before the first key
+// <= start (nil start means the largest key), in descending order.
+func (ix *Index) IterDesc(start []byte) *Iterator {
+	return &Iterator{it: ix.t.NewIterDesc(start)}
 }
 
 // Reader is an amortized read handle: it registers with the index's RCU
@@ -146,12 +158,25 @@ func (ix *Index) Reader() *Reader { return &Reader{r: ix.t.NewReader()} }
 // Get returns the value stored under key.
 func (r *Reader) Get(key []byte) ([]byte, bool) { return r.r.Get(key) }
 
+// Scan visits keys >= start in ascending order until fn returns false,
+// through the handle's amortized registration (no per-scan reader setup).
+func (r *Reader) Scan(start []byte, fn func(key, val []byte) bool) { r.r.Scan(start, fn) }
+
+// ScanDesc visits keys <= start in descending order until fn returns
+// false, through the handle's amortized registration.
+func (r *Reader) ScanDesc(start []byte, fn func(key, val []byte) bool) { r.r.ScanDesc(start, fn) }
+
 // Close releases the handle's reader registration. The Reader must not
 // be used afterwards.
 func (r *Reader) Close() { r.r.Close() }
 
-// Iterator walks the index in ascending key order. It holds no locks
-// between Next calls.
+// Iterator walks the index in key order (ascending from Iter, descending
+// from IterDesc). It holds no locks between Next calls: the cursor
+// resumes by walking the index's leaf list from its retained position
+// under a long-lived reader registration that is parked between calls.
+// An Iterator must not be used from multiple goroutines at once; call
+// Close when abandoning it before exhaustion (a fully drained iterator
+// releases its registration automatically).
 type Iterator struct {
 	it *core.Iter
 }
@@ -164,6 +189,9 @@ func (i *Iterator) Key() []byte { return i.it.Key() }
 
 // Value returns the current value; valid after Next reports true.
 func (i *Iterator) Value() []byte { return i.it.Value() }
+
+// Close releases the iterator's reader registration; idempotent.
+func (i *Iterator) Close() { i.it.Close() }
 
 // Stats describes the index's internal shape.
 type Stats = core.Stats

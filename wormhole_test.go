@@ -152,3 +152,100 @@ func ExampleIndex() {
 	// James=1
 	// John=2
 }
+
+// TestPublicDescAndIterators covers the descending surface added with the
+// lock-free scan path: ScanDesc/RangeDesc/IterDesc on Index, scans on
+// Reader handles, and the sharded store's descending stitching.
+func TestPublicDescAndIterators(t *testing.T) {
+	idx := wormhole.New()
+	for i := 0; i < 500; i++ {
+		idx.Set([]byte(fmt.Sprintf("d%04d", i)), []byte{byte(i)})
+	}
+
+	keys, _ := idx.RangeDesc([]byte("d0100"), 10)
+	if len(keys) != 10 || string(keys[0]) != "d0100" || string(keys[9]) != "d0091" {
+		t.Fatalf("RangeDesc window wrong: %v", keys)
+	}
+
+	n := 0
+	idx.ScanDesc(nil, func(k, v []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("ScanDesc visited %d", n)
+	}
+
+	it := idx.IterDesc([]byte("d0050"))
+	for want := 50; want >= 0; want-- {
+		if !it.Next() {
+			t.Fatalf("IterDesc dry at %d", want)
+		}
+		if got := string(it.Key()); got != fmt.Sprintf("d%04d", want) {
+			t.Fatalf("IterDesc key %q, want d%04d", got, want)
+		}
+	}
+	if it.Next() {
+		t.Fatal("IterDesc has extra keys")
+	}
+	it.Close()
+
+	r := idx.Reader()
+	defer r.Close()
+	prev := ""
+	n = 0
+	r.Scan([]byte("d0490"), func(k, v []byte) bool {
+		if prev != "" && prev >= string(k) {
+			t.Fatalf("Reader.Scan out of order")
+		}
+		prev = string(k)
+		n++
+		return true
+	})
+	if n != 10 {
+		t.Fatalf("Reader.Scan visited %d, want 10", n)
+	}
+	n = 0
+	r.ScanDesc([]byte("d0009"), func(k, v []byte) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("Reader.ScanDesc visited %d, want 10", n)
+	}
+
+	sh := wormhole.NewSharded(wormhole.ShardedConfig{Shards: 4})
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("s%04d", i))
+		sh.Set(k, k)
+	}
+	prev = ""
+	n = 0
+	sh.ScanDesc(nil, func(k, v []byte) bool {
+		if prev != "" && prev <= string(k) {
+			t.Fatalf("Sharded.ScanDesc out of order: %q then %q", prev, k)
+		}
+		prev = string(k)
+		n++
+		return true
+	})
+	if n != 1000 {
+		t.Fatalf("Sharded.ScanDesc visited %d, want 1000", n)
+	}
+	keys, vals := sh.RangeDesc([]byte("s0123"), 4)
+	if len(keys) != 4 || string(keys[0]) != "s0123" || string(keys[3]) != "s0120" ||
+		!bytes.Equal(keys[2], vals[2]) {
+		t.Fatalf("Sharded.RangeDesc window wrong: %v", keys)
+	}
+	keys, _ = sh.RangeAsc([]byte("s0990"), 100)
+	if len(keys) != 10 || string(keys[0]) != "s0990" {
+		t.Fatalf("Sharded.RangeAsc window wrong: %d", len(keys))
+	}
+
+	sr := sh.Reader()
+	defer sr.Close()
+	n = 0
+	sr.Scan([]byte("s0995"), func(k, v []byte) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("ShardedReader.Scan visited %d, want 5", n)
+	}
+	n = 0
+	sr.ScanDesc([]byte("s0004"), func(k, v []byte) bool { n++; return true })
+	if n != 5 {
+		t.Fatalf("ShardedReader.ScanDesc visited %d, want 5", n)
+	}
+}
