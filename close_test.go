@@ -1,0 +1,101 @@
+package wormhole
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Lifecycle audit: every Close in the public surface is idempotent, an
+// exhausted iterator's implicit close tolerates an explicit one, and
+// closing one handle never disturbs another.
+
+func TestReaderDoubleClose(t *testing.T) {
+	ix := New()
+	ix.Set([]byte("a"), []byte("1"))
+	r := ix.Reader()
+	if _, ok := r.Get([]byte("a")); !ok {
+		t.Fatal("Reader.Get missed")
+	}
+	r.Close()
+	r.Close() // must be a no-op, not a second slot release
+
+	// A closed reader must not have poisoned the index for other readers.
+	r2 := ix.Reader()
+	defer r2.Close()
+	if _, ok := r2.Get([]byte("a")); !ok {
+		t.Fatal("index broken after double close")
+	}
+}
+
+func TestShardedReaderDoubleClose(t *testing.T) {
+	sx := NewSharded(ShardedConfig{Shards: 3})
+	sx.Set([]byte("a"), []byte("1"))
+	r := sx.Reader()
+	r.Get([]byte("a"))
+	r.Close()
+	r.Close()
+	r2 := sx.Reader()
+	defer r2.Close()
+	if _, ok := r2.Get([]byte("a")); !ok {
+		t.Fatal("sharded store broken after double close")
+	}
+}
+
+func TestIteratorCloseAfterExhaustion(t *testing.T) {
+	ix := New()
+	for i := 0; i < 300; i++ {
+		ix.Set([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	it := ix.Iter(nil)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 300 {
+		t.Fatalf("iterator visited %d keys, want 300", n)
+	}
+	// Exhaustion already released the registration; these must be no-ops.
+	it.Close()
+	it.Close()
+	if it.Next() {
+		t.Fatal("Next after exhaustion+Close returned true")
+	}
+
+	// Descending twin.
+	itd := ix.IterDesc(nil)
+	for itd.Next() {
+	}
+	itd.Close()
+
+	// Abandoned mid-iteration, then double-closed.
+	ab := ix.Iter(nil)
+	if !ab.Next() {
+		t.Fatal("fresh iterator empty")
+	}
+	ab.Close()
+	ab.Close()
+
+	// Writers must still make progress (no leaked reader registration
+	// stalling grace periods).
+	for i := 0; i < 300; i++ {
+		ix.Set([]byte(fmt.Sprintf("post%03d", i)), []byte("v"))
+	}
+	if ix.Count() != 600 {
+		t.Fatalf("Count = %d, want 600", ix.Count())
+	}
+}
+
+func TestShardedDoubleCloseVolatile(t *testing.T) {
+	sx := NewSharded(ShardedConfig{Shards: 2})
+	sx.Set([]byte("x"), []byte("1"))
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Volatile Close is a pure no-op: the store remains fully usable.
+	if _, ok := sx.Get([]byte("x")); !ok {
+		t.Fatal("volatile store unusable after Close")
+	}
+}

@@ -7,9 +7,11 @@
 //	whkv serve -addr 127.0.0.1:7070 -index wormhole
 //	whkv serve -addr 127.0.0.1:7070 -index wormhole-sharded -shards 8
 //	whkv serve -index wormhole-sharded -bounds "g,n,t"   # explicit shard boundaries
+//	whkv serve -dir /var/lib/whkv -sync interval        # durable store (WAL + snapshots)
 //	whkv set   -addr 127.0.0.1:7070 -key a -val 1
 //	whkv get   -addr 127.0.0.1:7070 -key a
 //	whkv scan  -addr 127.0.0.1:7070 -key a -limit 10
+//	whkv flush -addr 127.0.0.1:7070                     # fsync barrier on a durable server
 //	whkv bench -addr 127.0.0.1:7070 -keys 100000 -batch 800 -duration 2s
 package main
 
@@ -17,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/repro/wormhole/internal/adapters"
@@ -25,6 +29,7 @@ import (
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/netkv"
 	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/wal"
 )
 
 func main() {
@@ -36,7 +41,7 @@ func main() {
 	switch cmd {
 	case "serve":
 		serve(args)
-	case "get", "set", "del", "scan":
+	case "get", "set", "del", "scan", "flush":
 		oneShot(cmd, args)
 	case "bench":
 		clientBench(args)
@@ -46,7 +51,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: whkv serve|get|set|del|scan|bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: whkv serve|get|set|del|scan|flush|bench [flags]")
 	os.Exit(2)
 }
 
@@ -56,22 +61,57 @@ func serve(args []string) {
 	name := fs.String("index", "wormhole", "index implementation")
 	shards := fs.Int("shards", 0, "shard count for -index wormhole-sharded (default: min(GOMAXPROCS, 16))")
 	bounds := fs.String("bounds", "", "comma-separated shard boundary keys for -index wormhole-sharded (overrides -shards; place them at your keyspace's quantiles, since the default uniform byte ranges put all-ASCII keys in one shard)")
+	dir := fs.String("dir", "", "durable mode: persist to this directory (WAL + snapshots per shard; reopening recovers). Implies a sharded store; -index must be wormhole-sharded or unset")
+	syncMode := fs.String("sync", "none", "durable mode sync policy: none, interval or always")
 	fs.Parse(args)
-	if (*shards > 0 || *bounds != "") && *name != "wormhole-sharded" {
+	if *dir == "" && (*shards > 0 || *bounds != "") && *name != "wormhole-sharded" {
+		// With -dir the store is always sharded, so -shards/-bounds apply
+		// to it regardless of the (defaulted) -index value.
 		fmt.Fprintf(os.Stderr, "whkv: -shards and -bounds require -index wormhole-sharded\n")
+		os.Exit(2)
+	}
+	if *dir != "" && *name != "wormhole" && *name != "wormhole-sharded" {
+		fmt.Fprintf(os.Stderr, "whkv: -dir serves a durable sharded wormhole; it cannot host -index %s\n", *name)
 		os.Exit(2)
 	}
 	if *shards > 0 {
 		shard.DefaultShards = *shards
 	}
-	var ix index.Index
-	if *bounds != "" {
+	parseBounds := func() *shard.Partitioner {
 		var bs [][]byte
 		for _, b := range strings.Split(*bounds, ",") {
 			bs = append(bs, []byte(strings.TrimSpace(b)))
 		}
-		ix = shard.New(shard.Options{Partitioner: shard.NewExplicit(bs)})
-	} else {
+		return shard.NewExplicit(bs)
+	}
+	var ix index.Index
+	var durable *shard.Store
+	served := *name
+	switch {
+	case *dir != "":
+		policy, err := wal.ParsePolicy(*syncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whkv:", err)
+			os.Exit(2)
+		}
+		o := shard.Options{Dir: *dir, Durability: wal.Options{Sync: policy}}
+		if *bounds != "" {
+			o.Partitioner = parseBounds()
+		}
+		st, err := shard.Open(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whkv:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("whkv: recovered %d snapshot pairs + %d WAL records from %s\n",
+			st.RecoveredPairs(), st.RecoveredRecords(), *dir)
+		ix, durable = st, st
+		served = fmt.Sprintf("durable wormhole-sharded (%d shards, sync=%s)",
+			st.NumShards(), policy)
+	case *bounds != "":
+		ix = shard.New(shard.Options{Partitioner: parseBounds()})
+		served = "wormhole-sharded"
+	default:
 		info, ok := index.Lookup(*name)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "whkv: unknown index %q\n", *name)
@@ -84,8 +124,21 @@ func serve(args []string) {
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("whkv: serving %s on %s\n", *name, srv.Addr())
-	select {} // run until killed
+	fmt.Printf("whkv: serving %s on %s\n", served, srv.Addr())
+	// Run until killed; on SIGINT/SIGTERM drain connections and, in
+	// durable mode, flush and close the WALs so a clean shutdown loses
+	// nothing even under -sync none.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("whkv: shutting down")
+	srv.Close()
+	if durable != nil {
+		if err := durable.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func oneShot(cmd string, args []string) {
@@ -110,6 +163,8 @@ func oneShot(cmd string, args []string) {
 		cl.QueueDel([]byte(*key))
 	case "scan":
 		cl.QueueScan([]byte(*key), *limit)
+	case "flush":
+		cl.QueueFlush()
 	}
 	rs, err := cl.Flush()
 	if err != nil {
@@ -135,6 +190,16 @@ func oneShot(cmd string, args []string) {
 	case "scan":
 		for i := range r.Keys {
 			fmt.Printf("%s = %s\n", r.Keys[i], r.Vals[i])
+		}
+	case "flush":
+		switch r.Status {
+		case netkv.StatusOK:
+			fmt.Println("flushed")
+		case netkv.StatusNotFound:
+			fmt.Println("(server is volatile)")
+		default:
+			fmt.Fprintln(os.Stderr, "whkv: flush failed on the server")
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,156 @@
+package wormhole
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/repro/wormhole/internal/wal"
+)
+
+func TestOpenRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, DurableConfig{Shards: 2, Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Set([]byte(fmt.Sprintf("user:%04d", i)), []byte(fmt.Sprintf("profile-%d", i)))
+	}
+	db.Del([]byte("user:0042"))
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Count() != 499 {
+		t.Fatalf("recovered %d keys, want 499", db2.Count())
+	}
+	if _, ok := db2.Get([]byte("user:0042")); ok {
+		t.Fatal("deleted key came back")
+	}
+	if v, ok := db2.Get([]byte("user:0007")); !ok || string(v) != "profile-7" {
+		t.Fatalf("user:0007 = %q,%v", v, ok)
+	}
+}
+
+func TestOpenSnapshotSpeedsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, DurableConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		db.Set([]byte(fmt.Sprintf("k%05d", i)), []byte("v"))
+	}
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	db.Set([]byte("tail"), []byte("t"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.RecoveredPairs() != 1000 {
+		t.Fatalf("snapshot restored %d pairs, want 1000", db2.RecoveredPairs())
+	}
+	if db2.RecoveredRecords() != 1 {
+		t.Fatalf("WAL tail replayed %d records, want 1", db2.RecoveredRecords())
+	}
+	if db2.Count() != 1001 {
+		t.Fatalf("recovered %d keys, want 1001", db2.Count())
+	}
+}
+
+func TestOpenSyncIntervalAndReaders(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, DurableConfig{Sync: SyncInterval, SyncInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Set([]byte("a"), []byte("1"))
+	// The full read surface works on a durable store.
+	r := db.Reader()
+	if v, ok := r.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("Reader.Get = %q,%v", v, ok)
+	}
+	r.Close()
+	r.Close() // double close is part of the lifecycle contract
+	keys, _ := db.RangeAsc(nil, 10)
+	if len(keys) != 1 {
+		t.Fatalf("RangeAsc found %d keys", len(keys))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestShardedCloseWithInFlightScan(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, DurableConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		db.Set([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+	}
+	// Start an iterator, close the store mid-scan, finish the scan: the
+	// in-memory index outlives the durable lifecycle.
+	it := db.s.NewReader()
+	seen := 0
+	it.Scan(nil, func(k, v []byte) bool {
+		seen++
+		if seen == 10 {
+			if err := db.Close(); err != nil {
+				t.Errorf("Close mid-scan: %v", err)
+			}
+		}
+		return true
+	})
+	it.Close()
+	if seen != 300 {
+		t.Fatalf("scan after Close visited %d keys, want 300", seen)
+	}
+	// Post-close mutations apply in memory but are not persisted.
+	db.Set([]byte("late"), []byte("x"))
+	if _, ok := db.Get([]byte("late")); !ok {
+		t.Fatal("post-close Set not visible in memory")
+	}
+
+	db2, err := Open(dir, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Get([]byte("late")); ok {
+		t.Fatal("post-close Set was persisted")
+	}
+	if db2.Count() != 300 {
+		t.Fatalf("recovered %d keys, want 300", db2.Count())
+	}
+}
+
+func TestSyncPolicyMappingStable(t *testing.T) {
+	// DurableConfig.Sync is cast numerically onto the internal WAL policy;
+	// this pins the correspondence so neither enum can drift silently.
+	if int(SyncNone) != int(wal.SyncNone) ||
+		int(SyncInterval) != int(wal.SyncInterval) ||
+		int(SyncAlways) != int(wal.SyncAlways) {
+		t.Fatal("public SyncPolicy values diverge from internal/wal")
+	}
+}

@@ -192,3 +192,28 @@ func indextestKeys(n int) [][]byte {
 	}
 	return keys
 }
+
+// TestConcurrentAllBackends runs the concurrent model-based harness over
+// every registered backend. Thread-safe indexes take the raw concurrent
+// stream — under -race this doubles as a data-race probe of their
+// internals — while the single-writer baselines run behind
+// indextest.Synchronized, so the same harness (goroutine structure,
+// exactly-once oracle verification, scan observer) covers the whole
+// registry.
+func TestConcurrentAllBackends(t *testing.T) {
+	for _, info := range index.All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			workers, steps := 4, 800
+			if testing.Short() {
+				steps = 200
+			}
+			ix := indextest.MutableIndex(info.New())
+			if !info.ThreadSafe {
+				ix = indextest.Synchronized(ix)
+			}
+			indextest.ConcurrentOps(t, ix, 777, workers, steps, indextest.GenASCII)
+		})
+	}
+}

@@ -28,7 +28,13 @@ type Config struct {
 	// Shards: an explicitly requested shard count that shard-sweep adds
 	// to its default ladder; 0 means the ladder alone.
 	Shards int
-	Out    io.Writer // result sink
+	// Dir roots the durability experiment's store directories; empty
+	// means a temp directory removed after the run.
+	Dir string
+	// Sync filters the durability experiment's rows (comma-separated
+	// from {none, interval, always, recover}); empty means all.
+	Sync string
+	Out  io.Writer // result sink
 	// Record, when non-nil, receives every machine-readable benchmark
 	// cell an experiment produces (the -json trajectory output).
 	Record func(Result)

@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// Durability measures what persistence costs on the write path and what
+// snapshots buy at recovery, on Az1:
+//
+//   - "set volatile": concurrent random Sets on the in-memory sharded
+//     store — the baseline every durable row is compared against;
+//   - "set sync=none/interval/always": the same workload with every
+//     mutation appended to the per-shard WALs under each sync policy
+//     (always exercises the group-committed fsync convoy);
+//   - "recover": close a store holding a snapshot of half the keyset
+//     plus a WAL tail of the other half, reopen it, and report the
+//     wall-clock recovery rate — the row the ROADMAP's fast-restart
+//     story is tracked by, normalized as seconds per million keys.
+//
+// Rows are filtered by Config.Sync (comma-separated policies; empty
+// means all) and persist under Config.Dir (default: a temp directory,
+// removed afterwards).
+func Durability(c *Config) {
+	keys := c.Keyset("Az1")
+	threads := c.Threads
+
+	root := c.Dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "whbench-durability-*")
+		if err != nil {
+			c.printf("durability: %v\n", err)
+			return
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+	want := map[string]bool{}
+	for _, m := range strings.Split(c.Sync, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			want[m] = true
+		}
+	}
+	enabled := func(m string) bool { return len(want) == 0 || want[m] }
+
+	c.printf("durability: keyset Az1, %d keys, %d goroutines (MOPS)\n", len(keys), threads)
+	report := func(op string, mops float64, allocs float64) {
+		c.printf("%-18s%8.2f\n", op, mops)
+		c.record(Result{
+			Exp: "durability", Op: op, Index: "wormhole-sharded", Threads: threads,
+			Keys: len(keys), MOPS: mops, NsPerOp: 1e3 / mops, AllocsPerOp: allocs,
+		})
+	}
+
+	// Baseline: the volatile sharded store.
+	{
+		st := shard.New(shard.Options{Sample: keys})
+		mops := setThroughput(st.Set, keys, threads, c.Duration, c.Seed)
+		report("set volatile", mops, 0)
+	}
+
+	// One durable store per sync policy, each in its own directory.
+	for _, mode := range []struct {
+		name   string
+		policy wal.SyncPolicy
+	}{
+		{"none", wal.SyncNone},
+		{"interval", wal.SyncInterval},
+		{"always", wal.SyncAlways},
+	} {
+		if !enabled(mode.name) {
+			continue
+		}
+		dir := filepath.Join(root, "sync-"+mode.name)
+		st, err := shard.Open(shard.Options{
+			Dir: dir, Sample: keys,
+			Durability: wal.Options{Sync: mode.policy},
+		})
+		if err != nil {
+			c.printf("durability: open %s: %v\n", dir, err)
+			continue
+		}
+		mops := setThroughput(st.Set, keys, threads, c.Duration, c.Seed)
+		report("set sync="+mode.name, mops, 0)
+		st.Close()
+	}
+
+	// Recovery: half the keyset in snapshots, half in WAL tails — the
+	// state a periodically-snapshotting server crashes with.
+	if enabled("recover") || len(want) == 0 {
+		dir := filepath.Join(root, "recover")
+		st, err := shard.Open(shard.Options{
+			Dir: dir, Sample: keys, Durability: wal.Options{Sync: wal.SyncNone},
+		})
+		if err != nil {
+			c.printf("durability: open %s: %v\n", dir, err)
+			return
+		}
+		half := len(keys) / 2
+		loadStriped(st, keys[:half], threads)
+		if err := st.Snapshot(); err != nil {
+			c.printf("durability: snapshot: %v\n", err)
+			st.Close()
+			return
+		}
+		loadStriped(st, keys[half:], threads)
+		if err := st.Close(); err != nil {
+			c.printf("durability: close: %v\n", err)
+			return
+		}
+
+		start := time.Now()
+		st2, err := shard.Open(shard.Options{Dir: dir})
+		el := time.Since(start)
+		if err != nil {
+			c.printf("durability: reopen: %v\n", err)
+			return
+		}
+		if int(st2.Count()) != len(keys) {
+			c.printf("durability: recovery lost keys: %d != %d\n", st2.Count(), len(keys))
+			st2.Close()
+			return
+		}
+		mops := float64(len(keys)) / el.Seconds() / 1e6
+		report("recover", mops, 0)
+		c.printf("  (%d snapshot pairs + %d WAL records in %.2fs = %.2f s per million keys)\n",
+			st2.RecoveredPairs(), st2.RecoveredRecords(), el.Seconds(), el.Seconds()*1e6/float64(len(keys)))
+		st2.Close()
+	}
+}
+
+// setThroughput measures concurrent random Sets (updates after the first
+// pass, like the mixed workload's steady state) for dur.
+func setThroughput(set func(k, v []byte), keys [][]byte, threads int, dur time.Duration, seed int64) float64 {
+	n := len(keys)
+	val := []byte("durability-val")
+	return Throughput(threads, dur, seed, func(_ int, r *Rng) {
+		set(keys[r.Intn(n)], val)
+	})
+}
+
+// loadStriped loads keys with `threads` workers over contiguous stripes —
+// a full pass, not a timed window, so snapshot/recovery rows hold the
+// whole keyset.
+func loadStriped(st *shard.Store, keys [][]byte, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	var wg sync.WaitGroup
+	stripe := (len(keys) + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * stripe
+		hi := min(lo+stripe, len(keys))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part [][]byte) {
+			defer wg.Done()
+			for _, k := range part {
+				st.Set(k, k)
+			}
+		}(keys[lo:hi])
+	}
+	wg.Wait()
+}

@@ -45,6 +45,7 @@ func Experiments() []struct {
 		{"shard-sweep", "sharded store: shard count × goroutines scaling (extension)", ShardSweep},
 		{"readpath", "point-read path: plain vs pinned-reader lookups (perf trajectory)", ReadPath},
 		{"scanpath", "range-scan path: lock-free vs locked, plain vs pinned (perf trajectory)", ScanPath},
+		{"durability", "durable store: volatile vs WAL sync policies, plus recovery rate (extension)", Durability},
 	}
 }
 

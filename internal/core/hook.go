@@ -1,0 +1,58 @@
+package core
+
+// MutationHook observes every committed mutation of the index, in commit
+// order: OnSet as an insert or replace lands, OnDel as a present key's
+// removal lands (a delete of an absent key is not a mutation and is not
+// reported). Both run with the owning leaf's lock (and, on structural
+// paths, the meta writer lock) still held — that lock is what serializes
+// same-key mutations, so calling under it is the only way a log can
+// record the order the index actually committed. Implementations must
+// therefore be fast and non-blocking: a buffered append, not an fsync.
+//
+// The returned token flows to Barrier after the index has released all
+// its locks; Barrier may block (e.g. on a group-committed fsync) until
+// the observed mutation is durable, without stalling readers or writers
+// on other leaves. Hooks that need no durability wait return 0 and make
+// Barrier a no-op.
+//
+// Hooks do not fire during BulkLoad: bulk loading is the recovery path,
+// and recovery must not re-log what it replays.
+type MutationHook interface {
+	OnSet(key, val []byte) (token uint64)
+	OnDel(key []byte) (token uint64)
+	// Barrier blocks until the mutation identified by token is durable
+	// per the hook's policy. Called outside all index locks.
+	Barrier(token uint64)
+}
+
+// SetMutationHook installs h (nil removes it). It must be called before
+// the index is shared between goroutines — typically right after New or
+// after recovery, before serving traffic — because installation is not
+// synchronized against in-flight mutations.
+func (w *Wormhole) SetMutationHook(h MutationHook) { w.hook = h }
+
+// logSet reports a committed set to the hook; the caller holds the locks
+// that serialized the mutation.
+func (w *Wormhole) logSet(key, val []byte) uint64 {
+	if w.hook == nil {
+		return 0
+	}
+	return w.hook.OnSet(key, val)
+}
+
+// logDel reports a committed delete to the hook; the caller holds the
+// locks that serialized the mutation.
+func (w *Wormhole) logDel(key []byte) uint64 {
+	if w.hook == nil {
+		return 0
+	}
+	return w.hook.OnDel(key)
+}
+
+// barrier waits out the hook's durability policy for token, outside all
+// index locks.
+func (w *Wormhole) barrier(token uint64) {
+	if w.hook != nil {
+		w.hook.Barrier(token)
+	}
+}

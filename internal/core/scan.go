@@ -263,8 +263,23 @@ func mergeAsc(l *leafNode, items []*kv, order []int32, bound []byte, incl, edge 
 	for {
 		// Emit the tail entries due at this position (pos <= oi), then a
 		// tight compare-free run of base items below the next tail
-		// position — the common case is one long run per chunk.
-		for ti < tl && len(out) < cap(out) && int(l.tailPos[ti].Load()) <= oi {
+		// position — the common case is one long run per chunk. A tail
+		// position is clamped to len(order): racing a fold, the leaf's
+		// tail slots can carry positions relative to a NEWER (larger)
+		// base than the order view this chunk loaded, and an unclamped
+		// pos > len(order) with the base exhausted would consume nothing,
+		// advance nothing and never exit — a livelock on a state the
+		// seqlock bracket is about to reject anyway. Clamped, the entry
+		// is consumed, the walk terminates, and the bracket discards the
+		// chunk.
+		for ti < tl && len(out) < cap(out) {
+			p := int(l.tailPos[ti].Load())
+			if p > len(order) {
+				p = len(order)
+			}
+			if p > oi {
+				break
+			}
 			it := l.tailItem[ti].Load()
 			ti++
 			if it == nil {

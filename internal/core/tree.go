@@ -90,6 +90,10 @@ type Wormhole struct {
 
 	head  *leafNode // leftmost leaf; never removed (merges consume the right node)
 	count atomic.Int64
+
+	// hook, when non-nil, observes every committed mutation (see
+	// SetMutationHook); installed before the index is shared.
+	hook MutationHook
 }
 
 // New creates an empty index.
@@ -329,10 +333,19 @@ func (r *Reader) Close() {
 // the caller must not mutate them afterwards.
 func (w *Wormhole) Set(key, val []byte) {
 	h := hashKey(key)
+	var token uint64
 	if !w.opt.Concurrent {
-		w.setUnsafe(h, key, val)
-		return
+		token = w.setUnsafe(h, key, val)
+	} else {
+		token = w.setOnline(h, key, val)
 	}
+	// The hook observed the mutation in commit order (under the leaf
+	// lock); any blocking durability wait happens here, with every index
+	// lock released, so an fsync never stalls readers or other writers.
+	w.barrier(token)
+}
+
+func (w *Wormhole) setOnline(h uint32, key, val []byte) uint64 {
 	s := w.q.Enter()
 	for {
 		t := w.cur.Load()
@@ -349,16 +362,18 @@ func (w *Wormhole) Set(key, val []byte) {
 			l.beginMutate()
 			it.setValue(val)
 			l.endMutate()
+			token := w.logSet(key, val)
 			l.mu.Unlock()
 			w.q.Leave(s)
-			return
+			return token
 		}
 		if l.size() < w.opt.LeafCap {
 			l.insert(l.newKV(h, key, val))
 			w.count.Add(1)
+			token := w.logSet(key, val)
 			l.mu.Unlock()
 			w.q.Leave(s)
-			return
+			return token
 		}
 		// The leaf is full: go through the structural-writer path. Release
 		// the leaf lock and the QSBR slot first — holding a leaf lock while
@@ -366,8 +381,7 @@ func (w *Wormhole) Set(key, val []byte) {
 		// metaMu owner's grace period forever.
 		l.mu.Unlock()
 		w.q.Leave(s)
-		w.splitInsert(h, key, val)
-		return
+		return w.splitInsert(h, key, val)
 	}
 }
 
@@ -376,7 +390,7 @@ func (w *Wormhole) Set(key, val []byte) {
 // under metaMu: holding metaMu freezes the published table (tables are
 // only replaced by metaMu owners) and all leaf versions, so one search +
 // one leaf lock is race-free here.
-func (w *Wormhole) splitInsert(h uint32, key, val []byte) {
+func (w *Wormhole) splitInsert(h uint32, key, val []byte) uint64 {
 	w.metaMu.Lock()
 	t := w.cur.Load()
 	l := w.searchMeta(t, key)
@@ -385,16 +399,18 @@ func (w *Wormhole) splitInsert(h uint32, key, val []byte) {
 		l.beginMutate()
 		ex.setValue(val)
 		l.endMutate()
+		token := w.logSet(key, val)
 		l.mu.Unlock()
 		w.metaMu.Unlock()
-		return
+		return token
 	}
 	if l.size() < w.opt.LeafCap {
 		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
+		token := w.logSet(key, val)
 		l.mu.Unlock()
 		w.metaMu.Unlock()
-		return
+		return token
 	}
 	l.incSort()
 	p := planSplit(l, w.opt.ShortAnchors)
@@ -402,9 +418,10 @@ func (w *Wormhole) splitInsert(h uint32, key, val []byte) {
 		// No legal anchor at any cut point: grow a fat leaf (§3.3).
 		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
+		token := w.logSet(key, val)
 		l.mu.Unlock()
 		w.metaMu.Unlock()
-		return
+		return token
 	}
 
 	nv := t.version + 1
@@ -421,6 +438,7 @@ func (w *Wormhole) splitInsert(h uint32, key, val []byte) {
 	}
 	target.insert(target.newKV(h, key, val))
 	w.count.Add(1)
+	token := w.logSet(key, val)
 
 	sp := w.spare
 	applySplit(sp, l, newL, oldRight, p)
@@ -434,26 +452,27 @@ func (w *Wormhole) splitInsert(h uint32, key, val []byte) {
 	applySplit(t, l, newL, oldRight, p)
 	w.spare = t
 	w.metaMu.Unlock()
+	return token
 }
 
-func (w *Wormhole) setUnsafe(h uint32, key, val []byte) {
+func (w *Wormhole) setUnsafe(h uint32, key, val []byte) uint64 {
 	t := w.cur.Load()
 	l := w.searchMeta(t, key)
 	if it := l.find(h, key, true, w.opt.DirectPos); it != nil {
 		it.setValue(val)
-		return
+		return w.logSet(key, val)
 	}
 	if l.size() < w.opt.LeafCap {
 		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
-		return
+		return w.logSet(key, val)
 	}
 	l.incSort()
 	p := planSplit(l, w.opt.ShortAnchors)
 	if p == nil {
 		l.insert(l.newKV(h, key, val))
 		w.count.Add(1)
-		return
+		return w.logSet(key, val)
 	}
 	oldRight := l.next.Load()
 	newL := executeLeafSplit(l, p)
@@ -465,17 +484,32 @@ func (w *Wormhole) setUnsafe(h uint32, key, val []byte) {
 	target.insert(target.newKV(h, key, val))
 	w.count.Add(1)
 	applySplit(t, l, newL, oldRight, p)
+	return w.logSet(key, val)
 }
 
 // Del removes key, reporting whether it was present. When the leaf drains
 // it is opportunistically merged with a neighbor (Algorithm 2's DEL).
 func (w *Wormhole) Del(key []byte) bool {
 	h := hashKey(key)
+	var found bool
+	var token uint64
 	if !w.opt.Concurrent {
-		return w.delUnsafe(h, key)
+		found, token = w.delUnsafe(h, key)
+	} else {
+		found, token = w.delOnline(h, key)
 	}
+	// Only a present key's removal is a mutation; the hook already
+	// observed it in commit order, so only the durability wait remains.
+	if found {
+		w.barrier(token)
+	}
+	return found
+}
+
+func (w *Wormhole) delOnline(h uint32, key []byte) (bool, uint64) {
 	s := w.q.Enter()
 	var shrunk *leafNode
+	var token uint64
 	for {
 		t := w.cur.Load()
 		l := w.searchMeta(t, key)
@@ -489,10 +523,11 @@ func (w *Wormhole) Del(key []byte) bool {
 		if it == nil {
 			l.mu.Unlock()
 			w.q.Leave(s)
-			return false
+			return false, 0
 		}
 		l.remove(it)
 		w.count.Add(-1)
+		token = w.logDel(key)
 		if l.size() < w.opt.MergeSize/2 {
 			shrunk = l
 		}
@@ -503,7 +538,7 @@ func (w *Wormhole) Del(key []byte) bool {
 	if shrunk != nil {
 		w.tryMerge(shrunk)
 	}
-	return true
+	return true, token
 }
 
 // tryMerge merges l with a neighbor if their combined size is still below
@@ -557,17 +592,18 @@ func (w *Wormhole) mergePair(left, victim *leafNode) bool {
 	return true
 }
 
-func (w *Wormhole) delUnsafe(h uint32, key []byte) bool {
+func (w *Wormhole) delUnsafe(h uint32, key []byte) (bool, uint64) {
 	t := w.cur.Load()
 	l := w.searchMeta(t, key)
 	it := l.find(h, key, true, w.opt.DirectPos)
 	if it == nil {
-		return false
+		return false, 0
 	}
 	l.remove(it)
 	w.count.Add(-1)
+	token := w.logDel(key)
 	if l.size() >= w.opt.MergeSize/2 {
-		return true
+		return true, token
 	}
 	var left, victim *leafNode
 	if p := l.prev.Load(); p != nil && p.size()+l.size() < w.opt.MergeSize {
@@ -575,7 +611,7 @@ func (w *Wormhole) delUnsafe(h uint32, key []byte) bool {
 	} else if n := l.next.Load(); n != nil && l.size()+n.size() < w.opt.MergeSize {
 		left, victim = l, n
 	} else {
-		return true
+		return true, token
 	}
 	plan := &mergePlan{
 		stored: victim.anchor.Load().stored,
@@ -585,5 +621,5 @@ func (w *Wormhole) delUnsafe(h uint32, key []byte) bool {
 	}
 	mergeLeaves(left, victim)
 	applyMerge(t, plan)
-	return true
+	return true, token
 }

@@ -79,6 +79,18 @@ type ScanHandle interface {
 	ScanDesc(start []byte, fn func(key, val []byte) bool)
 }
 
+// Durable is implemented by stores with a persistence lifecycle (the
+// durable sharded store). Volatile indexes simply don't implement it.
+type Durable interface {
+	// Flush forces every logged mutation to stable storage, regardless of
+	// the store's sync policy.
+	Flush() error
+	// Snapshot writes a key-ordered snapshot and truncates the log.
+	Snapshot() error
+	// Close flushes and stops logging; in-memory reads may continue.
+	Close() error
+}
+
 // ReadPinner is implemented by indexes whose readers can amortize
 // per-operation synchronization across a session (Wormhole's pinned QSBR
 // readers). Callers that hold a goroutine for many operations should

@@ -8,7 +8,9 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 	"testing"
 )
 
@@ -202,6 +204,240 @@ func BatchOps(t *testing.T, ix interface {
 		got, ok := ix.Get([]byte(k))
 		if !ok || string(got) != v {
 			t.Fatalf("final Get(%x) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+}
+
+// MutableIndex is the mutation surface ConcurrentOps drives.
+type MutableIndex interface {
+	Get([]byte) ([]byte, bool)
+	Set(key, val []byte)
+	Del([]byte) bool
+	Count() int64
+}
+
+// scanner is detected dynamically so the harness runs scan verification
+// only on ordered indexes.
+type scanner interface {
+	Scan(start []byte, fn func(k, v []byte) bool)
+}
+
+// Synchronized wraps a non-thread-safe index with one mutex so the
+// concurrent harness can drive every registered backend: the wrapped
+// index sees a serialized operation stream while the harness's goroutine
+// structure (and the race detector's view of the harness itself) stays
+// identical to the lock-free backends'. The wrapper advertises Scan only
+// when the wrapped index has one, so the harness's scanner detection
+// sees the underlying capability, not the wrapper's.
+func Synchronized(ix MutableIndex) MutableIndex {
+	s := &syncIx{ix: ix}
+	if _, ok := ix.(scanner); ok {
+		return &syncScanIx{syncIx: s}
+	}
+	return s
+}
+
+type syncIx struct {
+	mu sync.Mutex
+	ix MutableIndex
+}
+
+// syncScanIx adds the serialized Scan for wrapped indexes that have one.
+type syncScanIx struct {
+	*syncIx
+}
+
+func (s *syncScanIx) Scan(start []byte, fn func(k, v []byte) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ix.(scanner).Scan(start, fn)
+}
+
+func (s *syncIx) Get(k []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Get(k)
+}
+
+func (s *syncIx) Set(k, v []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ix.Set(k, v)
+}
+
+func (s *syncIx) Del(k []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Del(k)
+}
+
+func (s *syncIx) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.Count()
+}
+
+// ConcurrentOps is the concurrent model-based harness: `workers`
+// goroutines each own a disjoint key prefix and drive random
+// Set/Del/Get streams against the index and a private model
+// simultaneously — ownership makes every point result exactly
+// verifiable mid-flight, with no tolerance windows. When the index is
+// ordered, one more goroutine scans continuously, checking global key
+// order and that every observed pair is internally consistent (the
+// value must embed its key: a torn read or cross-key mix-up surfaces
+// immediately). At the end the private models merge into a mutex-guarded
+// oracle and the quiesced index must match it exactly — every key
+// present exactly once with its latest value, none missing, none
+// phantom.
+//
+// Run it under -race: the harness is as much a data-race probe as a
+// linearizability check.
+func ConcurrentOps(t *testing.T, ix MutableIndex, seed int64, workers, steps int, gen func(*rand.Rand) []byte) {
+	t.Helper()
+	if workers < 1 {
+		workers = 1
+	}
+	oracle := struct {
+		sync.Mutex
+		m map[string]string
+	}{m: map[string]string{}}
+
+	var mutWG, scanWG sync.WaitGroup
+	stop := make(chan struct{})
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+
+	// valFor stamps the owning key into the value, so any observer can
+	// validate a (key, value) pairing without knowing the model state.
+	valFor := func(key []byte, i int) []byte {
+		return []byte(fmt.Sprintf("%x=%d", key, i))
+	}
+
+	for w := 0; w < workers; w++ {
+		mutWG.Add(1)
+		go func(w int) {
+			defer mutWG.Done()
+			r := rand.New(rand.NewSource(seed + int64(w)*7919))
+			model := map[string]string{}
+			prefix := []byte{byte('A' + w)}
+			for i := 0; i < steps; i++ {
+				k := append(append([]byte(nil), prefix...), gen(r)...)
+				switch r.Intn(10) {
+				case 0, 1, 2, 3, 4:
+					v := valFor(k, i)
+					ix.Set(k, v)
+					model[string(k)] = string(v)
+				case 5, 6:
+					got := ix.Del(k)
+					_, want := model[string(k)]
+					if got != want {
+						fail("worker %d step %d: Del(%x) = %v, want %v", w, i, k, got, want)
+						return
+					}
+					delete(model, string(k))
+				default:
+					v, ok := ix.Get(k)
+					mv, mok := model[string(k)]
+					if ok != mok || (ok && string(v) != mv) {
+						fail("worker %d step %d: Get(%x) = %q,%v want %q,%v", w, i, k, v, ok, mv, mok)
+						return
+					}
+				}
+			}
+			oracle.Lock()
+			for k, v := range model {
+				oracle.m[k] = v
+			}
+			oracle.Unlock()
+		}(w)
+	}
+
+	// The scan observer: runs until the mutators finish, verifying
+	// order and key/value pairing on states that are changing under it.
+	// Scans are windowed and yield between passes so the observer cannot
+	// starve mutators on a small GOMAXPROCS (or, behind Synchronized,
+	// monopolize the serializing mutex).
+	if sc, ok := ix.(scanner); ok {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			// Each pass resumes one key past where the previous window
+			// ended, so successive passes cover the whole keyspace (every
+			// worker's prefix), not just the lowest 256 keys over and over;
+			// exhaustion wraps back to the smallest key.
+			var start []byte
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var prev []byte
+				n := 0
+				sc.Scan(start, func(k, v []byte) bool {
+					if prev != nil && bytes.Compare(prev, k) >= 0 {
+						fail("concurrent scan out of order: %x then %x", prev, k)
+						return false
+					}
+					prev = append(prev[:0], k...)
+					if want := fmt.Sprintf("%x=", k); len(v) < len(want) || string(v[:len(want)]) != want {
+						fail("concurrent scan: key %x paired with foreign value %q", k, v)
+						return false
+					}
+					n++
+					return n < 256
+				})
+				if n < 256 {
+					start = nil // ran off the end: wrap around
+				} else {
+					// The immediate successor of the last emitted key.
+					start = append(append(start[:0], prev...), 0)
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	// Mutators finish first; only then is the scanner released, so it
+	// observes the full span of concurrent churn.
+	mutWG.Wait()
+	close(stop)
+	scanWG.Wait()
+
+	// Quiesced: the index must equal the merged oracle exactly.
+	if t.Failed() {
+		return
+	}
+	if int(ix.Count()) != len(oracle.m) {
+		t.Fatalf("Count = %d, oracle has %d", ix.Count(), len(oracle.m))
+	}
+	for k, v := range oracle.m {
+		got, ok := ix.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("final Get(%x) = %q,%v want %q (exactly-once violated)", k, got, ok, v)
+		}
+	}
+	if sc, ok := ix.(scanner); ok {
+		seen := 0
+		var prev []byte
+		sc.Scan(nil, func(k, v []byte) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("final scan out of order: %x then %x", prev, k)
+			}
+			prev = append(prev[:0], k...)
+			mv, ok := oracle.m[string(k)]
+			if !ok {
+				t.Fatalf("final scan found phantom key %x", k)
+			}
+			if mv != string(v) {
+				t.Fatalf("final scan: %x = %q, oracle has %q", k, v, mv)
+			}
+			seen++
+			return true
+		})
+		if seen != len(oracle.m) {
+			t.Fatalf("final scan saw %d keys, oracle has %d (exactly-once violated)", seen, len(oracle.m))
 		}
 	}
 }

@@ -28,12 +28,20 @@ const (
 	OpDel
 	OpScan
 	OpScanDesc
+	// OpFlush asks a durable server to force every logged mutation to
+	// stable storage before responding — the wire-level fsync barrier a
+	// client issues after a batch it cannot afford to lose. Servers
+	// hosting a volatile index answer StatusNotFound; a failed flush
+	// answers StatusErr.
+	OpFlush
 )
 
 // Status codes.
 const (
 	StatusOK byte = iota
 	StatusNotFound
+	// StatusErr reports a server-side failure (e.g. a flush I/O error).
+	StatusErr
 )
 
 // DefaultBatch is the paper's request batch size for Figure 12.
@@ -74,6 +82,7 @@ type Server struct {
 	ix  index.Index
 	bx  index.Batcher // non-nil when ix supports shard dispatch
 	rp  index.ReadPinner
+	dx  index.Durable // non-nil when ix persists (serves OpFlush)
 	ln  net.Listener
 	mu  sync.Mutex
 	wg  sync.WaitGroup
@@ -103,6 +112,15 @@ func Serve(addr string, ix index.Index) (*Server, error) {
 	if rp, ok := ix.(index.ReadPinner); ok {
 		s.rp = rp
 	}
+	if dx, ok := ix.(index.Durable); ok {
+		s.dx = dx
+		// A store can implement the lifecycle yet be volatile (the sharded
+		// store created without a directory): its Flush is a vacuous no-op,
+		// and clients deserve StatusNotFound, not a fake durability ack.
+		if v, ok := ix.(interface{ Durable() bool }); ok && !v.Durable() {
+			s.dx = nil
+		}
+	}
 	if bx, ok := ix.(index.Batcher); ok && bx.NumShards() > 1 {
 		s.bx = bx
 		s.workers = make([]chan func(index.ReadHandle), bx.NumShards())
@@ -131,9 +149,16 @@ func Serve(addr string, ix index.Index) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener, waits for connection handlers to finish
-// their in-flight batches, and drains the shard worker pool.
+// their in-flight batches, and drains the shard worker pool. Idempotent:
+// a second Close returns nil without touching the already-drained pool.
+// The server does not own the index; closing a durable index is its
+// creator's job, after Close returns.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.cls {
+		s.mu.Unlock()
+		return nil
+	}
 	s.cls = true
 	s.mu.Unlock()
 	err := s.ln.Close()
@@ -355,6 +380,17 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 				body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
 				body = append(body, v...)
 			}
+		case OpFlush:
+			// Earlier operations in this batch are already applied (and
+			// logged, on a durable index), so the barrier covers them.
+			switch {
+			case s.dx == nil:
+				body = append(body, StatusNotFound)
+			case s.dx.Flush() != nil:
+				body = append(body, StatusErr)
+			default:
+				body = append(body, StatusOK)
+			}
 		case OpScan, OpScanDesc:
 			scan := s.scanner(h, rq.Op == OpScanDesc)
 			if scan == nil {
@@ -415,7 +451,9 @@ func readRequests(r *bufio.Reader, reqs []Request) ([]Request, error) {
 		rq.Op = body[0]
 		klen := binary.LittleEndian.Uint32(body[1:5])
 		body = body[5:]
-		if uint32(len(body)) < klen+4 {
+		// Widen before adding: klen+4 in uint32 wraps for hostile lengths
+		// near 2^32, and the resulting body[:klen] would panic the server.
+		if uint64(klen)+4 > uint64(len(body)) {
 			return nil, errors.New("netkv: truncated key")
 		}
 		rq.Key = body[:klen]
@@ -472,6 +510,12 @@ func (c *Client) QueueSet(key, val []byte) { c.queue(OpSet, key, val, 0) }
 
 // QueueDel appends a DEL to the current batch.
 func (c *Client) QueueDel(key []byte) { c.queue(OpDel, key, nil, 0) }
+
+// QueueFlush appends a FLUSH barrier to the current batch: the server
+// forces every mutation logged so far (including this batch's earlier
+// operations) to stable storage before answering. StatusNotFound means
+// the server's index is volatile.
+func (c *Client) QueueFlush() { c.queue(OpFlush, nil, nil, 0) }
 
 // QueueScan appends a SCAN (up to limit ascending pairs from key; an
 // empty key starts at the smallest) to the batch.
@@ -575,7 +619,7 @@ func (c *Client) readResponses(ops []byte) ([]Response, error) {
 				}
 				klen := binary.LittleEndian.Uint32(body[:4])
 				body = body[4:]
-				if uint32(len(body)) < klen+4 {
+				if uint64(klen)+4 > uint64(len(body)) {
 					return nil, errors.New("netkv: truncated scan key")
 				}
 				rp.Keys = append(rp.Keys, body[:klen])

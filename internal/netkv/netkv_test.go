@@ -1,7 +1,9 @@
 package netkv
 
 import (
+	"encoding/binary"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 
@@ -405,5 +407,137 @@ func TestScanDescUnsupported(t *testing.T) {
 	}
 	if rs[2].Status != StatusOK || string(rs[2].Val) != "v" {
 		t.Fatalf("get after unsupported desc scan = %+v", rs[2])
+	}
+}
+
+func TestFlushOverWireDurable(t *testing.T) {
+	dir := t.TempDir()
+	st, err := shard.Open(shard.Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.QueueSet([]byte("durable-key"), []byte("durable-val"))
+	c.QueueFlush()
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[1].Status != StatusOK {
+		t.Fatalf("flush on durable index = %+v, want StatusOK", rs[1])
+	}
+	c.Close()
+	s.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The flushed write must survive a restart.
+	st2, err := shard.Open(shard.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if v, ok := st2.Get([]byte("durable-key")); !ok || string(v) != "durable-val" {
+		t.Fatalf("recovered durable-key = %q,%v", v, ok)
+	}
+}
+
+func TestFlushOverWireVolatile(t *testing.T) {
+	_, c := startServer(t, "wormhole")
+	c.QueueFlush()
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Status != StatusNotFound {
+		t.Fatalf("flush on volatile index = %+v, want StatusNotFound", rs[0])
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	info, _ := index.Lookup("wormhole-sharded")
+	s, err := Serve("127.0.0.1:0", info.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A second Close must not re-close the drained worker channels.
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestFlushOverWireVolatileSharded(t *testing.T) {
+	// The volatile sharded store implements the durable lifecycle as
+	// no-ops; the server must still refuse the durability ack.
+	st := shard.New(shard.Options{Shards: 2})
+	s, err := Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.QueueFlush()
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Status != StatusNotFound {
+		t.Fatalf("flush on volatile sharded store = %+v, want StatusNotFound", rs[0])
+	}
+}
+
+func TestMalformedFrameDoesNotKillServer(t *testing.T) {
+	s, c := startServer(t, "wormhole")
+	// Handshake a healthy op first so the connection is live.
+	c.QueueSet([]byte("ok"), []byte("1"))
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a frame whose key length is near 2^32: the uint32
+	// bounds check `klen+4` would wrap and the slice would panic the
+	// handler. The server must just drop the connection.
+	raw, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frame []byte
+	body := []byte{OpGet}
+	body = binary.LittleEndian.AppendUint32(body, 0xFFFFFFFF) // hostile klen
+	body = append(body, 1, 2, 3, 4, 5, 6, 7, 8)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)+2))
+	frame = binary.LittleEndian.AppendUint16(frame, 1)
+	frame = append(frame, body...)
+	if _, err := raw.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a hostile frame instead of dropping it")
+	}
+	raw.Close()
+	// The server survives and keeps serving other connections.
+	c2, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.QueueGet([]byte("ok"))
+	rs, err := c2.Flush()
+	if err != nil || rs[0].Status != StatusOK {
+		t.Fatalf("server unhealthy after hostile frame: %v %+v", err, rs)
 	}
 }

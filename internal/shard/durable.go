@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// Durable sharded stores. Open gives every shard its own WAL+snapshot
+// pair under dir/shard-NNN and recovers all of them in parallel — shard
+// keyspaces are disjoint, so per-shard logs need no cross-shard ordering,
+// and recovery time divides by the shard count. A MANIFEST file pins the
+// partitioner boundaries: routing must be byte-identical across restarts
+// or previously stored keys would become unreachable in their new shard.
+
+// manifest is the durable partitioning contract, written once at creation.
+type manifest struct {
+	Version int      `json:"version"`
+	Shards  int      `json:"shards"`
+	Bounds  []string `json:"bounds"` // base64, strictly ascending
+}
+
+const manifestName = "MANIFEST"
+
+func writeManifest(dir string, p *Partitioner) error {
+	m := manifest{Version: 1, Shards: p.NumShards()}
+	for _, b := range p.Bounds() {
+		m.Bounds = append(m.Bounds, base64.StdEncoding.EncodeToString(b))
+	}
+	buf, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	// The manifest pins routing for the store's whole life; it must be
+	// durable before any shard data is, or a crash between the two would
+	// silently re-derive different boundaries on reopen and orphan every
+	// key already written.
+	return wal.WriteFileAtomic(filepath.Join(dir, manifestName), append(buf, '\n'))
+}
+
+func readManifest(dir string) (*Partitioner, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return nil, fmt.Errorf("shard: corrupt MANIFEST: %w", err)
+	}
+	if m.Version != 1 {
+		return nil, fmt.Errorf("shard: MANIFEST version %d not supported", m.Version)
+	}
+	bounds := make([][]byte, 0, len(m.Bounds))
+	for _, s := range m.Bounds {
+		b, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("shard: corrupt MANIFEST boundary: %w", err)
+		}
+		bounds = append(bounds, b)
+	}
+	p := NewExplicit(bounds)
+	if p.NumShards() != m.Shards {
+		return nil, fmt.Errorf("shard: MANIFEST shard count %d does not match %d boundaries",
+			m.Shards, len(bounds))
+	}
+	return p, nil
+}
+
+// Open creates or reopens a durable store in o.Dir. On a fresh directory
+// the partitioner is built exactly as New builds it (Partitioner, Sample
+// or uniform) and persisted; on reopen the persisted boundaries win and
+// o.Shards/o.Sample/o.Partitioner are ignored — the on-disk keyspace
+// already committed to a routing. Each shard recovers independently and
+// concurrently: newest valid snapshot bulk-loaded, WAL tail replayed.
+func Open(o Options) (*Store, error) {
+	if o.Dir == "" {
+		return nil, errors.New("shard: Open requires Options.Dir")
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	p, err := readManifest(o.Dir)
+	switch {
+	case err == nil:
+		o.Partitioner = p
+	case os.IsNotExist(err):
+		// Fresh directory: derive the partitioning as New would, then pin it.
+		if o.Shards <= 0 {
+			o.Shards = DefaultShards
+		}
+		if o.Partitioner == nil {
+			if len(o.Sample) > 0 {
+				o.Partitioner = FromSample(o.Shards, o.Sample)
+			} else {
+				o.Partitioner = NewUniform(o.Shards)
+			}
+		}
+		if err := writeManifest(o.Dir, o.Partitioner); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	dir := o.Dir
+	s := New(o)
+	s.dir = dir
+	s.wals = make([]*wal.Store, len(s.shards))
+	var wg sync.WaitGroup
+	errs := make([]error, len(s.shards))
+	for i := range s.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shardDir := filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+			st, err := wal.Open(shardDir, s.shards[i], o.Durability)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			s.wals[i] = st
+			s.shards[i].SetMutationHook(st)
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		// Release whatever opened before reporting failure.
+		for _, st := range s.wals {
+			if st != nil {
+				st.Close()
+			}
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// Durable reports whether the store persists mutations (created by Open
+// rather than New).
+func (s *Store) Durable() bool { return len(s.wals) > 0 }
+
+// RecoveredPairs returns how many pairs the per-shard snapshots restored
+// at Open; RecoveredRecords how many WAL records were replayed after
+// them. Zero for volatile stores.
+func (s *Store) RecoveredPairs() int {
+	n := 0
+	for _, st := range s.wals {
+		n += st.RecoveredPairs()
+	}
+	return n
+}
+
+// RecoveredRecords returns the total WAL records replayed at Open.
+func (s *Store) RecoveredRecords() int {
+	n := 0
+	for _, st := range s.wals {
+		n += st.RecoveredRecords()
+	}
+	return n
+}
+
+// Flush forces every shard's logged mutations to stable storage,
+// regardless of the sync policy, fanning the fsyncs out across shards so
+// a barrier costs the slowest shard's sync, not the sum. A no-op on
+// volatile stores.
+func (s *Store) Flush() error {
+	if len(s.wals) == 0 {
+		return nil
+	}
+	errs := make([]error, len(s.wals))
+	var wg sync.WaitGroup
+	for i, st := range s.wals {
+		wg.Add(1)
+		go func(i int, st *wal.Store) {
+			defer wg.Done()
+			errs[i] = st.Flush()
+		}(i, st)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Snapshot writes a key-ordered snapshot of every shard and truncates its
+// WAL, in parallel across shards. A no-op on volatile stores.
+func (s *Store) Snapshot() error {
+	if len(s.wals) == 0 {
+		return nil
+	}
+	errs := make([]error, len(s.wals))
+	var wg sync.WaitGroup
+	for i, st := range s.wals {
+		wg.Add(1)
+		go func(i int, st *wal.Store) {
+			defer wg.Done()
+			errs[i] = st.Snapshot()
+		}(i, st)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close flushes and closes every shard's WAL. In-flight reads and scans
+// of the in-memory index are unaffected and may complete after Close;
+// mutations issued after Close still apply in memory but are no longer
+// logged. Idempotent; a no-op on volatile stores.
+func (s *Store) Close() error {
+	var errs []error
+	for _, st := range s.wals {
+		if err := st.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}

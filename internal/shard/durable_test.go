@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/repro/wormhole/internal/wal"
+)
+
+func TestDurableOpenWriteReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Durable() {
+		t.Fatal("Open returned a volatile store")
+	}
+	model := map[string]string{}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%05d", i)
+		v := fmt.Sprintf("val-%d", i)
+		s.Set([]byte(k), []byte(v))
+		model[k] = v
+	}
+	for i := 0; i < 2000; i += 7 {
+		k := fmt.Sprintf("key-%05d", i)
+		s.Del([]byte(k))
+		delete(model, k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if int(s2.Count()) != len(model) {
+		t.Fatalf("recovered %d keys, want %d", s2.Count(), len(model))
+	}
+	for k, v := range model {
+		got, ok := s2.Get([]byte(k))
+		if !ok || string(got) != v {
+			t.Fatalf("recovered Get(%s) = %q,%v want %q", k, got, ok, v)
+		}
+	}
+	// Order must survive too: a full scan is globally sorted.
+	var prev []byte
+	n := 0
+	s2.Scan(nil, func(k, _ []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("recovered scan out of order: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != len(model) {
+		t.Fatalf("recovered scan visited %d keys, want %d", n, len(model))
+	}
+}
+
+func TestDurableManifestPinsPartitioning(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := [][]byte{[]byte("alpha"), []byte("\x10mid"), []byte("\xf0high")}
+	for _, k := range keys {
+		s.Set(k, k)
+	}
+	routes := make([]int, len(keys))
+	for i, k := range keys {
+		routes[i] = s.ShardOf(k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen asking for a different shard count and a sample: the MANIFEST
+	// must win, keeping every key reachable in its original shard.
+	s2, err := Open(Options{Dir: dir, Shards: 2, Sample: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumShards() != 5 {
+		t.Fatalf("reopen changed shard count to %d, want 5", s2.NumShards())
+	}
+	for i, k := range keys {
+		if got := s2.ShardOf(k); got != routes[i] {
+			t.Fatalf("key %q rerouted from shard %d to %d", k, routes[i], got)
+		}
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("key %q unreachable after reopen", k)
+		}
+	}
+}
+
+func TestDurableCorruptManifestFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open succeeded with a corrupt MANIFEST; silent repartitioning would orphan keys")
+	}
+}
+
+func TestDurableSnapshotAndBatchedOps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{Dir: dir, Shards: 3, Durability: wal.Options{Sync: wal.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys, vals [][]byte
+	for i := 0; i < 1500; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("b%05d", i)))
+		vals = append(vals, []byte(fmt.Sprintf("v%d", i)))
+	}
+	s.SetBatch(keys, vals) // batched mutations must be logged too
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s.DelBatch(keys[:100]) // post-snapshot WAL tail
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.RecoveredPairs() != 1500 {
+		t.Fatalf("snapshots restored %d pairs, want 1500", s2.RecoveredPairs())
+	}
+	if s2.RecoveredRecords() != 100 {
+		t.Fatalf("WAL tail replayed %d records, want 100", s2.RecoveredRecords())
+	}
+	if int(s2.Count()) != 1400 {
+		t.Fatalf("recovered %d keys, want 1400", s2.Count())
+	}
+	_, found := s2.GetBatch(keys)
+	for i, ok := range found {
+		if want := i >= 100; ok != want {
+			t.Fatalf("GetBatch[%d] = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestVolatileLifecycleNoOps(t *testing.T) {
+	s := New(Options{Shards: 2})
+	if s.Durable() {
+		t.Fatal("New returned a durable store")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ import (
 
 	"github.com/repro/wormhole/internal/core"
 	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/wal"
 )
 
 // DefaultShards is the shard count used when Options.Shards is zero; the
@@ -58,6 +59,13 @@ type Options struct {
 	// Core configures every shard's Wormhole; the zero value means
 	// core.DefaultOptions().
 	Core core.Options
+	// Dir, when set via Open, roots the durable layout: a MANIFEST pinning
+	// the partitioner plus one WAL+snapshot directory per shard. New
+	// ignores it (volatile store).
+	Dir string
+	// Durability configures every shard's WAL (sync policy, flush
+	// interval); meaningful only with Open.
+	Durability wal.Options
 }
 
 // Store is a range-partitioned composition of Wormhole indexes. All
@@ -67,6 +75,11 @@ type Options struct {
 type Store struct {
 	part   *Partitioner
 	shards []*core.Wormhole
+
+	// Durable state (nil/empty when the store is volatile): one WAL+
+	// snapshot pair per shard, registered as that shard's mutation hook.
+	dir  string
+	wals []*wal.Store
 }
 
 // New creates an empty sharded store.

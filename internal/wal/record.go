@@ -1,0 +1,60 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Mutation records. One WAL payload is one committed mutation:
+//
+//	set: [opSet][klen uvarint][key][value...]   (value = remainder)
+//	del: [opDel][klen uvarint][key]
+//
+// The key length is explicit and the value takes the rest of the payload,
+// so the record needs no value length and decoding cannot run past the
+// frame: the frame length is authoritative and CRC-validated.
+const (
+	opSet byte = 1
+	opDel byte = 2
+)
+
+// appendSetRecord encodes a set mutation onto buf and returns it.
+func appendSetRecord(buf, key, val []byte) []byte {
+	buf = append(buf, opSet)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	return append(buf, val...)
+}
+
+// appendDelRecord encodes a delete mutation onto buf and returns it.
+func appendDelRecord(buf, key []byte) []byte {
+	buf = append(buf, opDel)
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	return append(buf, key...)
+}
+
+// decodeRecord parses one mutation payload. The returned key and val alias
+// payload; callers that retain them must copy. A malformed payload (unknown
+// op, short buffer, key length past the frame, or trailing bytes on a
+// delete) is an error — it can only come from a CRC collision or an
+// encoder bug, so replay treats it like corruption and stops.
+func decodeRecord(payload []byte) (op byte, key, val []byte, err error) {
+	if len(payload) < 2 {
+		return 0, nil, nil, fmt.Errorf("wal: record too short (%d bytes)", len(payload))
+	}
+	op = payload[0]
+	if op != opSet && op != opDel {
+		return 0, nil, nil, fmt.Errorf("wal: unknown op %d", op)
+	}
+	klen, n := binary.Uvarint(payload[1:])
+	if n <= 0 || klen > uint64(len(payload)-1-n) {
+		return 0, nil, nil, fmt.Errorf("wal: bad key length")
+	}
+	rest := payload[1+n:]
+	key = rest[:klen]
+	val = rest[klen:]
+	if op == opDel && len(val) != 0 {
+		return 0, nil, nil, fmt.Errorf("wal: delete record with %d trailing bytes", len(val))
+	}
+	return op, key, val, nil
+}

@@ -1,0 +1,218 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot files hold one key-ordered copy of the index:
+//
+//	[magic "WHSNAP1\n"][count uint64]
+//	count × ([klen uvarint][vlen uvarint][key][val])
+//	[crc32c uint32]
+//
+// The trailing CRC covers everything before it, including the header, so
+// a truncated, bit-flipped or zero-extended snapshot never loads — the
+// store falls back to an older generation or an empty index plus the WAL.
+// Keys are written in ascending order straight off a scan cursor, so
+// loading streams into the index's bulkload path without sorting.
+var snapMagic = []byte("WHSNAP1\n")
+
+const snapTrailer = 4
+
+// errSnapshot marks an invalid snapshot file (any reason).
+var errSnapshot = errors.New("wal: invalid snapshot")
+
+// WriteSnapshot streams the pairs produced by scan into path atomically:
+// the bytes go to a temporary file in the same directory, are fsynced, and
+// are renamed over path only when complete, so a crash mid-snapshot leaves
+// no half-written file under the real name. scan must yield keys in
+// strictly ascending order (the index's scan cursor does).
+func WriteSnapshot(path string, scan func(fn func(key, val []byte) bool)) (err error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	// The pair count is not known until the scan finishes: write a zero
+	// placeholder, patch it afterwards, and compute the trailer CRC with
+	// one sequential re-read of the (page-cache-hot) file — snapshot
+	// writing is not on any latency path.
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	if _, err = bw.Write(snapMagic); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	if _, err = bw.Write(cnt[:]); err != nil {
+		return err
+	}
+	var count uint64
+	var scratch []byte
+	scan(func(key, val []byte) bool {
+		scratch = scratch[:0]
+		scratch = binary.AppendUvarint(scratch, uint64(len(key)))
+		scratch = binary.AppendUvarint(scratch, uint64(len(val)))
+		if _, err = bw.Write(scratch); err != nil {
+			return false
+		}
+		if _, err = bw.Write(key); err != nil {
+			return false
+		}
+		if _, err = bw.Write(val); err != nil {
+			return false
+		}
+		count++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(cnt[:], count)
+	if _, err = tmp.WriteAt(cnt[:], int64(len(snapMagic))); err != nil {
+		return err
+	}
+
+	if _, err = tmp.Seek(0, 0); err != nil {
+		return err
+	}
+	h := crc32.New(castagnoli)
+	if _, err = bufio.NewReaderSize(tmp, 1<<16).WriteTo(h); err != nil {
+		return err
+	}
+	var tr [snapTrailer]byte
+	binary.LittleEndian.PutUint32(tr[:], h.Sum32())
+	if _, err = tmp.Seek(0, 2); err != nil {
+		return err
+	}
+	if _, err = tmp.Write(tr[:]); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// LoadSnapshot reads and validates a snapshot, returning its pairs in
+// ascending key order, ready for bulkload. The returned slices alias one
+// backing array read from disk (the index retains them, so one allocation
+// holds the whole restored keyspace). Any structural defect — bad magic,
+// CRC mismatch, count mismatch, truncated pair, keys out of order — yields
+// an error and no pairs: a snapshot is all-or-nothing.
+func LoadSnapshot(path string) (keys, vals [][]byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < len(snapMagic)+8+snapTrailer || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
+		return nil, nil, errSnapshot
+	}
+	body, tr := data[:len(data)-snapTrailer], data[len(data)-snapTrailer:]
+	if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(tr) {
+		return nil, nil, errSnapshot
+	}
+	count := binary.LittleEndian.Uint64(body[len(snapMagic):])
+	rest := body[len(snapMagic)+8:]
+	if count > uint64(len(rest)/2)+1 { // each pair past the first takes >= 2 length bytes
+		return nil, nil, errSnapshot
+	}
+	keys = make([][]byte, 0, count)
+	vals = make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, errSnapshot
+		}
+		rest = rest[n:]
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, errSnapshot
+		}
+		rest = rest[n:]
+		if klen > uint64(len(rest)) || vlen > uint64(len(rest))-klen {
+			return nil, nil, errSnapshot
+		}
+		key := rest[:klen:klen]
+		val := rest[klen : klen+vlen : klen+vlen]
+		rest = rest[klen+vlen:]
+		if len(keys) > 0 && bytes.Compare(keys[len(keys)-1], key) >= 0 {
+			return nil, nil, errSnapshot // not strictly ascending
+		}
+		keys = append(keys, key)
+		vals = append(vals, val)
+	}
+	if len(rest) != 0 {
+		return nil, nil, errSnapshot
+	}
+	return keys, vals, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry
+// survives power loss. Best-effort on filesystems that reject directory
+// fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path with full crash durability: temp
+// file in the same directory, fsync, rename over path, directory fsync
+// (tolerating filesystems that reject it, like syncDir). The shard
+// layer's MANIFEST uses it; it is the canonical small-file counterpart
+// of WriteSnapshot's streaming path.
+func WriteFileAtomic(path string, data []byte) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if _, err = tmp.Write(data); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return syncDir(dir)
+}

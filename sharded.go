@@ -94,6 +94,14 @@ func (sx *Sharded) DelBatch(keys [][]byte) []bool { return sx.s.DelBatch(keys) }
 // ShardCounts reports the per-shard key counts, for balance diagnostics.
 func (sx *Sharded) ShardCounts() []int64 { return sx.s.ShardCounts() }
 
+// Close releases the store's durable resources (for stores opened with
+// Open): it flushes and closes every shard's write-ahead log. In-flight
+// readers, scans and iterators over the in-memory index are unaffected
+// and may complete after Close; mutations issued after Close still apply
+// in memory but are no longer logged. Idempotent, and a no-op on volatile
+// stores created with NewSharded.
+func (sx *Sharded) Close() error { return sx.s.Close() }
+
 // ShardedReader is an amortized read handle over every shard: each
 // shard's RCU reader registration is claimed once and reused across
 // operations. It must not be used from multiple goroutines at once; call
