@@ -8,11 +8,18 @@
 //	whkv serve -addr 127.0.0.1:7070 -index wormhole-sharded -shards 8
 //	whkv serve -index wormhole-sharded -bounds "g,n,t"   # explicit shard boundaries
 //	whkv serve -dir /var/lib/whkv -sync interval        # durable store (WAL + snapshots)
+//	whkv serve -dir /var/lib/whkv2 -follow host:7070    # replication follower (read-only)
 //	whkv set   -addr 127.0.0.1:7070 -key a -val 1
 //	whkv get   -addr 127.0.0.1:7070 -key a
 //	whkv scan  -addr 127.0.0.1:7070 -key a -limit 10
 //	whkv flush -addr 127.0.0.1:7070                     # fsync barrier on a durable server
+//	whkv stat  -addr 127.0.0.1:7070                     # role, keys, WAL, replication lag
 //	whkv bench -addr 127.0.0.1:7070 -keys 100000 -batch 800 -duration 2s
+//
+// A durable server is automatically a replication leader: followers
+// subscribe to the same address the clients use. A follower serves reads
+// (and rejects writes with StatusReadOnly) while it streams the leader's
+// WAL; SIGUSR1 promotes it to a writable standalone store.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"github.com/repro/wormhole/internal/bench"
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/repl"
 	"github.com/repro/wormhole/internal/shard"
 	"github.com/repro/wormhole/internal/wal"
 )
@@ -43,6 +51,8 @@ func main() {
 		serve(args)
 	case "get", "set", "del", "scan", "flush":
 		oneShot(cmd, args)
+	case "stat":
+		stat(args)
 	case "bench":
 		clientBench(args)
 	default:
@@ -51,7 +61,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: whkv serve|get|set|del|scan|flush|bench [flags]")
+	fmt.Fprintln(os.Stderr, "usage: whkv serve|get|set|del|scan|flush|stat|bench [flags]")
 	os.Exit(2)
 }
 
@@ -63,7 +73,12 @@ func serve(args []string) {
 	bounds := fs.String("bounds", "", "comma-separated shard boundary keys for -index wormhole-sharded (overrides -shards; place them at your keyspace's quantiles, since the default uniform byte ranges put all-ASCII keys in one shard)")
 	dir := fs.String("dir", "", "durable mode: persist to this directory (WAL + snapshots per shard; reopening recovers). Implies a sharded store; -index must be wormhole-sharded or unset")
 	syncMode := fs.String("sync", "none", "durable mode sync policy: none, interval or always")
+	follow := fs.String("follow", "", "follower mode: replicate from this leader address, serve reads (writes answer StatusReadOnly); SIGUSR1 promotes to standalone. Combine with -dir so restarts resume the leader's WAL tail instead of resyncing")
 	fs.Parse(args)
+	if *follow != "" {
+		serveFollower(*addr, *follow, *dir, *syncMode)
+		return
+	}
 	if *dir == "" && (*shards > 0 || *bounds != "") && *name != "wormhole-sharded" {
 		// With -dir the store is always sharded, so -shards/-bounds apply
 		// to it regardless of the (defaulted) -index value.
@@ -106,7 +121,7 @@ func serve(args []string) {
 		fmt.Printf("whkv: recovered %d snapshot pairs + %d WAL records from %s\n",
 			st.RecoveredPairs(), st.RecoveredRecords(), *dir)
 		ix, durable = st, st
-		served = fmt.Sprintf("durable wormhole-sharded (%d shards, sync=%s)",
+		served = fmt.Sprintf("durable wormhole-sharded (%d shards, sync=%s, replication leader)",
 			st.NumShards(), policy)
 	case *bounds != "":
 		ix = shard.New(shard.Options{Partitioner: parseBounds()})
@@ -119,7 +134,16 @@ func serve(args []string) {
 		}
 		ix = info.New()
 	}
-	srv, err := netkv.Serve(*addr, ix)
+	// A durable store doubles as a replication leader: followers subscribe
+	// on the same address clients use.
+	var opts netkv.ServerOptions
+	var src *repl.Source
+	if durable != nil {
+		src = repl.NewSource(durable)
+		opts.Subscribe = src.ServeSubscriber
+		opts.StatFill = src.FillStat
+	}
+	srv, err := netkv.ServeOpts(*addr, ix, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(1)
@@ -132,11 +156,135 @@ func serve(args []string) {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("whkv: shutting down")
+	if src != nil {
+		// Subscriber streams hold their connection handlers; detach them
+		// first or the server's drain would wait forever.
+		src.Close()
+	}
 	srv.Close()
 	if durable != nil {
 		if err := durable.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// serveFollower runs replication-follower mode: stream the leader's WAL
+// into a local store, serve reads from it, reject writes, and promote to
+// a writable standalone store on SIGUSR1.
+func serveFollower(addr, leader, dir, syncMode string) {
+	policy, err := wal.ParsePolicy(syncMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(2)
+	}
+	f, err := repl.Start(repl.Options{
+		Leader:     leader,
+		Dir:        dir,
+		Durability: wal.Options{Sync: policy},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "whkv: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	st := f.Store()
+	srv, err := netkv.ServeOpts(addr, st, netkv.ServerOptions{
+		ReadOnly: true,
+		StatFill: f.FillStat,
+	})
+	if err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	persisted := "volatile; resyncs on restart"
+	if dir != "" {
+		persisted = "durable in " + dir
+	}
+	fmt.Printf("whkv: following %s on %s (%d shards, %s); SIGUSR1 promotes\n",
+		leader, srv.Addr(), st.NumShards(), persisted)
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
+	promoted := false
+	for s := range sig {
+		if s == syscall.SIGUSR1 && !promoted {
+			// Clean promotion: stop streaming, then open the store to
+			// writes. The process keeps serving without a restart.
+			f.Promote()
+			srv.SetReadOnly(false)
+			promoted = true
+			fmt.Printf("whkv: promoted to standalone (writes enabled, replication stopped)\n")
+			continue
+		}
+		if s == syscall.SIGUSR1 {
+			continue
+		}
+		break
+	}
+	fmt.Println("whkv: shutting down")
+	srv.Close()
+	if promoted {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
+			os.Exit(1)
+		}
+	} else if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "whkv: closing follower:", err)
+		os.Exit(1)
+	}
+}
+
+// stat prints a server's OpStat document.
+func stat(args []string) {
+	fs := flag.NewFlagSet("stat", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7070", "server address")
+	fs.Parse(args)
+	cl, err := netkv.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	st, err := cl.Stat()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("role:      %s%s\n", st.Role, map[bool]string{true: " (read-only)"}[st.ReadOnly])
+	fmt.Printf("keys:      %d\n", st.Keys)
+	if st.Shards > 0 {
+		fmt.Printf("shards:    %d\n", st.Shards)
+	}
+	fmt.Printf("durable:   %v\n", st.Durable)
+	if st.Durable {
+		fmt.Printf("wal bytes: %d\n", st.WALBytes)
+		fmt.Printf("gens:      %v\n", st.Gens)
+	}
+	for _, fo := range st.Followers {
+		lag := fmt.Sprintf("%d records", fo.LagRecords)
+		if fo.LagRecords < 0 {
+			lag = "spans a WAL rotation"
+		}
+		fmt.Printf("follower:  %s lag %s, last ack %dms ago, %d snapshots sent\n",
+			fo.Remote, lag, fo.AckAgeMS, fo.SnapshotsSent)
+	}
+	if st.Role == "follower" {
+		fmt.Printf("leader:    %s (connected: %v)\n", st.Leader, st.Connected)
+		if st.LagRecords != nil {
+			if *st.LagRecords < 0 {
+				fmt.Printf("lag:       spans a WAL rotation\n")
+			} else {
+				fmt.Printf("lag:       %d records\n", *st.LagRecords)
+			}
+		}
+		fmt.Printf("applied:   %v\n", st.Applied)
+		if st.SnapshotsApplied > 0 {
+			fmt.Printf("snapshots: %d applied\n", st.SnapshotsApplied)
 		}
 	}
 }
@@ -180,11 +328,24 @@ func oneShot(cmd string, args []string) {
 			fmt.Println("(not found)")
 		}
 	case "set":
-		fmt.Println("ok")
+		switch r.Status {
+		case netkv.StatusOK:
+			fmt.Println("ok")
+		case netkv.StatusReadOnly:
+			fmt.Fprintln(os.Stderr, "whkv: server is a read-only follower; write to the leader")
+			os.Exit(1)
+		default:
+			fmt.Fprintln(os.Stderr, "whkv: set failed on the server")
+			os.Exit(1)
+		}
 	case "del":
-		if r.Status == netkv.StatusOK {
+		switch r.Status {
+		case netkv.StatusOK:
 			fmt.Println("deleted")
-		} else {
+		case netkv.StatusReadOnly:
+			fmt.Fprintln(os.Stderr, "whkv: server is a read-only follower; write to the leader")
+			os.Exit(1)
+		default:
 			fmt.Println("(not found)")
 		}
 	case "scan":

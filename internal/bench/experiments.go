@@ -46,6 +46,7 @@ func Experiments() []struct {
 		{"readpath", "point-read path: plain vs pinned-reader lookups (perf trajectory)", ReadPath},
 		{"scanpath", "range-scan path: lock-free vs locked, plain vs pinned (perf trajectory)", ScanPath},
 		{"durability", "durable store: volatile vs WAL sync policies, plus recovery rate (extension)", Durability},
+		{"replication", "leader→follower WAL shipping: steady lag, catch-up, follower reads (extension)", Replication},
 	}
 }
 

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/repl"
+	"github.com/repro/wormhole/internal/shard"
+)
+
+// Replication measures the leader→follower pipeline on Az1:
+//
+//   - "leader set (replicated)": concurrent random Sets on the leader
+//     while a follower streams — what replication costs the write path
+//     (it should cost ~nothing: the sender reads the WAL files the
+//     durable store writes anyway);
+//   - "steady lag": the follower's record lag sampled every 10ms during
+//     that run, reported as mean records behind (MOPS column holds the
+//     record count; it is a depth, not a rate);
+//   - "follower get": random point lookups against the converged
+//     follower — the read capacity a replica adds;
+//   - "catchup tail": close the follower, write half the keyset through
+//     the leader, restart the follower, and report the tail-replay rate
+//     in M records/s;
+//   - "catchup snapshot": same, but the leader snapshots (GC'ing the
+//     follower's generations) before the restart, forcing the
+//     snapshot+tail path.
+//
+// Stores persist under Config.Dir (default: a temp directory, removed
+// afterwards).
+func Replication(c *Config) {
+	keys := c.Keyset("Az1")
+	threads := c.Threads
+
+	root := c.Dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "whbench-replication-*")
+		if err != nil {
+			c.printf("replication: %v\n", err)
+			return
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	report := func(op string, val float64) {
+		c.printf("%-24s%10.2f\n", op, val)
+		c.record(Result{
+			Exp: "replication", Op: op, Index: "wormhole-sharded", Threads: threads,
+			Keys: len(keys), MOPS: val,
+		})
+	}
+
+	leader, err := shard.Open(shard.Options{Dir: filepath.Join(root, "leader"), Sample: keys})
+	if err != nil {
+		c.printf("replication: open leader: %v\n", err)
+		return
+	}
+	defer leader.Close()
+	src := repl.NewSource(leader)
+	srv, err := netkv.ServeOpts("127.0.0.1:0", leader, netkv.ServerOptions{Subscribe: src.ServeSubscriber})
+	if err != nil {
+		c.printf("replication: serve leader: %v\n", err)
+		return
+	}
+	defer srv.Close()
+	defer src.Close()
+
+	fdir := filepath.Join(root, "follower")
+	startFollower := func() (*repl.Follower, bool) {
+		f, err := repl.Start(repl.Options{
+			Leader: srv.Addr(), Dir: fdir, AckInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			c.printf("replication: start follower: %v\n", err)
+			return nil, false
+		}
+		return f, true
+	}
+	waitCaughtUp := func(f *repl.Follower, want int64) bool {
+		deadline := time.Now().Add(2 * time.Minute)
+		for f.Store().Count() != want {
+			if time.Now().After(deadline) {
+				c.printf("replication: follower stuck at %d/%d keys\n", f.Store().Count(), want)
+				return false
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return true
+	}
+
+	c.printf("replication: keyset Az1, %d keys, %d writer goroutines\n", len(keys), threads)
+	f, ok := startFollower()
+	if !ok {
+		return
+	}
+
+	// Steady state: leader write throughput with the stream attached, and
+	// the follower's lag sampled alongside.
+	var issued atomic.Int64
+	stopSampling := make(chan struct{})
+	samples := make(chan float64, 1)
+	go func() {
+		var sum float64
+		var n int
+		t := time.NewTicker(10 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopSampling:
+				if n > 0 {
+					sum /= float64(n)
+				}
+				samples <- sum
+				return
+			case <-t.C:
+				if lag := issued.Load() - f.RecordsApplied(); lag > 0 {
+					sum += float64(lag)
+				}
+				n++
+			}
+		}
+	}()
+	val := []byte("replication-val")
+	n := len(keys)
+	mops := Throughput(threads, c.Duration, c.Seed, func(_ int, r *Rng) {
+		leader.Set(keys[r.Intn(n)], val)
+		issued.Add(1)
+	})
+	close(stopSampling)
+	meanLag := <-samples
+	report("leader set (replicated)", mops)
+	report("steady lag (records)", meanLag)
+
+	// Fill in the whole keyset so the read phase looks up present keys
+	// only, and let the follower drain.
+	loadStriped(leader, keys, threads)
+	if !waitCaughtUp(f, leader.Count()) {
+		f.Close()
+		return
+	}
+	report("follower get", LookupThroughput(f.Store(), keys, threads, c.Duration, c.Seed))
+
+	// Catch-up after a restart, tail-replay path: the follower misses a
+	// batch of fresh keys (distinct, so convergence is a count match),
+	// reconnects, and drains the WAL tail.
+	if err := f.Close(); err != nil {
+		c.printf("replication: close follower: %v\n", err)
+		return
+	}
+	fresh := func(prefix string, n int) [][]byte {
+		out := make([][]byte, n)
+		for i := range out {
+			out[i] = []byte(fmt.Sprintf("%s%07d", prefix, i))
+		}
+		return out
+	}
+	tail := fresh("cu-tail-", len(keys)/2)
+	loadStriped(leader, tail, threads)
+	start := time.Now()
+	f2, ok := startFollower()
+	if !ok {
+		return
+	}
+	if !waitCaughtUp(f2, leader.Count()) {
+		f2.Close()
+		return
+	}
+	report("catchup tail (Mrec/s)", float64(len(tail))/time.Since(start).Seconds()/1e6)
+
+	// Catch-up below the GC horizon: the leader snapshots away the
+	// generations the follower's position points into, so the restart
+	// must stream snapshot + tail.
+	if err := f2.Close(); err != nil {
+		c.printf("replication: close follower: %v\n", err)
+		return
+	}
+	loadStriped(leader, fresh("cu-snap-", len(keys)/2), threads)
+	if err := leader.Snapshot(); err != nil {
+		c.printf("replication: snapshot: %v\n", err)
+		return
+	}
+	start = time.Now()
+	f3, ok := startFollower()
+	if !ok {
+		return
+	}
+	defer f3.Close()
+	if !waitCaughtUp(f3, leader.Count()) {
+		return
+	}
+	rate := float64(leader.Count()) / time.Since(start).Seconds() / 1e6
+	report("catchup snapshot (Mkey/s)", rate)
+	// Count convergence can be observed an instant before the follower
+	// processes the snapshot-end message that bumps the counter; give the
+	// stream a moment before judging which path ran.
+	for wait := time.Now().Add(2 * time.Second); f3.SnapshotsApplied() == 0 && time.Now().Before(wait); {
+		time.Sleep(time.Millisecond)
+	}
+	if f3.SnapshotsApplied() == 0 {
+		c.printf("  (warning: snapshot catch-up round used the tail path)\n")
+	}
+}

@@ -12,13 +12,17 @@ package netkv
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/wal"
 )
 
 // Op codes.
@@ -34,6 +38,17 @@ const (
 	// hosting a volatile index answer StatusNotFound; a failed flush
 	// answers StatusErr.
 	OpFlush
+	// OpStat returns a JSON Stat document (key count, WAL size, current
+	// generations, replication role and lag) as a Get-shaped response, so
+	// replication health is observable on the wire instead of by scraping
+	// logs.
+	OpStat
+	// OpSubscribe is the replication handshake: a follower sends it as a
+	// batch's only request (the key carries the negotiation payload) and,
+	// on a leader, the connection leaves the request/response protocol and
+	// becomes a replication stream (internal/repl's framing). Servers
+	// without a replication source answer StatusNotFound.
+	OpSubscribe
 )
 
 // Status codes.
@@ -42,12 +57,76 @@ const (
 	StatusNotFound
 	// StatusErr reports a server-side failure (e.g. a flush I/O error).
 	StatusErr
+	// StatusReadOnly rejects a mutation on a replication follower: writes
+	// belong on the leader until the follower is promoted.
+	StatusReadOnly
 )
 
 // DefaultBatch is the paper's request batch size for Figure 12.
 const DefaultBatch = 800
 
 const maxFrame = 64 << 20
+
+// Stat is the OpStat response document. The base fields come from the
+// served index; replication roles fill in their sections through
+// ServerOptions.StatFill (leader: Followers; follower: Applied/LeaderEnd/
+// LagRecords).
+type Stat struct {
+	Role     string `json:"role"`
+	ReadOnly bool   `json:"read_only"`
+	Keys     int64  `json:"keys"`
+	Shards   int    `json:"shards,omitempty"`
+	Durable  bool   `json:"durable"`
+	// WALBytes is the framed length of the active WAL generations (the
+	// replay cost of a crash right now); Gens the per-shard active
+	// generation numbers.
+	WALBytes int64    `json:"wal_bytes,omitempty"`
+	Gens     []uint64 `json:"gens,omitempty"`
+
+	// Leader fields.
+	Followers []FollowerStat `json:"followers,omitempty"`
+
+	// Follower fields.
+	Leader           string         `json:"leader,omitempty"`
+	Applied          []wal.Position `json:"applied,omitempty"`
+	LeaderEnd        []wal.Position `json:"leader_end,omitempty"`
+	LagRecords       *int64         `json:"lag_records,omitempty"` // -1: spans a rotation, uncountable
+	SnapshotsApplied int64          `json:"snapshots_applied,omitempty"`
+	Connected        bool           `json:"connected,omitempty"`
+}
+
+// FollowerStat is one subscriber's lag as the leader sees it.
+type FollowerStat struct {
+	Remote string `json:"remote"`
+	// LagRecords counts records streamed but not yet acked (-1 when a
+	// shard's sent and acked positions span a generation rotation).
+	LagRecords int64 `json:"lag_records"`
+	// AckAgeMS is how long ago the last ack arrived.
+	AckAgeMS int64          `json:"ack_age_ms"`
+	Acked    []wal.Position `json:"acked,omitempty"`
+	// SnapshotsSent counts shard snapshot catch-ups streamed to this
+	// follower.
+	SnapshotsSent int64 `json:"snapshots_sent,omitempty"`
+}
+
+// ServerOptions configures the replication-aware pieces of a Server; the
+// zero value is a plain standalone server (what Serve uses).
+type ServerOptions struct {
+	// ReadOnly starts the server rejecting Set and Del with
+	// StatusReadOnly — follower mode. SetReadOnly flips it at promotion.
+	ReadOnly bool
+	// Role labels OpStat responses ("standalone" when empty); StatFill may
+	// override it.
+	Role string
+	// Subscribe, when non-nil, takes over a connection whose batch is a
+	// single OpSubscribe request, with the request key as payload; the
+	// connection is the callee's to consume until it returns (the
+	// replication stream). Nil servers answer StatusNotFound.
+	Subscribe func(conn net.Conn, r *bufio.Reader, w *bufio.Writer, payload []byte)
+	// StatFill, when non-nil, adds role-specific fields to each OpStat
+	// response.
+	StatFill func(*Stat)
+}
 
 // Request is one operation in a batch.
 type Request struct {
@@ -83,6 +162,8 @@ type Server struct {
 	bx  index.Batcher // non-nil when ix supports shard dispatch
 	rp  index.ReadPinner
 	dx  index.Durable // non-nil when ix persists (serves OpFlush)
+	opt ServerOptions
+	ro  atomic.Bool // mutations answer StatusReadOnly while set
 	ln  net.Listener
 	mu  sync.Mutex
 	wg  sync.WaitGroup
@@ -101,14 +182,24 @@ func (s *Server) newReadHandle() index.ReadHandle {
 	return s.rp.NewReadHandle()
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0") and returns it; the
-// chosen address is available via Addr.
+// Serve starts a plain server on addr (e.g. "127.0.0.1:0") and returns
+// it; the chosen address is available via Addr.
 func Serve(addr string, ix index.Index) (*Server, error) {
+	return ServeOpts(addr, ix, ServerOptions{})
+}
+
+// ServeOpts starts a server with replication-aware options: read-only
+// followers, an OpSubscribe hook, and OpStat enrichment. When the options
+// wire a Subscribe hook, whoever owns that hook (the replication source)
+// must be closed before the server: Close waits for connection handlers,
+// and a subscriber's handler only returns when its stream dies.
+func ServeOpts(addr string, ix index.Index, opt ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ix: ix, ln: ln}
+	s := &Server{ix: ix, ln: ln, opt: opt}
+	s.ro.Store(opt.ReadOnly)
 	if rp, ok := ix.(index.ReadPinner); ok {
 		s.rp = rp
 	}
@@ -147,6 +238,10 @@ func Serve(addr string, ix index.Index) (*Server, error) {
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetReadOnly flips mutation rejection at runtime — promotion of a
+// follower to a writable standalone store flips it off.
+func (s *Server) SetReadOnly(ro bool) { s.ro.Store(ro) }
 
 // Close stops the listener, waits for connection handlers to finish
 // their in-flight batches, and drains the shard worker pool. Idempotent:
@@ -205,6 +300,25 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
+		if len(reqs) == 1 && reqs[0].Op == OpSubscribe {
+			if s.opt.Subscribe == nil {
+				// Not a replication leader: a regular one-response frame
+				// says so and the connection stays usable.
+				var hdr [6]byte
+				binary.LittleEndian.PutUint32(hdr[:4], 3)
+				binary.LittleEndian.PutUint16(hdr[4:], 1)
+				if _, err := w.Write(hdr[:]); err != nil {
+					return
+				}
+				if err := w.WriteByte(StatusNotFound); err != nil || w.Flush() != nil {
+					return
+				}
+				continue
+			}
+			// The connection now belongs to the replication stream.
+			s.opt.Subscribe(conn, r, w, reqs[0].Key)
+			return
+		}
 		if s.dispatchable(reqs) {
 			if err := s.processSharded(w, reqs, h); err != nil {
 				return
@@ -261,11 +375,17 @@ func (s *Server) execPoint(rq *Request, h index.ReadHandle) (status byte, val []
 		}
 		return StatusOK, v, true
 	case OpSet:
+		if s.ro.Load() {
+			return StatusReadOnly, nil, false
+		}
 		k := append([]byte{}, rq.Key...)
 		v := append([]byte{}, rq.Val...)
 		s.ix.Set(k, v)
 		return StatusOK, nil, false
 	default: // OpDel; dispatchable/process admit nothing else
+		if s.ro.Load() {
+			return StatusReadOnly, nil, false
+		}
 		if s.ix.Del(rq.Key) {
 			return StatusOK, nil, false
 		}
@@ -343,6 +463,35 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 	return err
 }
 
+// stat assembles the OpStat document from the served index plus the
+// options' role-specific filler.
+func (s *Server) stat() *Stat {
+	st := &Stat{
+		Role:     s.opt.Role,
+		ReadOnly: s.ro.Load(),
+		Keys:     s.ix.Count(),
+		Durable:  s.dx != nil,
+	}
+	if st.Role == "" {
+		st.Role = "standalone"
+	}
+	if s.bx != nil {
+		st.Shards = s.bx.NumShards()
+	} else if b, ok := s.ix.(index.Batcher); ok {
+		st.Shards = b.NumShards()
+	}
+	if wb, ok := s.ix.(interface{ WALBytes() int64 }); ok {
+		st.WALBytes = wb.WALBytes()
+	}
+	if g, ok := s.ix.(interface{ Gens() []uint64 }); ok {
+		st.Gens = g.Gens()
+	}
+	if s.opt.StatFill != nil {
+		s.opt.StatFill(st)
+	}
+	return st
+}
+
 // scanner resolves the function serving a range operation: the calling
 // goroutine's pinned read handle when it supports scans (the lock-free
 // scan path amortized per connection, like Gets), otherwise the index
@@ -391,6 +540,16 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 			default:
 				body = append(body, StatusOK)
 			}
+		case OpStat:
+			doc, err := json.Marshal(s.stat())
+			if err != nil {
+				body = append(body, StatusErr)
+				body = binary.LittleEndian.AppendUint32(body, 0)
+				break
+			}
+			body = append(body, StatusOK)
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(doc)))
+			body = append(body, doc...)
 		case OpScan, OpScanDesc:
 			scan := s.scanner(h, rq.Op == OpScanDesc)
 			if scan == nil {
@@ -477,13 +636,21 @@ func readRequests(r *bufio.Reader, reqs []Request) ([]Request, error) {
 // Client is a single-connection batched client. It is not safe for
 // concurrent use; benchmark workers each own one client, as HERD clients
 // each own a queue pair.
+//
+// Transport errors are sticky: once a Flush fails, the connection's
+// protocol state is unknown (a response may be half-read), so every later
+// Flush reports the original failure — wrapped with the server address —
+// instead of a confusing short-read on reused state. Redial makes the
+// client usable again.
 type Client struct {
+	addr string
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
 	out  []byte
 	ops  []byte // op kind per queued request, needed to decode responses
 	n    int
+	err  error // sticky transport error; cleared by Redial
 }
 
 // Dial connects to a netkv server.
@@ -493,6 +660,7 @@ func Dial(addr string) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
+		addr: addr,
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 1<<20),
 		w:    bufio.NewWriterSize(conn, 1<<20),
@@ -501,6 +669,51 @@ func Dial(addr string) (*Client, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Err returns the sticky transport error, if any: the underlying cause of
+// the client's broken state (connection reset, server gone), not the
+// secondary decode failure it would otherwise surface as.
+func (c *Client) Err() error { return c.err }
+
+// fail records the first transport error, wrapped with the address so the
+// caller sees which server died, and returns the sticky condition.
+func (c *Client) fail(err error) error {
+	if c.err == nil {
+		c.err = fmt.Errorf("netkv: connection to %s broken: %w", c.addr, err)
+	}
+	return c.err
+}
+
+// Redial reconnects a broken client: it closes the old connection,
+// retries the dial with exponential backoff until one succeeds or maxWait
+// elapses, and clears the sticky error. Reconnecting is caller-driven —
+// the client never redials behind the caller's back, because a batch may
+// have been half-applied by the dead server and only the caller knows
+// whether re-sending is safe. Queued-but-unsent operations are discarded;
+// re-queue them after a successful Redial.
+func (c *Client) Redial(maxWait time.Duration) error {
+	c.conn.Close()
+	backoff := 50 * time.Millisecond
+	deadline := time.Now().Add(maxWait)
+	for {
+		conn, err := net.Dial("tcp", c.addr)
+		if err == nil {
+			c.conn = conn
+			c.r.Reset(conn)
+			c.w.Reset(conn)
+			c.out, c.ops, c.n = c.out[:0], c.ops[:0], 0
+			c.err = nil
+			return nil
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("netkv: redial %s: %w", c.addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
 
 // QueueGet appends a GET to the current batch.
 func (c *Client) QueueGet(key []byte) { c.queue(OpGet, key, nil, 0) }
@@ -516,6 +729,28 @@ func (c *Client) QueueDel(key []byte) { c.queue(OpDel, key, nil, 0) }
 // operations) to stable storage before answering. StatusNotFound means
 // the server's index is volatile.
 func (c *Client) QueueFlush() { c.queue(OpFlush, nil, nil, 0) }
+
+// QueueStat appends a STAT request; the response value is a JSON Stat.
+func (c *Client) QueueStat() { c.queue(OpStat, nil, nil, 0) }
+
+// Stat issues a one-request batch asking for the server's Stat document.
+// Any queued operations are sent (and answered) ahead of it.
+func (c *Client) Stat() (*Stat, error) {
+	c.QueueStat()
+	rs, err := c.Flush()
+	if err != nil {
+		return nil, err
+	}
+	r := rs[len(rs)-1]
+	if r.Status != StatusOK {
+		return nil, fmt.Errorf("netkv: stat failed on %s (status %d)", c.addr, r.Status)
+	}
+	var st Stat
+	if err := json.Unmarshal(r.Val, &st); err != nil {
+		return nil, fmt.Errorf("netkv: stat from %s: %w", c.addr, err)
+	}
+	return &st, nil
+}
 
 // QueueScan appends a SCAN (up to limit ascending pairs from key; an
 // empty key starts at the smallest) to the batch.
@@ -548,7 +783,13 @@ func (c *Client) queue(op byte, key, val []byte, limit uint32) {
 
 // Flush sends the batch and reads all responses, in request order. The
 // returned slices alias an internal buffer valid until the next Flush.
+// After a transport error the client is broken until Redial: the error
+// (with its underlying cause) repeats on every call rather than decaying
+// into short-read noise on a half-consumed stream.
 func (c *Client) Flush() ([]Response, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
 	if c.n == 0 {
 		return nil, nil
 	}
@@ -556,13 +797,13 @@ func (c *Client) Flush() ([]Response, error) {
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(c.out)+2))
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(c.n))
 	if _, err := c.w.Write(hdr[:]); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if _, err := c.w.Write(c.out); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	ops := append([]byte{}, c.ops...)
 	c.out = c.out[:0]
@@ -574,60 +815,60 @@ func (c *Client) Flush() ([]Response, error) {
 func (c *Client) readResponses(ops []byte) ([]Response, error) {
 	var hdr [6]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	frameLen := binary.LittleEndian.Uint32(hdr[:4])
 	got := int(binary.LittleEndian.Uint16(hdr[4:]))
 	if got != len(ops) {
-		return nil, fmt.Errorf("netkv: response count %d != %d", got, len(ops))
+		return nil, c.fail(fmt.Errorf("netkv: response count %d != %d", got, len(ops)))
 	}
 	if frameLen < 2 || frameLen > maxFrame {
-		return nil, errors.New("netkv: bad response frame")
+		return nil, c.fail(errors.New("netkv: bad response frame"))
 	}
 	body := make([]byte, frameLen-2)
 	if _, err := io.ReadFull(c.r, body); err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	resps := make([]Response, 0, len(ops))
 	for _, op := range ops {
 		if len(body) < 1 {
-			return nil, errors.New("netkv: truncated response")
+			return nil, c.fail(errors.New("netkv: truncated response"))
 		}
 		rp := Response{Status: body[0]}
 		body = body[1:]
 		switch op {
-		case OpGet:
+		case OpGet, OpStat:
 			if len(body) < 4 {
-				return nil, errors.New("netkv: truncated get response")
+				return nil, c.fail(errors.New("netkv: truncated get response"))
 			}
 			vlen := binary.LittleEndian.Uint32(body[:4])
 			body = body[4:]
 			if uint32(len(body)) < vlen {
-				return nil, errors.New("netkv: truncated get value")
+				return nil, c.fail(errors.New("netkv: truncated get value"))
 			}
 			rp.Val = body[:vlen]
 			body = body[vlen:]
 		case OpScan, OpScanDesc:
 			if len(body) < 2 {
-				return nil, errors.New("netkv: truncated scan response")
+				return nil, c.fail(errors.New("netkv: truncated scan response"))
 			}
 			n := int(binary.LittleEndian.Uint16(body[:2]))
 			body = body[2:]
 			for i := 0; i < n; i++ {
 				if len(body) < 4 {
-					return nil, errors.New("netkv: truncated scan pair")
+					return nil, c.fail(errors.New("netkv: truncated scan pair"))
 				}
 				klen := binary.LittleEndian.Uint32(body[:4])
 				body = body[4:]
 				if uint64(klen)+4 > uint64(len(body)) {
-					return nil, errors.New("netkv: truncated scan key")
+					return nil, c.fail(errors.New("netkv: truncated scan key"))
 				}
 				rp.Keys = append(rp.Keys, body[:klen])
 				body = body[klen:]
 				vlen := binary.LittleEndian.Uint32(body[:4])
 				body = body[4:]
 				if uint32(len(body)) < vlen {
-					return nil, errors.New("netkv: truncated scan value")
+					return nil, c.fail(errors.New("netkv: truncated scan value"))
 				}
 				rp.Vals = append(rp.Vals, body[:vlen])
 				body = body[vlen:]

@@ -1,0 +1,238 @@
+package netkv
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/repro/wormhole/internal/shard"
+)
+
+// TestStatOverWire checks OpStat's base document on a plain server and a
+// sharded durable one.
+func TestStatOverWire(t *testing.T) {
+	_, c := startServer(t, "wormhole")
+	c.QueueSet([]byte("a"), []byte("1"))
+	c.QueueSet([]byte("b"), []byte("2"))
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "standalone" || st.Keys != 2 || st.Durable || st.ReadOnly {
+		t.Fatalf("stat: %+v", st)
+	}
+
+	dir := t.TempDir()
+	ds, err := shard.Open(shard.Options{Dir: dir, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	srv, err := Serve("127.0.0.1:0", ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	dc, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	ds.Set([]byte("k"), []byte("v"))
+	dst, err := dc.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.Durable || dst.Shards != 2 || dst.Keys != 1 {
+		t.Fatalf("durable stat: %+v", dst)
+	}
+	if dst.WALBytes <= 0 || len(dst.Gens) != 2 {
+		t.Fatalf("durable stat WAL fields: %+v", dst)
+	}
+	// Stat composes with other operations in one batch, in order.
+	dc.QueueGet([]byte("k"))
+	dc.QueueStat()
+	rs, err := dc.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Status != StatusOK || rs[1].Status != StatusOK || len(rs[1].Val) == 0 {
+		t.Fatalf("mixed batch: %+v", rs)
+	}
+}
+
+// TestReadOnlyServer checks follower-mode mutation rejection and its
+// runtime flip at promotion.
+func TestReadOnlyServer(t *testing.T) {
+	st := shard.New(shard.Options{Shards: 2})
+	st.Set([]byte("present"), []byte("v"))
+	srv, err := ServeOpts("127.0.0.1:0", st, ServerOptions{ReadOnly: true, Role: "follower"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.QueueSet([]byte("w"), []byte("1"))
+	c.QueueDel([]byte("present"))
+	c.QueueGet([]byte("present"))
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Status != StatusReadOnly || rs[1].Status != StatusReadOnly {
+		t.Fatalf("mutations on a read-only server: %+v", rs[:2])
+	}
+	if rs[2].Status != StatusOK || string(rs[2].Val) != "v" {
+		t.Fatalf("read on a read-only server: %+v", rs[2])
+	}
+	if st.Count() != 1 {
+		t.Fatalf("read-only server mutated the index: %d keys", st.Count())
+	}
+
+	// The sharded dispatch path (point-op batches >= 2 on a multi-shard
+	// index) must enforce read-only too.
+	big := make([][]byte, 8)
+	for i := range big {
+		big[i] = []byte{byte('a' + i)}
+	}
+	for _, k := range big {
+		c.QueueSet(k, []byte("x"))
+	}
+	rs, err = c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Status != StatusReadOnly {
+			t.Fatalf("dispatched mutation %d: status %d", i, r.Status)
+		}
+	}
+
+	if st2, err := c.Stat(); err != nil || !st2.ReadOnly || st2.Role != "follower" {
+		t.Fatalf("read-only stat: %+v %v", st2, err)
+	}
+
+	srv.SetReadOnly(false)
+	c.QueueSet([]byte("w"), []byte("1"))
+	rs, err = c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Status != StatusOK {
+		t.Fatalf("write after promotion: %+v", rs[0])
+	}
+}
+
+// TestClientStickyErrorAndRedial runs a client into a dying server: the
+// error must surface the underlying cause (not a bare short-read), name
+// the address, repeat on every call until Redial, and the client must
+// work again after a successful Redial to a revived server.
+func TestClientStickyErrorAndRedial(t *testing.T) {
+	// A raw listener plays the dying server: it accepts one connection and
+	// slams it shut, which a real crashed server looks like on the wire.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go func() {
+		if conn, err := ln.Accept(); err == nil {
+			conn.Close()
+		}
+	}()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	c.QueueGet([]byte("k"))
+	_, err1 := c.Flush()
+	if err1 == nil {
+		t.Fatal("Flush against a dead server succeeded")
+	}
+	if !strings.Contains(err1.Error(), addr) {
+		t.Fatalf("error does not name the server: %v", err1)
+	}
+	if c.Err() == nil {
+		t.Fatal("no sticky error recorded")
+	}
+	// The condition must repeat verbatim, not decay into new decode noise.
+	c.QueueGet([]byte("k"))
+	if _, err2 := c.Flush(); err2 != err1 {
+		t.Fatalf("sticky error changed: %v vs %v", err2, err1)
+	}
+
+	// Redial against the now-closed listener must give up within its
+	// budget and leave the client broken.
+	ln.Close()
+	if err := c.Redial(50 * time.Millisecond); err == nil {
+		t.Fatal("Redial succeeded with no server")
+	}
+	if c.Err() == nil {
+		t.Fatal("failed Redial cleared the sticky error")
+	}
+
+	// A real server comes back on the same address; Redial heals the
+	// client end to end.
+	st := shard.New(shard.Options{Shards: 2})
+	st.Set([]byte("k"), []byte("v"))
+	srv, err := Serve(addr, st)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv.Close()
+	if err := c.Redial(5 * time.Second); err != nil {
+		t.Fatalf("Redial: %v", err)
+	}
+	if c.Err() != nil {
+		t.Fatalf("sticky error survived Redial: %v", c.Err())
+	}
+	c.QueueGet([]byte("k"))
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Status != StatusOK || string(rs[0].Val) != "v" {
+		t.Fatalf("get after redial: %+v", rs[0])
+	}
+	c.Close()
+}
+
+// TestRedialDiscardsQueued documents Redial's contract: operations queued
+// but never flushed do not survive the reconnect (the caller re-queues).
+func TestRedialDiscardsQueued(t *testing.T) {
+	st := shard.New(shard.Options{Shards: 2})
+	srv, err := Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.QueueSet([]byte("doomed"), []byte("x"))
+	if c.Pending() != 1 {
+		t.Fatalf("pending %d", c.Pending())
+	}
+	if err := c.Redial(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("queued ops survived Redial: %d", c.Pending())
+	}
+	if rs, err := c.Flush(); err != nil || rs != nil {
+		t.Fatalf("empty flush after redial: %v %v", rs, err)
+	}
+}

@@ -1,0 +1,737 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// Options configures a Follower.
+type Options struct {
+	// Leader is the leader's netkv address.
+	Leader string
+	// Dir roots the follower's own durable store (its WAL records the
+	// applied mutations and, interleaved, the applied leader positions, so
+	// a restarted follower resumes the tail instead of resyncing). Empty
+	// means a volatile follower that resyncs from scratch every start.
+	Dir string
+	// Durability configures the follower's WAL; meaningful only with Dir.
+	Durability wal.Options
+	// AckInterval is how often applied positions are reported upstream
+	// (default 100ms) — the leader's lag visibility, not a correctness
+	// knob.
+	AckInterval time.Duration
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff (default
+	// 100ms/5s).
+	BackoffMin, BackoffMax time.Duration
+	// Logf, when non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) normalize() {
+	if o.AckInterval <= 0 {
+		o.AckInterval = 100 * time.Millisecond
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+}
+
+// Follower subscribes a local sharded store to a leader and keeps it
+// converging: WAL batches apply through the normal mutation path (so the
+// lock-free read/scan paths serve traffic throughout), snapshot catch-up
+// merge-applies a shard image when the tail is unreachable, and applied
+// positions are logged into the follower's own WAL for durable resume.
+// Reads go to Store; writes belong on the leader until Promote.
+type Follower struct {
+	o  Options
+	st *shard.Store
+
+	mu        sync.Mutex
+	applied   []wal.Position
+	leaderEnd []wal.Position
+	snap      map[int]*snapState
+	conn      net.Conn
+	lastAck   time.Time
+
+	recordsApplied   atomic.Int64
+	snapshotsApplied atomic.Int64
+	connected        atomic.Bool
+	promoted         atomic.Bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// snapState is one shard's in-progress snapshot catch-up: the follower's
+// pre-existing keys (key-ordered, like the incoming chunks) are merged
+// against the stream, so stale keys are deleted and live ones updated
+// through the same mutation path as everything else. pos is where the
+// tail resumes once the merge completes. The merge is incremental —
+// cursor bounds the local keys already reconciled, and each chunk
+// reconciles only the range it covers, in bounded batches — so the
+// follower never materializes the shard, mirroring the leader's
+// streaming side.
+type snapState struct {
+	pos    wal.Position
+	cursor []byte // reconcile scans resume here; nil = start of the shard
+}
+
+// Start opens (or creates) the local store, performs the initial
+// subscribe handshake — a fresh follower learns the leader's partitioner
+// boundaries from it, since routing must be byte-identical on both ends —
+// and begins streaming in the background, reconnecting with backoff when
+// the connection drops. It fails fast when the leader is unreachable or
+// incompatible at start.
+func Start(o Options) (*Follower, error) {
+	o.normalize()
+	f := &Follower{o: o, stop: make(chan struct{})}
+
+	// A durable follower that has run before recovers its store (the
+	// MANIFEST pins the partitioning) and its applied positions first, so
+	// the handshake can resume the tail.
+	if o.Dir != "" {
+		if _, err := os.Stat(filepath.Join(o.Dir, "MANIFEST")); err == nil {
+			st, err := shard.Open(shard.Options{Dir: o.Dir, Durability: o.Durability})
+			if err != nil {
+				return nil, err
+			}
+			f.st = st
+			f.applied = make([]wal.Position, st.NumShards())
+			for i := range f.applied {
+				f.applied[i] = wal.Genesis
+				if p, ok := st.WAL(i).RecoveredPosition(); ok {
+					f.applied[i] = p
+				}
+			}
+		}
+	}
+
+	conn, r, err := f.handshake()
+	if err != nil {
+		if f.st != nil {
+			f.st.Close()
+		}
+		return nil, err
+	}
+	f.leaderEnd = make([]wal.Position, f.st.NumShards())
+	f.snap = make(map[int]*snapState)
+	f.setConn(conn)
+	f.wg.Add(1)
+	go f.run(conn, r)
+	return f, nil
+}
+
+// Store returns the follower's local sharded store: the read surface
+// (point gets, scans, batched reads, pinned readers) is live the whole
+// time, serving whatever prefix has been applied.
+func (f *Follower) Store() *shard.Store { return f.st }
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.o.Logf != nil {
+		f.o.Logf(format, args...)
+	}
+}
+
+func (f *Follower) stopping() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (f *Follower) setConn(c net.Conn) {
+	f.mu.Lock()
+	f.conn = c
+	f.mu.Unlock()
+	f.connected.Store(c != nil)
+}
+
+// handshake dials the leader and negotiates positions. On the very first
+// contact of a fresh follower it also creates the local store from the
+// leader's boundaries.
+func (f *Follower) handshake() (net.Conn, *bufio.Reader, error) {
+	conn, err := net.DialTimeout("tcp", f.o.Leader, f.o.DialTimeout)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repl: dial leader %s: %w", f.o.Leader, err)
+	}
+	fail := func(err error) (net.Conn, *bufio.Reader, error) {
+		conn.Close()
+		return nil, nil, err
+	}
+	var positions []wal.Position
+	if f.st != nil {
+		positions = f.appliedSnapshot()
+	}
+	// The subscribe request travels as one netkv batch frame carrying a
+	// single OpSubscribe whose key is the handshake payload; the response
+	// and everything after it are this package's framing.
+	payload := encodeSubscribe(positions)
+	var req []byte
+	req = binary.LittleEndian.AppendUint32(req, uint32(2+1+4+len(payload)+4))
+	req = binary.LittleEndian.AppendUint16(req, 1)
+	req = append(req, netkv.OpSubscribe)
+	req = binary.LittleEndian.AppendUint32(req, uint32(len(payload)))
+	req = append(req, payload...)
+	req = binary.LittleEndian.AppendUint32(req, 0)
+	if _, err := conn.Write(req); err != nil {
+		return fail(fmt.Errorf("repl: subscribe to %s: %w", f.o.Leader, err))
+	}
+	// A deadline brackets the handshake: a non-leader's refusal frame is
+	// detected from its first bytes (errNotLeader), and a server that
+	// sends nothing at all must not block the magic read forever.
+	conn.SetReadDeadline(time.Now().Add(f.o.DialTimeout))
+	r := bufio.NewReaderSize(conn, 1<<20)
+	status, nshards, bounds, err := readHandshake(r)
+	if err != nil {
+		if errors.Is(err, errNotLeader) {
+			return fail(fmt.Errorf("repl: %s is not a replication leader (serve it with -dir)", f.o.Leader))
+		}
+		return fail(fmt.Errorf("repl: handshake with %s: %w", f.o.Leader, err))
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch status {
+	case hsOK:
+	case hsMismatch:
+		return fail(fmt.Errorf("repl: leader %s has %d shards, local store has %d",
+			f.o.Leader, nshards, len(positions)))
+	default:
+		return fail(fmt.Errorf("repl: leader %s refused subscription (volatile or closing)", f.o.Leader))
+	}
+	if f.st == nil {
+		st, err := f.createStore(bounds)
+		if err != nil {
+			return fail(err)
+		}
+		f.st = st
+		f.applied = make([]wal.Position, st.NumShards())
+		for i := range f.applied {
+			f.applied[i] = wal.Genesis
+		}
+	} else if !boundsEqual(f.st.Bounds(), bounds) {
+		return fail(fmt.Errorf("repl: leader %s partitioner boundaries differ from the local store's", f.o.Leader))
+	}
+	return conn, r, nil
+}
+
+func (f *Follower) createStore(bounds [][]byte) (*shard.Store, error) {
+	p := shard.NewExplicit(bounds)
+	if !boundsEqual(p.Bounds(), bounds) {
+		return nil, errors.New("repl: leader sent non-canonical partitioner boundaries")
+	}
+	if f.o.Dir == "" {
+		return shard.New(shard.Options{Partitioner: p}), nil
+	}
+	return shard.Open(shard.Options{Dir: f.o.Dir, Partitioner: p, Durability: f.o.Durability})
+}
+
+func boundsEqual(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the streaming loop: apply until the connection dies, then
+// reconnect with backoff (re-handshaking from the current applied
+// positions) until promoted or closed.
+func (f *Follower) run(conn net.Conn, r *bufio.Reader) {
+	defer f.wg.Done()
+	backoff := f.o.BackoffMin
+	for {
+		err := f.stream(conn, r)
+		conn.Close()
+		f.setConn(nil)
+		if f.stopping() {
+			// Keep f.snap as-is: after a Promote/Close, CatchingUp reports
+			// which shards a half-finished merge was abandoned on.
+			return
+		}
+		f.discardSnapStates()
+		f.logf("repl: stream from %s ended: %v; reconnecting", f.o.Leader, err)
+		for {
+			t := time.NewTimer(backoff)
+			select {
+			case <-f.stop:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			if backoff *= 2; backoff > f.o.BackoffMax {
+				backoff = f.o.BackoffMax
+			}
+			c2, r2, err := f.handshake()
+			if err != nil {
+				f.logf("repl: reconnect: %v", err)
+				continue
+			}
+			conn, r = c2, r2
+			f.setConn(conn)
+			backoff = f.o.BackoffMin
+			break
+		}
+	}
+}
+
+// discardSnapStates drops half-finished snapshot merges: on reconnect the
+// handshake resends our (unchanged) position, and the leader restarts the
+// snapshot from its beginning.
+func (f *Follower) discardSnapStates() {
+	f.mu.Lock()
+	f.snap = make(map[int]*snapState)
+	f.mu.Unlock()
+}
+
+// stream reads and applies messages until the connection errors.
+func (f *Follower) stream(conn net.Conn, r *bufio.Reader) error {
+	w := bufio.NewWriterSize(conn, 1<<16)
+	f.mu.Lock()
+	f.lastAck = time.Now()
+	f.mu.Unlock()
+	var buf []byte
+	for {
+		typ, body, next, err := readMsg(r, buf)
+		if err != nil {
+			return err
+		}
+		buf = next
+		switch typ {
+		case msgBatch:
+			err = f.applyBatch(body)
+		case msgSnapBegin:
+			err = f.snapBegin(body)
+		case msgSnapChunk:
+			err = f.snapChunk(body)
+		case msgSnapEnd:
+			err = f.snapEnd(body)
+		case msgHeartbeat:
+			var shard int
+			var p wal.Position
+			if shard, p, err = decodePosMsg(body); err == nil && shard < len(f.leaderEnd) {
+				f.mu.Lock()
+				f.leaderEnd[shard] = p
+				f.mu.Unlock()
+			}
+		default:
+			err = fmt.Errorf("%w: unexpected message type %d", errProto, typ)
+		}
+		if err != nil {
+			return err
+		}
+		// A finished snapshot catch-up acks immediately — it may have moved
+		// the position a whole generation — the rest rate-limit.
+		if err := f.maybeAck(w, typ == msgSnapEnd); err != nil {
+			return err
+		}
+	}
+}
+
+// applyBatch applies one shard's WAL batch idempotently: records the
+// follower already holds (an overlap from a resumed stream) are skipped by
+// position arithmetic, the rest run through the store's normal mutation
+// path — and therefore into the follower's own WAL — and the new position
+// is logged durably after them, so prefix semantics covers both.
+func (f *Follower) applyBatch(body []byte) error {
+	if len(body) < 22 {
+		return fmt.Errorf("%w: short batch", errProto)
+	}
+	shard := int(binary.LittleEndian.Uint16(body[:2]))
+	gen := binary.LittleEndian.Uint64(body[2:10])
+	start := binary.LittleEndian.Uint64(body[10:18])
+	count := binary.LittleEndian.Uint32(body[18:22])
+	rest := body[22:]
+	if shard >= f.st.NumShards() {
+		return fmt.Errorf("%w: batch for shard %d", errProto, shard)
+	}
+	cur := f.appliedPos(shard)
+	var skip uint64
+	if gen == cur.Gen && start < cur.Seq {
+		skip = cur.Seq - start
+	}
+	applied := 0
+	for i := uint64(0); i < uint64(count); i++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: truncated batch record", errProto)
+		}
+		n := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return fmt.Errorf("%w: truncated batch record", errProto)
+		}
+		payload := rest[:n]
+		rest = rest[n:]
+		if i < skip {
+			continue
+		}
+		if err := f.applyRecord(payload); err != nil {
+			return err
+		}
+		applied++
+	}
+	f.recordsApplied.Add(int64(applied))
+	end := wal.Position{Gen: gen, Seq: start + uint64(count)}
+	if !cur.Less(end) {
+		// A fully-overlapping replay (possible across a reconnect) must
+		// never move the position backward.
+		return nil
+	}
+	f.setApplied(shard, end)
+	if ws := f.st.WAL(shard); ws != nil {
+		if err := ws.AppendPosition(end); err != nil && err != wal.ErrClosed {
+			f.logf("repl: logging position for shard %d: %v", shard, err)
+		}
+	}
+	f.mu.Lock()
+	if end.Gen > f.leaderEnd[shard].Gen ||
+		(end.Gen == f.leaderEnd[shard].Gen && end.Seq > f.leaderEnd[shard].Seq) {
+		f.leaderEnd[shard] = end
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+// applyRecord applies one streamed WAL payload through the mutation path.
+// Buffers are copied: the index retains what it is given, and the message
+// buffer is reused.
+func (f *Follower) applyRecord(payload []byte) error {
+	op, key, val, err := wal.DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	switch op {
+	case wal.RecordSet:
+		kv := make([]byte, len(key)+len(val))
+		copy(kv, key)
+		copy(kv[len(key):], val)
+		f.st.Set(kv[:len(key):len(key)], kv[len(key):])
+	case wal.RecordDel:
+		f.st.Del(append([]byte(nil), key...))
+	case wal.RecordPos:
+		// A position marker from the leader's own follower past (a
+		// promoted leader): a record ordinal, not a mutation.
+	}
+	return nil
+}
+
+func (f *Follower) snapBegin(body []byte) error {
+	shard, pos, err := decodePosMsg(body)
+	if err != nil {
+		return fmt.Errorf("%w: bad snapshot begin", errProto)
+	}
+	if shard >= f.st.NumShards() {
+		return fmt.Errorf("%w: snapshot for shard %d", errProto, shard)
+	}
+	f.mu.Lock()
+	f.snap[shard] = &snapState{pos: pos}
+	f.mu.Unlock()
+	return nil
+}
+
+// reconcileLocal deletes the shard's local keys in [st.cursor, hi) that
+// are absent from present (the snapshot pairs covering that range, key-
+// ordered) — they were removed in leader history this follower never saw.
+// A nil hi means "to the end of the shard". Keys are collected in bounded
+// batches and deleted between scans, so memory stays O(batch) however
+// large the shard or the locally-extra range is.
+func (f *Follower) reconcileLocal(shard int, st *snapState, hi []byte, present [][]byte) {
+	const reconcileBatch = 4096
+	j := 0
+	start := st.cursor
+	for {
+		doomed := make([][]byte, 0, 64)
+		var last []byte
+		more := false
+		n := 0
+		f.st.ShardScan(shard, start, func(k, _ []byte) bool {
+			if hi != nil && bytes.Compare(k, hi) >= 0 {
+				return false
+			}
+			if n++; n > reconcileBatch {
+				more = true
+				return false
+			}
+			last = append(last[:0], k...)
+			for j < len(present) && bytes.Compare(present[j], k) < 0 {
+				j++
+			}
+			if j >= len(present) || !bytes.Equal(present[j], k) {
+				doomed = append(doomed, append([]byte(nil), k...))
+			}
+			return true
+		})
+		for _, k := range doomed {
+			f.st.Del(k)
+		}
+		if !more {
+			return
+		}
+		start = append(last, 0) // byte-successor: resume strictly after last
+	}
+}
+
+func (f *Follower) snapChunk(body []byte) error {
+	if len(body) < 6 {
+		return fmt.Errorf("%w: short snapshot chunk", errProto)
+	}
+	shard := int(binary.LittleEndian.Uint16(body[:2]))
+	count := binary.LittleEndian.Uint32(body[2:6])
+	rest := body[6:]
+	f.mu.Lock()
+	st := f.snap[shard]
+	f.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("%w: snapshot chunk without begin", errProto)
+	}
+	// Parse the chunk's pairs (aliasing the message buffer; only consumed
+	// within this call), then reconcile the local key range they cover,
+	// then apply them.
+	keys := make([][]byte, 0, count)
+	vals := make([][]byte, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return fmt.Errorf("%w: truncated snapshot pair", errProto)
+		}
+		klen := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint64(klen)+4 > uint64(len(rest)) {
+			return fmt.Errorf("%w: truncated snapshot key", errProto)
+		}
+		key := rest[:klen]
+		rest = rest[klen:]
+		vlen := binary.LittleEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint64(vlen) > uint64(len(rest)) {
+			return fmt.Errorf("%w: truncated snapshot value", errProto)
+		}
+		keys = append(keys, key)
+		vals = append(vals, rest[:vlen])
+		rest = rest[vlen:]
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	hi := append(append([]byte(nil), keys[len(keys)-1]...), 0)
+	f.reconcileLocal(shard, st, hi, keys)
+	for i, key := range keys {
+		kv := make([]byte, len(key)+len(vals[i]))
+		copy(kv, key)
+		copy(kv[len(key):], vals[i])
+		f.st.Set(kv[:len(key):len(key)], kv[len(key):])
+	}
+	st.cursor = hi
+	return nil
+}
+
+func (f *Follower) snapEnd(body []byte) error {
+	if len(body) != 2 {
+		return fmt.Errorf("%w: bad snapshot end", errProto)
+	}
+	shard := int(binary.LittleEndian.Uint16(body[:2]))
+	f.mu.Lock()
+	st := f.snap[shard]
+	delete(f.snap, shard)
+	f.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("%w: snapshot end without begin", errProto)
+	}
+	// Everything local past the last chunk was deleted in leader history.
+	f.reconcileLocal(shard, st, nil, nil)
+	// The position may move BACKWARD here relative to a diverged past:
+	// that is the correction, not a bug.
+	pos := st.pos
+	f.setApplied(shard, pos)
+	if ws := f.st.WAL(shard); ws != nil {
+		if err := ws.AppendPosition(pos); err != nil && err != wal.ErrClosed {
+			f.logf("repl: logging position for shard %d: %v", shard, err)
+		}
+	}
+	f.snapshotsApplied.Add(1)
+	return nil
+}
+
+// maybeAck reports applied positions upstream, rate-limited to
+// AckInterval (or immediately when force).
+func (f *Follower) maybeAck(w *bufio.Writer, force bool) error {
+	f.mu.Lock()
+	due := force || time.Since(f.lastAck) >= f.o.AckInterval
+	if due {
+		f.lastAck = time.Now()
+	}
+	positions := f.applied
+	if due {
+		positions = append([]wal.Position(nil), f.applied...)
+	}
+	f.mu.Unlock()
+	if !due {
+		return nil
+	}
+	var body []byte
+	for i, p := range positions {
+		if err := writeMsg(w, msgAck, appendPosMsg(body[:0], i, p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Follower) appliedPos(shard int) wal.Position {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied[shard]
+}
+
+func (f *Follower) setApplied(shard int, p wal.Position) {
+	f.mu.Lock()
+	f.applied[shard] = p
+	f.mu.Unlock()
+}
+
+func (f *Follower) appliedSnapshot() []wal.Position {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]wal.Position(nil), f.applied...)
+}
+
+// Applied returns the per-shard leader positions this follower has
+// applied up to.
+func (f *Follower) Applied() []wal.Position { return f.appliedSnapshot() }
+
+// LeaderEnd returns the leader's per-shard end positions as last heard
+// (via heartbeats and batch bounds).
+func (f *Follower) LeaderEnd() []wal.Position {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]wal.Position(nil), f.leaderEnd...)
+}
+
+// Lag returns the total records between the leader's last-known end and
+// the applied positions. known is false when any shard's generations
+// differ (the distance crosses a rotation and cannot be counted from
+// positions alone) or the leader's end is not known yet.
+func (f *Follower) Lag() (records int64, known bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	known = true
+	for i, end := range f.leaderEnd {
+		ap := f.applied[i]
+		if end.Gen != ap.Gen {
+			known = false
+			continue
+		}
+		if end.Seq > ap.Seq {
+			records += int64(end.Seq - ap.Seq)
+		}
+	}
+	return records, known
+}
+
+// RecordsApplied returns the count of leader WAL records applied since
+// Start; SnapshotsApplied how many shard snapshot catch-ups ran.
+func (f *Follower) RecordsApplied() int64   { return f.recordsApplied.Load() }
+func (f *Follower) SnapshotsApplied() int64 { return f.snapshotsApplied.Load() }
+
+// Connected reports whether a stream to the leader is currently live.
+func (f *Follower) Connected() bool { return f.connected.Load() }
+
+// CatchingUp returns the shards with a snapshot catch-up in progress —
+// their reads pass through mixed states until the merge completes. After
+// Promote or Close it reports the shards whose merge was abandoned
+// half-finished (they may retain keys the leader had deleted).
+func (f *Follower) CatchingUp() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, 0, len(f.snap))
+	for sh := range f.snap {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FillStat adds follower fields to an OpStat response.
+func (f *Follower) FillStat(st *netkv.Stat) {
+	if f.promoted.Load() {
+		st.Role = "standalone (promoted)"
+		return
+	}
+	st.Role = "follower"
+	st.Leader = f.o.Leader
+	st.Applied = f.Applied()
+	st.LeaderEnd = f.LeaderEnd()
+	lag, known := f.Lag()
+	if !known {
+		lag = -1
+	}
+	st.LagRecords = &lag
+	st.SnapshotsApplied = f.SnapshotsApplied()
+	st.Connected = f.Connected()
+}
+
+// halt stops streaming and reconnecting, and waits the loop out.
+func (f *Follower) halt() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.mu.Lock()
+	conn := f.conn
+	f.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	f.wg.Wait()
+}
+
+// Promote detaches the follower from its leader and returns the local
+// store, now the caller's to write: clean promotion to a standalone
+// (still durable, when opened with a Dir) store. The replication loop is
+// fully stopped before Promote returns; the store keeps every applied
+// record. Promoting while a snapshot catch-up is streaming abandons that
+// merge half-finished — the affected shards (CatchingUp) may retain keys
+// the leader had deleted, which Promote logs but does not block on: the
+// operator promoting because the leader died mid-merge must not be
+// stranded.
+func (f *Follower) Promote() *shard.Store {
+	f.promoted.Store(true)
+	f.halt()
+	if shards := f.CatchingUp(); len(shards) > 0 {
+		f.logf("repl: promoted with a snapshot catch-up in progress on shards %v: they may retain keys the leader had deleted", shards)
+	}
+	return f.st
+}
+
+// Close stops replication and closes the local store (unless Promote
+// already transferred ownership). Idempotent.
+func (f *Follower) Close() error {
+	f.halt()
+	if f.promoted.Load() {
+		return nil
+	}
+	return f.st.Close()
+}

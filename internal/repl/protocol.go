@@ -1,0 +1,223 @@
+// Package repl replicates a durable sharded store asynchronously from a
+// leader to followers by WAL shipping: the leader tails each shard's
+// write-ahead log and streams the raw record payloads — the durability
+// encoding is the replication encoding — and each follower applies them
+// idempotently through the normal mutation path, so its lock-free read
+// and scan paths serve traffic while it trails the leader by a bounded
+// tail.
+//
+// The subscription handshake negotiates per-shard positions (gen, seq):
+// the follower states how far it has applied, and the leader resumes the
+// tail there. When the position is unreachable — below the leader's GC
+// horizon (the generation it needs was deleted by a covering snapshot),
+// or beyond the leader's surviving history — the leader streams a
+// key-ordered snapshot of the shard's current state off its lock-free
+// scan cursor instead (the follower merge-applies it, deleting keys the
+// snapshot lacks) and resumes the tail from the position captured just
+// before the scan. Shards stream independently; consistency is per-shard
+// prefix on the tail path, the natural unit because shard WALs have no
+// cross-shard ordering to preserve.
+//
+// The wire rides the netkv protocol: a follower sends one OpSubscribe
+// request and the connection switches into this package's framed stream.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// Handshake magic + version; bumping the version is a wire break.
+const (
+	magic        = "WHRP1"
+	protoVersion = 1
+)
+
+// Handshake status codes.
+const (
+	hsOK          byte = 0
+	hsMismatch    byte = 1 // shard count or boundary disagreement
+	hsUnavailable byte = 2 // leader cannot replicate (volatile, closing, bad request)
+)
+
+// Stream message types. Every message is framed [len u32][type byte][body]
+// with len covering type+body; both directions share the framing, so one
+// reader loop serves the follower and the leader's ack reader alike.
+const (
+	msgBatch     byte = 1 // shard u16, gen u64, startSeq u64, count u32, count×(len u32, payload)
+	msgSnapBegin byte = 2 // shard u16, gen u64, seq u64 — the position the tail resumes from
+	msgSnapChunk byte = 3 // shard u16, count u32, count×(klen u32, key, vlen u32, val)
+	msgSnapEnd   byte = 4 // shard u16
+	msgHeartbeat byte = 5 // shard u16, gen u64, endSeq u64 — the leader's current end
+	msgAck       byte = 6 // shard u16, gen u64, seq u64 — follower's applied position
+)
+
+const (
+	maxMsg = 64 << 20
+	// maxBatchBytes bounds one msgBatch's record payload; maxChunkBytes one
+	// snapshot chunk's pair bytes.
+	maxBatchBytes = 256 << 10
+	maxChunkBytes = 256 << 10
+)
+
+var errProto = errors.New("repl: protocol error")
+
+// writeMsg frames one message and flushes it.
+func writeMsg(w *bufio.Writer, typ byte, body []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readMsg reads one framed message, reusing buf for the body.
+func readMsg(r *bufio.Reader, buf []byte) (typ byte, body, nextBuf []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 || n > maxMsg {
+		return 0, nil, buf, fmt.Errorf("%w: message length %d", errProto, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, err
+	}
+	return buf[0], buf[1:], buf, nil
+}
+
+// encodeSubscribe builds the OpSubscribe request payload: the follower's
+// per-shard applied positions, or none when it is fresh and the leader
+// should assume genesis everywhere.
+func encodeSubscribe(positions []wal.Position) []byte {
+	b := append([]byte(magic), protoVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(positions)))
+	for _, p := range positions {
+		b = binary.LittleEndian.AppendUint64(b, p.Gen)
+		b = binary.LittleEndian.AppendUint64(b, p.Seq)
+	}
+	return b
+}
+
+// decodeSubscribe parses the handshake payload; a nil slice with nil error
+// means a fresh follower.
+func decodeSubscribe(payload []byte) ([]wal.Position, error) {
+	if len(payload) < len(magic)+3 || string(payload[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad subscribe magic", errProto)
+	}
+	if v := payload[len(magic)]; v != protoVersion {
+		return nil, fmt.Errorf("%w: protocol version %d (want %d)", errProto, v, protoVersion)
+	}
+	rest := payload[len(magic)+1:]
+	n := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if len(rest) != n*16 {
+		return nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	positions := make([]wal.Position, n)
+	for i := range positions {
+		positions[i].Gen = binary.LittleEndian.Uint64(rest[:8])
+		positions[i].Seq = binary.LittleEndian.Uint64(rest[8:16])
+		rest = rest[16:]
+	}
+	return positions, nil
+}
+
+// writeHandshake sends the leader's handshake response: status, shard
+// count, and the partitioner boundaries the follower must route by.
+func writeHandshake(w *bufio.Writer, status byte, nshards int, bounds [][]byte) error {
+	b := append([]byte(magic), status)
+	b = binary.LittleEndian.AppendUint16(b, uint16(nshards))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(bounds)))
+	for _, bd := range bounds {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(bd)))
+		b = append(b, bd...)
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// errNotLeader reports a server that answered the subscription with the
+// ordinary request/response protocol instead of the replication
+// handshake: a netkv server with no replication source.
+var errNotLeader = errors.New("repl: server is not a replication leader")
+
+// readHandshake parses the leader's handshake response. The magic is read
+// and checked on its own first: a non-leader answers OpSubscribe with a
+// 7-byte netkv StatusNotFound frame, which must be detected from its
+// first bytes — blocking for the full handshake header would stall until
+// the read deadline instead of surfacing the refusal.
+func readHandshake(r *bufio.Reader) (status byte, nshards int, bounds [][]byte, err error) {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return 0, 0, nil, err
+	}
+	if string(head) != magic {
+		return 0, 0, nil, errNotLeader
+	}
+	hdr := make([]byte, 5)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, err
+	}
+	status = hdr[0]
+	nshards = int(binary.LittleEndian.Uint16(hdr[1:]))
+	nbounds := int(binary.LittleEndian.Uint16(hdr[3:]))
+	if nbounds > 1<<16 {
+		return 0, 0, nil, errProto
+	}
+	var lenBuf [4]byte
+	for i := 0; i < nbounds; i++ {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return 0, 0, nil, err
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > 1<<20 {
+			return 0, 0, nil, fmt.Errorf("%w: boundary length %d", errProto, n)
+		}
+		bd := make([]byte, n)
+		if _, err := io.ReadFull(r, bd); err != nil {
+			return 0, 0, nil, err
+		}
+		bounds = append(bounds, bd)
+	}
+	return status, nshards, bounds, nil
+}
+
+// appendPosMsg encodes the common [shard u16][gen u64][seq u64] body shared
+// by msgHeartbeat and msgAck.
+func appendPosMsg(b []byte, shard int, p wal.Position) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(shard))
+	b = binary.LittleEndian.AppendUint64(b, p.Gen)
+	return binary.LittleEndian.AppendUint64(b, p.Seq)
+}
+
+// decodePosMsg parses a heartbeat or ack body.
+func decodePosMsg(body []byte) (shard int, p wal.Position, err error) {
+	if len(body) != 18 {
+		return 0, wal.Position{}, fmt.Errorf("%w: position message length %d", errProto, len(body))
+	}
+	shard = int(binary.LittleEndian.Uint16(body[:2]))
+	p.Gen = binary.LittleEndian.Uint64(body[2:10])
+	p.Seq = binary.LittleEndian.Uint64(body[10:18])
+	return shard, p, nil
+}

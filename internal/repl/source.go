@@ -1,0 +1,445 @@
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// Sender pacing: pollInterval is how often an idle shard stream re-checks
+// its WAL tail (after flushing the leader's buffered records into OS
+// visibility), and heartbeatEvery how often it tells the follower the
+// leader's end position while idle.
+const (
+	pollInterval   = 2 * time.Millisecond
+	heartbeatEvery = 200 * time.Millisecond
+)
+
+// Source is the leader side of replication for one durable sharded store.
+// It serves any number of concurrent subscribers, each on its own
+// connection handed over by the netkv server after an OpSubscribe
+// handshake; every shard of every subscriber streams independently, so a
+// slow shard (or a snapshot catch-up on one) never stalls the others.
+type Source struct {
+	st *shard.Store
+
+	mu     sync.Mutex
+	subs   map[*subscriber]struct{}
+	closed bool
+}
+
+// NewSource returns a replication source over st, which should be durable
+// (a volatile store has no WAL to ship; subscribers are refused).
+func NewSource(st *shard.Store) *Source {
+	return &Source{st: st, subs: make(map[*subscriber]struct{})}
+}
+
+// Close detaches every subscriber (their connections are closed) and
+// refuses new ones. It must run before the netkv server's Close: the
+// server waits for connection handlers, and a subscriber's handler only
+// returns when its stream dies.
+func (s *Source) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.DisconnectAll()
+}
+
+// DisconnectAll drops every current subscriber without closing the
+// source: each follower's backoff loop re-subscribes from its applied
+// position and resumes the tail. An admin lever (and the reconnect tests'
+// fault injector).
+func (s *Source) DisconnectAll() {
+	s.mu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.fail()
+	}
+}
+
+// FillStat adds the leader's per-follower lag to an OpStat response:
+// records streamed but not yet acked, summed over shards (-1 when any
+// shard's sent/acked positions span a generation rotation and the
+// distance cannot be counted from positions alone).
+func (s *Source) FillStat(st *netkv.Stat) {
+	st.Role = "leader"
+	s.mu.Lock()
+	subs := make([]*subscriber, 0, len(s.subs))
+	for sub := range s.subs {
+		subs = append(subs, sub)
+	}
+	s.mu.Unlock()
+	for _, sub := range subs {
+		sub.mu.Lock()
+		fs := netkv.FollowerStat{
+			Remote:        sub.remote,
+			AckAgeMS:      time.Since(sub.lastAck).Milliseconds(),
+			Acked:         append([]wal.Position(nil), sub.acked...),
+			SnapshotsSent: sub.snapsSent,
+		}
+		for i, sent := range sub.sent {
+			if fs.LagRecords < 0 {
+				break
+			}
+			acked := sub.acked[i]
+			switch {
+			case sent.Gen != acked.Gen:
+				fs.LagRecords = -1
+			case sent.Seq > acked.Seq:
+				fs.LagRecords += int64(sent.Seq - acked.Seq)
+			}
+		}
+		sub.mu.Unlock()
+		st.Followers = append(st.Followers, fs)
+	}
+}
+
+func (s *Source) register(sub *subscriber) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.subs[sub] = struct{}{}
+	return true
+}
+
+func (s *Source) unregister(sub *subscriber) {
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+}
+
+// ServeSubscriber performs the handshake for one OpSubscribe request and,
+// on success, streams to the follower until the connection dies or the
+// source closes. It matches the netkv ServerOptions.Subscribe hook: the
+// connection is this goroutine's to consume, and returning closes it.
+func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer, payload []byte) {
+	n := s.st.NumShards()
+	bounds := s.st.Bounds()
+	positions, err := decodeSubscribe(payload)
+	if err != nil || !s.st.Durable() {
+		writeHandshake(w, hsUnavailable, n, nil)
+		return
+	}
+	if positions != nil && len(positions) != n {
+		writeHandshake(w, hsMismatch, n, bounds)
+		return
+	}
+	if positions == nil {
+		positions = make([]wal.Position, n)
+		for i := range positions {
+			positions[i] = wal.Genesis
+		}
+	}
+	sub := &subscriber{
+		remote: conn.RemoteAddr().String(),
+		conn:   conn,
+		w:      w,
+		sent:   append([]wal.Position(nil), positions...),
+		acked:  append([]wal.Position(nil), positions...),
+		done:   make(chan struct{}),
+	}
+	sub.lastAck = time.Now()
+	if !s.register(sub) {
+		writeHandshake(w, hsUnavailable, n, nil)
+		return
+	}
+	defer s.unregister(sub)
+	if err := writeHandshake(w, hsOK, n, bounds); err != nil {
+		return
+	}
+	sub.wg.Add(1 + n)
+	go sub.readAcks(r)
+	for i := 0; i < n; i++ {
+		go sub.streamShard(s.st, i, positions[i])
+	}
+	sub.wg.Wait()
+}
+
+// subscriber is one follower connection on the leader: per-shard sender
+// goroutines multiplex framed messages onto the shared writer, and the
+// ack reader tracks how far the follower has durably applied.
+type subscriber struct {
+	remote string
+	conn   net.Conn
+	w      *bufio.Writer
+	wmu    sync.Mutex // serializes whole messages from the shard senders
+
+	mu        sync.Mutex
+	sent      []wal.Position // last position streamed per shard
+	acked     []wal.Position // last position acked per shard
+	lastAck   time.Time
+	snapsSent int64
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// fail tears the subscriber down: every sender sees done, and the closed
+// connection unblocks the ack reader.
+func (sub *subscriber) fail() {
+	sub.closeOnce.Do(func() {
+		close(sub.done)
+		sub.conn.Close()
+	})
+}
+
+func (sub *subscriber) stopped() bool {
+	select {
+	case <-sub.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until the subscriber dies.
+func (sub *subscriber) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-sub.done:
+	case <-t.C:
+	}
+}
+
+// send writes one framed message; any transport error kills the stream.
+func (sub *subscriber) send(typ byte, body []byte) bool {
+	sub.wmu.Lock()
+	err := writeMsg(sub.w, typ, body)
+	sub.wmu.Unlock()
+	if err != nil {
+		sub.fail()
+		return false
+	}
+	return true
+}
+
+func (sub *subscriber) setSent(shard int, p wal.Position) {
+	sub.mu.Lock()
+	sub.sent[shard] = p
+	sub.mu.Unlock()
+}
+
+// readAcks consumes the follower→leader direction: applied-position acks.
+func (sub *subscriber) readAcks(r *bufio.Reader) {
+	defer sub.wg.Done()
+	defer sub.fail()
+	var buf []byte
+	for {
+		typ, body, next, err := readMsg(r, buf)
+		if err != nil || typ != msgAck {
+			return
+		}
+		buf = next
+		shard, p, err := decodePosMsg(body)
+		if err != nil || shard >= len(sub.acked) {
+			return
+		}
+		sub.mu.Lock()
+		sub.acked[shard] = p
+		sub.lastAck = time.Now()
+		sub.mu.Unlock()
+	}
+}
+
+// streamShard pumps one shard's WAL to the follower from pos onward,
+// falling back to a snapshot whenever the position is unreachable: below
+// the GC horizon (its generation was deleted by a covering snapshot),
+// beyond the leader's history (the follower applied records a crashed
+// leader lost), or pointing into a sealed generation past its end.
+func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position) {
+	defer sub.wg.Done()
+	ws := st.WAL(shard)
+	for !sub.stopped() {
+		active := ws.ActiveGen()
+		reachable := pos.Gen == active ||
+			(pos.Gen < active && ws.HasWAL(pos.Gen))
+		if !reachable {
+			next, ok := sub.sendSnapshot(st, shard)
+			if !ok {
+				return // transport dead; fail() already ran
+			}
+			pos = next
+			continue
+		}
+		sr, err := ws.OpenSegment(pos.Gen)
+		if err != nil {
+			if !ws.HasWAL(pos.Gen) {
+				continue // unlinked under us: the reachable check falls back
+			}
+			// The file exists but won't open (fd exhaustion, permissions):
+			// retry at the poll cadence rather than spinning on stat+open.
+			sub.sleep(pollInterval)
+			continue
+		}
+		next, fallback := sub.streamSegment(ws, shard, sr, pos)
+		sr.Close()
+		if fallback {
+			next, ok := sub.sendSnapshot(st, shard)
+			if !ok {
+				return
+			}
+			pos = next
+			continue
+		}
+		pos = next
+	}
+}
+
+// streamSegment tails one generation's file from pos: it skips the
+// follower's already-applied prefix, streams batches as records become
+// visible, and returns the next generation's start once the segment is
+// sealed and drained. fallback reports that the follower's position does
+// not exist in this segment (divergence) and a snapshot must correct it.
+func (sub *subscriber) streamSegment(ws *wal.Store, shard int, sr *wal.SegmentReader, pos wal.Position) (next wal.Position, fallback bool) {
+	// Skip the prefix the follower already has. On a sealed generation a
+	// short skip is divergence; on the active one it may just be records
+	// still buffered in the leader, distinguished via EndPos.
+	for sr.Seq() < pos.Seq {
+		if sub.stopped() {
+			return pos, false
+		}
+		if sr.Skip(pos.Seq-sr.Seq()) == 0 {
+			if ws.ActiveGen() > sr.Gen() {
+				// Sealed under us: the file is final now, so one more
+				// attempt is authoritative.
+				if sr.Skip(pos.Seq-sr.Seq()) == 0 {
+					return pos, true
+				}
+				continue
+			}
+			ws.FlushBuffered()
+			if end := ws.EndPos(); end.Gen == sr.Gen() && end.Seq < pos.Seq {
+				return pos, true
+			}
+			sub.sleep(pollInterval)
+		}
+	}
+
+	var body []byte
+	lastBeat := time.Now()
+	sealed := false
+	for !sub.stopped() {
+		body = body[:0]
+		body = binary.LittleEndian.AppendUint16(body, uint16(shard))
+		body = binary.LittleEndian.AppendUint64(body, sr.Gen())
+		body = binary.LittleEndian.AppendUint64(body, sr.Seq())
+		countAt := len(body)
+		body = append(body, 0, 0, 0, 0)
+		count := uint32(0)
+		for len(body) < maxBatchBytes {
+			rec, ok := sr.Next()
+			if !ok {
+				break
+			}
+			body = binary.LittleEndian.AppendUint32(body, uint32(len(rec)))
+			body = append(body, rec...)
+			count++
+		}
+		if count > 0 {
+			binary.LittleEndian.PutUint32(body[countAt:], count)
+			if !sub.send(msgBatch, body) {
+				return pos, false
+			}
+			pos = wal.Position{Gen: sr.Gen(), Seq: sr.Seq()}
+			sub.setSent(shard, pos)
+			continue
+		}
+		if sealed {
+			// Drained a final file: resume at the next generation.
+			return wal.Position{Gen: sr.Gen() + 1, Seq: 0}, false
+		}
+		if ws.ActiveGen() > sr.Gen() {
+			// Rotated under us: one more drain pass picks up anything
+			// appended between our last read and the seal.
+			sealed = true
+			continue
+		}
+		ws.FlushBuffered()
+		if time.Since(lastBeat) >= heartbeatEvery {
+			lastBeat = time.Now()
+			if !sub.send(msgHeartbeat, appendPosMsg(body[:0], shard, ws.EndPos())) {
+				return pos, false
+			}
+		}
+		sub.sleep(pollInterval)
+	}
+	return pos, false
+}
+
+// sendSnapshot streams one shard's current state as a key-ordered
+// snapshot — straight off the leader's lock-free scan cursor, chunk by
+// chunk, never materializing the shard in memory — and returns the
+// position the tail resumes from.
+//
+// The resume position is EndPos read BEFORE the scan starts: a record
+// counted there had its mutation applied under the same leaf lock that
+// logged it, so the scan (which observes every leaf strictly later)
+// reflects every record below the position; records logged during the
+// scan may or may not be captured, and the resumed tail re-applies them
+// idempotently. This is why the fallback needs no snapshot file: it
+// serves a follower below the GC horizon, one beyond a truncated
+// history (a crashed leader that lost an unsynced tail), and a leader
+// that has never snapshotted, identically.
+func (sub *subscriber) sendSnapshot(st *shard.Store, shard int) (wal.Position, bool) {
+	ws := st.WAL(shard)
+	pos := ws.EndPos()
+	var body []byte
+	if !sub.send(msgSnapBegin, appendPosMsg(body, shard, pos)) {
+		return wal.Position{}, false
+	}
+	newChunk := func() []byte {
+		body = binary.LittleEndian.AppendUint16(body[:0], uint16(shard))
+		body = append(body, 0, 0, 0, 0)
+		return body
+	}
+	flushChunk := func(count uint32) bool {
+		binary.LittleEndian.PutUint32(body[2:6], count)
+		return sub.send(msgSnapChunk, body)
+	}
+	body = newChunk()
+	count := uint32(0)
+	ok := true
+	st.ShardScan(shard, nil, func(k, v []byte) bool {
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(k)))
+		body = append(body, k...)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
+		body = append(body, v...)
+		count++
+		if len(body) >= maxChunkBytes {
+			if ok = flushChunk(count); !ok {
+				return false
+			}
+			body = newChunk()
+			count = 0
+		}
+		return true
+	})
+	if !ok {
+		return wal.Position{}, false
+	}
+	if count > 0 && !flushChunk(count) {
+		return wal.Position{}, false
+	}
+	if !sub.send(msgSnapEnd, binary.LittleEndian.AppendUint16(body[:0], uint16(shard))) {
+		return wal.Position{}, false
+	}
+	sub.mu.Lock()
+	sub.snapsSent++
+	sub.mu.Unlock()
+	sub.setSent(shard, pos)
+	return pos, true
+}

@@ -145,6 +145,38 @@ func Open(o Options) (*Store, error) {
 // rather than New).
 func (s *Store) Durable() bool { return len(s.wals) > 0 }
 
+// WAL returns shard i's write-ahead log store, or nil on a volatile store.
+// Replication streams each shard's WAL independently through it.
+func (s *Store) WAL(i int) *wal.Store {
+	if len(s.wals) == 0 {
+		return nil
+	}
+	return s.wals[i]
+}
+
+// WALBytes returns the summed framed length of every shard's active WAL
+// generation (zero for volatile stores) — the OpStat observability figure.
+func (s *Store) WALBytes() int64 {
+	var n int64
+	for _, st := range s.wals {
+		n += st.WALSize()
+	}
+	return n
+}
+
+// Gens returns each shard's active WAL generation (nil for volatile
+// stores).
+func (s *Store) Gens() []uint64 {
+	if len(s.wals) == 0 {
+		return nil
+	}
+	gens := make([]uint64, len(s.wals))
+	for i, st := range s.wals {
+		gens[i] = st.ActiveGen()
+	}
+	return gens
+}
+
 // RecoveredPairs returns how many pairs the per-shard snapshots restored
 // at Open; RecoveredRecords how many WAL records were replayed after
 // them. Zero for volatile stores.

@@ -111,6 +111,19 @@ func (s *Store) NumShards() int { return len(s.shards) }
 // ShardOf returns the partition that owns key.
 func (s *Store) ShardOf(key []byte) int { return s.part.Locate(key) }
 
+// Bounds returns the partitioner's boundary keys (shared slice headers; do
+// not mutate). Replication ships them in the subscribe handshake: leader
+// and follower must route byte-identically or per-shard streams would land
+// keys in the wrong follower shard.
+func (s *Store) Bounds() [][]byte { return s.part.Bounds() }
+
+// ShardScan visits shard i's keys >= start in ascending order until fn
+// returns false — one partition's slice of Scan. The follower's snapshot
+// catch-up merges a streamed shard snapshot against exactly this walk.
+func (s *Store) ShardScan(i int, start []byte, fn func(key, val []byte) bool) {
+	s.shards[i].Scan(start, fn)
+}
+
 // Get returns the value stored under key.
 func (s *Store) Get(key []byte) ([]byte, bool) {
 	return s.shards[s.part.Locate(key)].Get(key)

@@ -1,0 +1,277 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// listNames returns the wal/snap file names present in dir.
+func listNames(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name()] = true
+	}
+	return names
+}
+
+// TestGenerationGC pins the GC contract replication leans on: a covering
+// snapshot actually removes the obsolete wal and snap files (defining the
+// GC horizon a follower can fall below), recovery still succeeds from the
+// survivors, and a second snapshot removes the first's files in turn.
+func TestGenerationGC(t *testing.T) {
+	dir := t.TempDir()
+	w, st := openStore(t, dir, Options{Sync: SyncNone})
+	for i := 0; i < 400; i++ {
+		w.Set([]byte(fmt.Sprintf("k%04d", i)), []byte("v1"))
+	}
+	if !st.HasWAL(1) {
+		t.Fatal("generation 1 missing before any snapshot")
+	}
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	names := listNames(t, dir)
+	if names[fmt.Sprintf("wal-%016x.log", 1)] {
+		t.Fatal("wal-1 survived its covering snapshot")
+	}
+	if !names[fmt.Sprintf("snap-%016x.snap", 2)] || !names[fmt.Sprintf("wal-%016x.log", 2)] {
+		t.Fatalf("generation 2 files missing after snapshot: %v", names)
+	}
+	if st.HasWAL(1) || !st.HasWAL(2) {
+		t.Fatal("HasWAL disagrees with the directory")
+	}
+	if st.ActiveGen() != 2 {
+		t.Fatalf("active generation %d, want 2", st.ActiveGen())
+	}
+
+	// Post-snapshot tail, then recovery from the survivors alone.
+	for i := 0; i < 100; i++ {
+		w.Set([]byte(fmt.Sprintf("t%04d", i)), []byte("v2"))
+	}
+	w.Del([]byte("k0000"))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, st2 := openStore(t, dir, Options{Sync: SyncNone})
+	if w2.Count() != 499 {
+		t.Fatalf("recovered %d keys, want 499", w2.Count())
+	}
+	if st2.RecoveredPairs() != 400 {
+		t.Fatalf("snapshot restored %d pairs, want 400", st2.RecoveredPairs())
+	}
+	if _, ok := w2.Get([]byte("k0000")); ok {
+		t.Fatal("deleted key resurrected from the GC'd generation")
+	}
+
+	// A second snapshot garbage-collects the first's files.
+	if err := st2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	names = listNames(t, dir)
+	for _, stale := range []string{
+		fmt.Sprintf("snap-%016x.snap", 2),
+		fmt.Sprintf("wal-%016x.log", 2),
+	} {
+		if names[stale] {
+			t.Fatalf("%s survived the second covering snapshot", stale)
+		}
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3, st3 := openStore(t, dir, Options{Sync: SyncNone})
+	defer st3.Close()
+	if w3.Count() != 499 {
+		t.Fatalf("second recovery %d keys, want 499", w3.Count())
+	}
+}
+
+// TestPositionMarkers checks the replication position round trip: markers
+// interleave with mutations in the log, recovery reports the last one in
+// the valid prefix, and markers count as record ordinals (streamed
+// sequence numbers stay aligned with frame counts).
+func TestPositionMarkers(t *testing.T) {
+	dir := t.TempDir()
+	w, st := openStore(t, dir, Options{Sync: SyncNone})
+	if _, ok := st.RecoveredPosition(); ok {
+		t.Fatal("fresh store recovered a position")
+	}
+	w.Set([]byte("a"), []byte("1"))
+	if err := st.AppendPosition(Position{Gen: 7, Seq: 100}); err != nil {
+		t.Fatal(err)
+	}
+	w.Set([]byte("b"), []byte("2"))
+	if err := st.AppendPosition(Position{Gen: 7, Seq: 200}); err != nil {
+		t.Fatal(err)
+	}
+	w.Set([]byte("c"), []byte("3"))
+	end := st.EndPos()
+	if end != (Position{Gen: 1, Seq: 5}) {
+		t.Fatalf("EndPos %v, want (1,5)", end)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, st2 := openStore(t, dir, Options{Sync: SyncNone})
+	if p, ok := st2.RecoveredPosition(); !ok || p != (Position{Gen: 7, Seq: 200}) {
+		t.Fatalf("recovered position %v,%v want (7,200)", p, ok)
+	}
+	if w2.Count() != 3 {
+		t.Fatalf("markers perturbed recovery: %d keys", w2.Count())
+	}
+	// The base survives reopen: new appends continue the file's ordinals.
+	if end := st2.EndPos(); end != (Position{Gen: 1, Seq: 5}) {
+		t.Fatalf("EndPos after reopen %v, want (1,5)", end)
+	}
+	w2.Set([]byte("d"), []byte("4"))
+	if end := st2.EndPos(); end != (Position{Gen: 1, Seq: 6}) {
+		t.Fatalf("EndPos after append %v, want (1,6)", end)
+	}
+	st2.Close()
+}
+
+// TestDecodePosition exercises the marker codec's edges.
+func TestDecodePosition(t *testing.T) {
+	rec := appendPosRecord(nil, Position{Gen: 3, Seq: 1 << 41})
+	op, key, val, err := decodeRecord(rec)
+	if err != nil || op != opPos || key != nil || val != nil {
+		t.Fatalf("decodeRecord: %d %q %q %v", op, key, val, err)
+	}
+	p, err := DecodePosition(rec)
+	if err != nil || p != (Position{Gen: 3, Seq: 1 << 41}) {
+		t.Fatalf("DecodePosition: %v %v", p, err)
+	}
+	for _, bad := range [][]byte{
+		{},
+		{opPos},
+		{opPos, 0x80}, // truncated uvarint
+		append(appendPosRecord(nil, Position{Gen: 1, Seq: 1}), 0), // trailing byte
+		{opSet, 1, 'k'},
+	} {
+		if _, err := DecodePosition(bad); err == nil {
+			t.Fatalf("DecodePosition accepted %v", bad)
+		}
+		if bad != nil && len(bad) > 0 && bad[0] == opPos {
+			if _, _, _, err := decodeRecord(bad); err == nil && len(bad) > 2 {
+				t.Fatalf("decodeRecord accepted malformed marker %v", bad)
+			}
+		}
+	}
+}
+
+// TestSegmentReaderTailsOpenLog streams a live WAL file: records become
+// visible after FlushBuffered, a half-flushed frame is not consumed until
+// it completes, and Skip lands on exact ordinals.
+func TestSegmentReaderTailsOpenLog(t *testing.T) {
+	dir := t.TempDir()
+	w, st := openStore(t, dir, Options{Sync: SyncNone})
+	defer st.Close()
+
+	sr, err := st.OpenSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if _, ok := sr.Next(); ok {
+		t.Fatal("empty log yielded a record")
+	}
+
+	w.Set([]byte("k1"), []byte("v1"))
+	w.Set([]byte("k2"), []byte("v2"))
+	if _, ok := sr.Next(); ok {
+		t.Fatal("buffered records visible before FlushBuffered")
+	}
+	if err := st.FlushBuffered(); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"k1", "k2"} {
+		payload, ok := sr.Next()
+		if !ok {
+			t.Fatalf("record %d not visible after FlushBuffered", i)
+		}
+		op, key, _, err := DecodeRecord(payload)
+		if err != nil || op != RecordSet || string(key) != want {
+			t.Fatalf("record %d: op %d key %q err %v", i, op, key, err)
+		}
+	}
+	if _, ok := sr.Next(); ok {
+		t.Fatal("phantom record at the tail")
+	}
+	if sr.Seq() != 2 {
+		t.Fatalf("seq %d, want 2", sr.Seq())
+	}
+
+	// More records plus skip: a second reader lands mid-stream.
+	for i := 0; i < 50; i++ {
+		w.Set([]byte(fmt.Sprintf("s%03d", i)), []byte("v"))
+	}
+	if err := st.FlushBuffered(); err != nil {
+		t.Fatal(err)
+	}
+	sr2, err := st.OpenSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr2.Close()
+	if got := sr2.Skip(40); got != 40 {
+		t.Fatalf("skipped %d, want 40", got)
+	}
+	payload, ok := sr2.Next()
+	if !ok {
+		t.Fatal("no record after skip")
+	}
+	if _, key, _, _ := DecodeRecord(payload); string(key) != "s038" {
+		// 2 head records + 38 s-records were skipped.
+		t.Fatalf("record after skip: %q", key)
+	}
+	if got := sr2.Skip(1000); got != 11 {
+		t.Fatalf("tail skip consumed %d, want 11", got)
+	}
+}
+
+// TestSegmentReaderDrainsGCdFile holds a reader open across the snapshot
+// GC that unlinks its file: the held descriptor must still drain the
+// final contents (the property that lets an in-flight stream survive a
+// concurrent snapshot).
+func TestSegmentReaderDrainsGCdFile(t *testing.T) {
+	dir := t.TempDir()
+	w, st := openStore(t, dir, Options{Sync: SyncNone})
+	defer st.Close()
+	for i := 0; i < 100; i++ {
+		w.Set([]byte(fmt.Sprintf("k%04d", i)), []byte("v"))
+	}
+	if err := st.FlushBuffered(); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := st.OpenSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	if sr.Skip(10) != 10 {
+		t.Fatal("skip failed")
+	}
+	if err := st.Snapshot(); err != nil { // rotates to gen 2, unlinks wal-1
+		t.Fatal(err)
+	}
+	if st.HasWAL(1) {
+		t.Fatal("wal-1 still on disk after snapshot")
+	}
+	n := 0
+	for {
+		if _, ok := sr.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 90 {
+		t.Fatalf("drained %d records from the unlinked file, want 90", n)
+	}
+}

@@ -9,13 +9,32 @@ import (
 //
 //	set: [opSet][klen uvarint][key][value...]   (value = remainder)
 //	del: [opDel][klen uvarint][key]
+//	pos: [opPos][gen uvarint][seq uvarint]
 //
 // The key length is explicit and the value takes the rest of the payload,
 // so the record needs no value length and decoding cannot run past the
 // frame: the frame length is authoritative and CRC-validated.
+//
+// opPos is a replication position marker: a follower logs the leader
+// Position it has applied up to, interleaved with the applied mutations in
+// its own WAL. Prefix semantics makes the marker trustworthy: if the
+// marker survives a crash, every mutation it vouches for precedes it in
+// the same log and survives too. Markers are metadata — replay does not
+// mutate the index for them — but they occupy a record ordinal like any
+// other record, so streamed sequence numbers stay aligned with file frame
+// counts.
 const (
 	opSet byte = 1
 	opDel byte = 2
+	opPos byte = 3
+)
+
+// Public record kinds, for replication consumers decoding streamed WAL
+// payloads with DecodeRecord.
+const (
+	RecordSet = opSet
+	RecordDel = opDel
+	RecordPos = opPos
 )
 
 // appendSetRecord encodes a set mutation onto buf and returns it.
@@ -33,16 +52,30 @@ func appendDelRecord(buf, key []byte) []byte {
 	return append(buf, key...)
 }
 
+// appendPosRecord encodes a replication position marker onto buf.
+func appendPosRecord(buf []byte, p Position) []byte {
+	buf = append(buf, opPos)
+	buf = binary.AppendUvarint(buf, p.Gen)
+	return binary.AppendUvarint(buf, p.Seq)
+}
+
 // decodeRecord parses one mutation payload. The returned key and val alias
 // payload; callers that retain them must copy. A malformed payload (unknown
 // op, short buffer, key length past the frame, or trailing bytes on a
 // delete) is an error — it can only come from a CRC collision or an
-// encoder bug, so replay treats it like corruption and stops.
+// encoder bug, so replay treats it like corruption and stops. A position
+// marker decodes with nil key and val; use DecodePosition for its fields.
 func decodeRecord(payload []byte) (op byte, key, val []byte, err error) {
 	if len(payload) < 2 {
 		return 0, nil, nil, fmt.Errorf("wal: record too short (%d bytes)", len(payload))
 	}
 	op = payload[0]
+	if op == opPos {
+		if _, err := DecodePosition(payload); err != nil {
+			return 0, nil, nil, err
+		}
+		return op, nil, nil, nil
+	}
 	if op != opSet && op != opDel {
 		return 0, nil, nil, fmt.Errorf("wal: unknown op %d", op)
 	}
@@ -57,4 +90,28 @@ func decodeRecord(payload []byte) (op byte, key, val []byte, err error) {
 		return 0, nil, nil, fmt.Errorf("wal: delete record with %d trailing bytes", len(val))
 	}
 	return op, key, val, nil
+}
+
+// DecodeRecord parses one WAL payload for replication consumers: the
+// follower applies streamed payloads through it with exactly the decoder
+// recovery uses, so the two paths cannot diverge. The returned key and val
+// alias payload.
+func DecodeRecord(payload []byte) (op byte, key, val []byte, err error) {
+	return decodeRecord(payload)
+}
+
+// DecodePosition parses a position-marker payload (RecordPos).
+func DecodePosition(payload []byte) (Position, error) {
+	if len(payload) < 3 || payload[0] != opPos {
+		return Position{}, fmt.Errorf("wal: not a position record")
+	}
+	gen, n := binary.Uvarint(payload[1:])
+	if n <= 0 {
+		return Position{}, fmt.Errorf("wal: bad position gen")
+	}
+	seq, m := binary.Uvarint(payload[1+n:])
+	if m <= 0 || 1+n+m != len(payload) {
+		return Position{}, fmt.Errorf("wal: bad position seq")
+	}
+	return Position{Gen: gen, Seq: seq}, nil
 }

@@ -60,6 +60,10 @@ type Store struct {
 	logMu sync.RWMutex // appenders share; rotation excludes
 	log   *Log
 	gen   uint64
+	// base is the number of valid records already in the active WAL file
+	// when its Log was opened; base + log.Records() is the file's record
+	// ordinal count, the currency of replication Positions.
+	base uint64
 
 	// lock is the held LOCK file preventing a second process (or a second
 	// Open in this one) from truncating and interleaving with a live WAL.
@@ -82,6 +86,10 @@ type Store struct {
 	// Recovery statistics, fixed at Open.
 	recoveredSnap int // pairs bulk-loaded from the snapshot
 	recoveredTail int // WAL records replayed after it
+
+	// Last replication position marker seen during replay, fixed at Open.
+	recoveredPos    Position
+	hasRecoveredPos bool
 }
 
 func walPath(dir string, gen uint64) string {
@@ -180,6 +188,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 	}
 	expect := appendGen
 	var appendOff int64
+	var appendSeq uint64
 	for i, g := range wals {
 		if g < snapGen {
 			continue // covered by the snapshot; GC was interrupted
@@ -212,6 +221,11 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 				b.Set(kv[:len(key):len(key)], kv[len(key):])
 			case opDel:
 				b.Del(append([]byte(nil), key...))
+			case opPos:
+				// A follower's applied-position marker: metadata, not a
+				// mutation. decodeRecord validated it, so this cannot fail.
+				p, _ := DecodePosition(payload)
+				s.recoveredPos, s.hasRecoveredPos = p, true
 			}
 			replayed++
 			return nil
@@ -224,7 +238,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 			return fail(err)
 		}
 		s.recoveredTail += replayed
-		appendGen, appendOff = g, validLen
+		appendGen, appendOff, appendSeq = g, validLen, uint64(replayed)
 		if !decodeOK || s.tornAt(g, validLen) {
 			// Stop at the tear; generations beyond it are untrusted.
 			for _, later := range wals[i+1:] {
@@ -235,6 +249,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 	}
 
 	s.gen = appendGen
+	s.base = appendSeq
 	log, err := openLog(walPath(dir, appendGen), appendOff, opt.Sync, opt.Interval)
 	if err != nil {
 		return fail(err)
@@ -461,7 +476,7 @@ func (s *Store) Snapshot() error {
 	// closed log installed and wedge all future logging.
 	closeErr := oldLog.Close()
 	s.recordFailure(closeErr, oldGen)
-	s.log, s.gen = newLog, newGen
+	s.log, s.gen, s.base = newLog, newGen, 0
 	s.logMu.Unlock()
 
 	if err := WriteSnapshot(snapPath(s.dir, newGen), func(fn func(k, v []byte) bool) {

@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Streaming support for replication: a leader tails its own WAL files and
+// ships raw record payloads to followers, so the replication stream is the
+// durability stream — one encoding, one ordering, one idempotent replay.
+//
+// Positions count record ordinals from the start of a generation's file.
+// The in-memory Log sequence resets when a file is reopened, so it cannot
+// name a record across restarts; the frame count in the file can, and
+// SegmentReader derives it by construction.
+
+// Position identifies a point in a store's generation-numbered record
+// stream: Seq records of generation Gen precede it. {Gen: 1, Seq: 0} is
+// the genesis position (nothing applied); a position whose generation has
+// been garbage-collected by a covering snapshot is below the GC horizon
+// and can only be caught up from a snapshot.
+type Position struct {
+	Gen uint64 `json:"gen"`
+	Seq uint64 `json:"seq"`
+}
+
+// Genesis is the position of an empty history.
+var Genesis = Position{Gen: 1, Seq: 0}
+
+// Less reports whether p orders strictly before q in the record stream.
+func (p Position) Less(q Position) bool {
+	return p.Gen < q.Gen || (p.Gen == q.Gen && p.Seq < q.Seq)
+}
+
+func (p Position) String() string { return fmt.Sprintf("(%d,%d)", p.Gen, p.Seq) }
+
+// ActiveGen returns the generation currently accepting appends.
+func (s *Store) ActiveGen() uint64 {
+	s.logMu.RLock()
+	defer s.logMu.RUnlock()
+	return s.gen
+}
+
+// EndPos returns the position one past the last record appended so far
+// (including records still buffered in memory): the stream a fully
+// caught-up follower would have applied.
+func (s *Store) EndPos() Position {
+	s.logMu.RLock()
+	defer s.logMu.RUnlock()
+	return Position{Gen: s.gen, Seq: s.base + s.log.Records()}
+}
+
+// FlushBuffered pushes buffered records to the OS (no fsync), making them
+// visible to a SegmentReader tailing the file. The replication sender
+// calls it when it drains the visible tail, so follower staleness is
+// bounded by the sender's poll interval rather than the 64 KB buffer.
+func (s *Store) FlushBuffered() error {
+	s.logMu.RLock()
+	defer s.logMu.RUnlock()
+	return s.log.FlushBuffer()
+}
+
+// HasWAL reports whether generation gen's log file is still on disk (it
+// may have been garbage-collected by a covering snapshot).
+func (s *Store) HasWAL(gen uint64) bool {
+	_, err := os.Stat(walPath(s.dir, gen))
+	return err == nil
+}
+
+// AppendPosition logs a replication position marker (a follower's record
+// of how far into the leader's stream it has applied). The marker shares
+// the log with the mutations it vouches for, so prefix semantics keeps it
+// honest across crashes. Durability follows the store's sync policy; a
+// stale marker only costs idempotent re-application.
+func (s *Store) AppendPosition(p Position) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	bp := recordPool.Get().(*[]byte)
+	rec := appendPosRecord((*bp)[:0], p)
+	s.logMu.RLock()
+	gen := s.gen
+	_, err := s.log.Append(rec)
+	s.logMu.RUnlock()
+	*bp = rec[:0]
+	recordPool.Put(bp)
+	if err != nil {
+		s.recordFailure(err, gen)
+	}
+	return err
+}
+
+// RecoveredPosition returns the last position marker in the prefix Open
+// recovered, if any. Mutations replayed after the marker only advance the
+// true position past it, and streaming from a slightly-stale position
+// re-applies idempotently, so "last marker" is always a safe subscription
+// point.
+func (s *Store) RecoveredPosition() (Position, bool) {
+	return s.recoveredPos, s.hasRecoveredPos
+}
+
+// OpenSegment opens generation gen's log file for streaming. The returned
+// reader holds the file descriptor, so a concurrent snapshot GC unlinking
+// the file never truncates an in-flight stream — the reader drains the
+// final contents and the sender moves on.
+func (s *Store) OpenSegment(gen uint64) (*SegmentReader, error) {
+	f, err := os.Open(walPath(s.dir, gen))
+	if err != nil {
+		return nil, err
+	}
+	return &SegmentReader{f: f, gen: gen}, nil
+}
+
+// SegmentReader iterates the valid record frames of one WAL file, tailing
+// growth: Next returns false at the end of the currently visible valid
+// prefix and can be called again after the file grows. It reads by
+// absolute offset (never consuming a partial frame), so a record that is
+// half-flushed now parses whole on a later call.
+type SegmentReader struct {
+	f   *os.File
+	gen uint64
+	off int64  // file offset of buf[0]
+	buf []byte // unparsed window starting at off
+	pos int    // parse cursor within buf
+	seq uint64 // records returned so far == ordinal of the next record
+}
+
+// Gen returns the generation this reader streams.
+func (r *SegmentReader) Gen() uint64 { return r.gen }
+
+// Seq returns the ordinal of the next record Next would return.
+func (r *SegmentReader) Seq() uint64 { return r.seq }
+
+// Close releases the file descriptor.
+func (r *SegmentReader) Close() error { return r.f.Close() }
+
+const segmentReadChunk = 1 << 18
+
+// fill grows the window to at least need unparsed bytes, reading from the
+// file at the window's end. Returns false when the visible file is too
+// short.
+func (r *SegmentReader) fill(need int) bool {
+	if len(r.buf)-r.pos >= need {
+		return true
+	}
+	// Compact: drop consumed bytes so the buffer never grows past one
+	// record plus a chunk.
+	if r.pos > 0 {
+		r.off += int64(r.pos)
+		r.buf = r.buf[:copy(r.buf, r.buf[r.pos:])]
+		r.pos = 0
+	}
+	for len(r.buf) < need {
+		want := need - len(r.buf)
+		if want < segmentReadChunk {
+			want = segmentReadChunk
+		}
+		if cap(r.buf)-len(r.buf) < want {
+			grown := make([]byte, len(r.buf), len(r.buf)+want)
+			copy(grown, r.buf)
+			r.buf = grown
+		}
+		n, err := r.f.ReadAt(r.buf[len(r.buf):len(r.buf)+want], r.off+int64(len(r.buf)))
+		r.buf = r.buf[:len(r.buf)+n]
+		if n == 0 || (err != nil && err != io.EOF && len(r.buf) < need) {
+			return len(r.buf)-r.pos >= need
+		}
+	}
+	return true
+}
+
+// Next returns the next valid record payload, or false at the end of the
+// visible valid prefix — which may be a clean end, an unflushed tail that
+// will complete later, or (on a sealed file) a torn tail that never will;
+// the caller distinguishes them by whether the generation is still active.
+// The returned slice is valid only until the next call.
+func (r *SegmentReader) Next() ([]byte, bool) {
+	if !r.fill(frameHeader) {
+		return nil, false
+	}
+	hdr := r.buf[r.pos:]
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxRecord {
+		return nil, false // corrupt length: permanent end of this segment
+	}
+	if !r.fill(frameHeader + int(n)) {
+		return nil, false
+	}
+	payload := r.buf[r.pos+frameHeader : r.pos+frameHeader+int(n)]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		// A complete frame with a bad CRC cannot heal by the file growing;
+		// treat it like recovery does: the segment ends here.
+		return nil, false
+	}
+	r.pos += frameHeader + int(n)
+	r.seq++
+	return payload, true
+}
+
+// Skip discards up to n records, returning how many it consumed (fewer
+// when the visible prefix ends first).
+func (r *SegmentReader) Skip(n uint64) uint64 {
+	var done uint64
+	for done < n {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		done++
+	}
+	return done
+}

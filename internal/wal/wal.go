@@ -277,6 +277,33 @@ func (l *Log) Size() int64 {
 	return l.size
 }
 
+// Records returns how many records have been appended since the log was
+// opened (buffered or not).
+func (l *Log) Records() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// FlushBuffer pushes buffered records to the OS without fsyncing: enough
+// for another reader of the same file (the replication sender) to see
+// them, with none of the durability cost.
+func (l *Log) FlushBuffer() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
+}
+
 // Close flushes, fsyncs and closes the file. Idempotent; concurrent
 // Appends racing a Close may be dropped, which is the caller's
 // serialization to prevent.

@@ -1,0 +1,121 @@
+package wormhole
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/repro/wormhole/internal/netkv"
+	"github.com/repro/wormhole/internal/repl"
+	"github.com/repro/wormhole/internal/shard"
+)
+
+// startLeader runs a durable store as a replication leader the way whkv
+// serve -dir does.
+func startLeader(t *testing.T) (*shard.Store, string) {
+	t.Helper()
+	st, err := shard.Open(shard.Options{Dir: t.TempDir(), Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := repl.NewSource(st)
+	srv, err := netkv.ServeOpts("127.0.0.1:0", st, netkv.ServerOptions{
+		Subscribe: src.ServeSubscriber,
+		StatFill:  src.FillStat,
+	})
+	if err != nil {
+		st.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		src.Close()
+		srv.Close()
+		st.Close()
+	})
+	return st, srv.Addr()
+}
+
+func TestReplicatePublicAPI(t *testing.T) {
+	leader, addr := startLeader(t)
+	for i := 0; i < 500; i++ {
+		leader.Set([]byte(fmt.Sprintf("pub-%04d", i)), []byte(fmt.Sprintf("val-%d", i)))
+	}
+
+	dir := t.TempDir()
+	f, err := Replicate(FollowerConfig{Leader: addr, Dir: dir, AckInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Count() != leader.Count() {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower stuck at %d/%d keys", f.Count(), leader.Count())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v, ok := f.Get([]byte("pub-0042")); !ok || string(v) != "val-42" {
+		t.Fatalf("follower read %q %v", v, ok)
+	}
+	if n := f.NumShards(); n != 2 {
+		t.Fatalf("follower has %d shards", n)
+	}
+
+	// The scan surface mirrors the leader's ordered view.
+	var got, want [][]byte
+	f.Scan(nil, func(k, _ []byte) bool { got = append(got, append([]byte(nil), k...)); return true })
+	leader.Scan(nil, func(k, _ []byte) bool { want = append(want, append([]byte(nil), k...)); return true })
+	if len(got) != len(want) {
+		t.Fatalf("scan lengths %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("scan diverges at %d: %q != %q", i, got[i], want[i])
+		}
+	}
+	keys, _ := f.RangeAsc([]byte("pub-0100"), 3)
+	if len(keys) != 3 || string(keys[0]) != "pub-0100" {
+		t.Fatalf("RangeAsc: %q", keys)
+	}
+	r := f.Reader()
+	if _, ok := r.Get([]byte("pub-0001")); !ok {
+		t.Fatal("pinned reader miss")
+	}
+	r.Close()
+	if lag, known := f.Lag(); known && lag != 0 {
+		t.Fatalf("converged follower lag %d", lag)
+	}
+	if ap := f.Applied(); len(ap) != 2 {
+		t.Fatalf("applied positions: %v", ap)
+	}
+
+	// Promotion hands over a writable durable DB that survives reopen.
+	db := f.Promote()
+	db.Set([]byte("written-after-promote"), []byte("w"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // no-op after Promote
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.Get([]byte("written-after-promote")); !ok {
+		t.Fatal("promoted write lost across reopen")
+	}
+	if _, ok := db2.Get([]byte("pub-0042")); !ok {
+		t.Fatal("replicated key lost across reopen")
+	}
+}
+
+func TestReplicateUnreachableLeader(t *testing.T) {
+	if _, err := Replicate(FollowerConfig{Leader: "127.0.0.1:1"}); err == nil {
+		t.Fatal("Replicate to a dead address succeeded")
+	}
+}
