@@ -51,6 +51,7 @@ func main() {
 		seed     = flag.Int64("seed", 42, "workload seed")
 		batch    = flag.Int("batch", 800, "netkv request batch size (fig12)")
 		shards   = flag.Int("shards", 0, "extra shard count for shard-sweep's 2/4/8 ladder")
+		interlv  = flag.Int("interleave", 0, "extra GetBatch interleave depth for batchread's ladder")
 		dir      = flag.String("dir", "", "durability experiment: persist stores under this directory (default: a temp dir, removed afterwards)")
 		syncSel  = flag.String("sync", "", "durability experiment: comma-separated rows from {none,interval,always,recover} (default: all)")
 		jsonOut  = flag.String("json", "", "write machine-readable results (trajectory experiments, e.g. readpath) to this file")
@@ -67,7 +68,7 @@ func main() {
 	cfg := &bench.Config{
 		Keys: *keys, Threads: *threads, Duration: *duration,
 		Seed: *seed, Batch: *batch, Shards: *shards,
-		Dir: *dir, Sync: *syncSel, Out: os.Stdout,
+		Interleave: *interlv, Dir: *dir, Sync: *syncSel, Out: os.Stdout,
 	}
 	cfg.Normalize()
 	var recorded []bench.Result

@@ -111,9 +111,51 @@ func (ix *whIx) ScanDesc(s []byte, fn func(k, v []byte) bool) {
 	ix.t.ScanDesc(s, fn)
 }
 
+// GetBatch answers the batch through the core's memory-parallel pipeline
+// under one reader announcement.
+func (ix *whIx) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	ix.t.GetBatch(keys, vals, found, nil)
+	return vals, found
+}
+
 // NewReadHandle implements index.ReadPinner with a pinned QSBR reader
-// (core.Reader satisfies index.ReadHandle structurally).
-func (ix *whIx) NewReadHandle() index.ReadHandle { return ix.t.NewReader() }
+// (core.Reader satisfies index.ReadHandle structurally, and
+// index.BatchHandle via batchReader below).
+func (ix *whIx) NewReadHandle() index.ReadHandle { return &batchReader{ix.t.NewReader()} }
+
+// batchReader adapts core.Reader's positional GetBatch to the
+// allocate-and-return shape of index.BatchHandle.
+type batchReader struct{ r *core.Reader }
+
+func (b *batchReader) Get(k []byte) ([]byte, bool) { return b.r.Get(k) }
+func (b *batchReader) Close()                      { b.r.Close() }
+func (b *batchReader) Scan(s []byte, fn func(k, v []byte) bool) {
+	b.r.Scan(s, fn)
+}
+func (b *batchReader) ScanDesc(s []byte, fn func(k, v []byte) bool) {
+	b.r.ScanDesc(s, fn)
+}
+func (b *batchReader) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	b.r.GetBatch(keys, vals, found, nil)
+	return vals, found
+}
+
+// scalarGetBatch answers a batch with sequential Gets — the reference
+// semantics indextest's equivalence harness checks every backend
+// against. The baseline indexes use it so batched callers (netkv, the
+// harnesses) can treat all backends uniformly.
+func scalarGetBatch(ix index.Index, keys [][]byte) (vals [][]byte, found []bool) {
+	vals = make([][]byte, len(keys))
+	found = make([]bool, len(keys))
+	for i, k := range keys {
+		vals[i], found[i] = ix.Get(k)
+	}
+	return vals, found
+}
 
 type btreeIx struct{ t *btree.Tree }
 
@@ -122,6 +164,9 @@ func (ix *btreeIx) Set(k, v []byte)             { ix.t.Set(k, v) }
 func (ix *btreeIx) Del(k []byte) bool           { return ix.t.Del(k) }
 func (ix *btreeIx) Count() int64                { return ix.t.Count() }
 func (ix *btreeIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *btreeIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return scalarGetBatch(ix, keys)
+}
 func (ix *btreeIx) Scan(s []byte, fn func(k, v []byte) bool) {
 	ix.t.Scan(s, fn)
 }
@@ -133,6 +178,9 @@ func (ix *slIx) Set(k, v []byte)             { ix.t.Set(k, v) }
 func (ix *slIx) Del(k []byte) bool           { return ix.t.Del(k) }
 func (ix *slIx) Count() int64                { return ix.t.Count() }
 func (ix *slIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *slIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return scalarGetBatch(ix, keys)
+}
 func (ix *slIx) Scan(s []byte, fn func(k, v []byte) bool) {
 	ix.t.Scan(s, fn)
 }
@@ -144,6 +192,9 @@ func (ix *artIx) Set(k, v []byte)             { ix.t.Set(k, v) }
 func (ix *artIx) Del(k []byte) bool           { return ix.t.Del(k) }
 func (ix *artIx) Count() int64                { return ix.t.Count() }
 func (ix *artIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *artIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return scalarGetBatch(ix, keys)
+}
 func (ix *artIx) Scan(s []byte, fn func(k, v []byte) bool) {
 	ix.t.Scan(s, fn)
 }
@@ -155,6 +206,9 @@ func (ix *mtIx) Set(k, v []byte)             { ix.t.Set(k, v) }
 func (ix *mtIx) Del(k []byte) bool           { return ix.t.Del(k) }
 func (ix *mtIx) Count() int64                { return ix.t.Count() }
 func (ix *mtIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *mtIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return scalarGetBatch(ix, keys)
+}
 func (ix *mtIx) Scan(s []byte, fn func(k, v []byte) bool) {
 	ix.t.Scan(s, fn)
 }
@@ -166,3 +220,6 @@ func (ix *ckIx) Set(k, v []byte)             { ix.t.Set(k, v) }
 func (ix *ckIx) Del(k []byte) bool           { return ix.t.Del(k) }
 func (ix *ckIx) Count() int64                { return ix.t.Count() }
 func (ix *ckIx) Footprint() int64            { return ix.t.Footprint() }
+func (ix *ckIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return scalarGetBatch(ix, keys)
+}

@@ -200,6 +200,36 @@ func indextestKeys(n int) [][]byte {
 // indextest.Synchronized, so the same harness (goroutine structure,
 // exactly-once oracle verification, scan observer) covers the whole
 // registry.
+// TestBatchGetEquivalenceAllBackends runs the batched-read equivalence
+// oracle over every registered backend: GetBatch must be byte-identical
+// to sequential scalar Gets for batches containing duplicates, misses,
+// empty keys, and more keys than a leaf holds (200 > the 128-key
+// default leaf capacity). Every adapter must expose GetBatch — a missing
+// method fails the test rather than skipping the backend.
+func TestBatchGetEquivalenceAllBackends(t *testing.T) {
+	for _, info := range index.All() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			ix, ok := info.New().(interface {
+				Get([]byte) ([]byte, bool)
+				Set(key, val []byte)
+				Del([]byte) bool
+				GetBatch(keys [][]byte) ([][]byte, []bool)
+			})
+			if !ok {
+				t.Fatalf("%s does not expose GetBatch", info.Name)
+			}
+			rounds := 60
+			if testing.Short() {
+				rounds = 15
+			}
+			indextest.BatchGetEquivalence(t, ix, 42, rounds, 200, indextest.GenPrefixed)
+			indextest.BatchGetEquivalence(t, ix, 43, rounds/2, 64, indextest.GenASCII)
+		})
+	}
+}
+
 func TestConcurrentAllBackends(t *testing.T) {
 	for _, info := range index.All() {
 		info := info

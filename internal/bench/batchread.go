@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/repro/wormhole/internal/core"
+)
+
+// BatchRead sweeps the memory-level-parallel GetBatch pipeline against
+// the scalar per-key loop, in one binary on one loaded index: rows are
+// interleave depths (scalar = SetBatchInterleave(-1), which turns
+// GetBatch into the sequential Get loop; pipeN keeps N lookups in
+// flight through the hash → warm → LPM → leaf-probe stages), columns
+// are batch sizes. The interleaving targets memory-level parallelism —
+// overlapping the independent cache misses of neighboring lookups — an
+// intra-thread effect, so the sweep runs one worker through a pinned
+// Reader with preallocated result slices (the zero-alloc server path).
+//
+// An explicitly requested depth (the -interleave flag via
+// Config.Interleave) joins the default ladder so it is always measured.
+func BatchRead(c *Config) {
+	keys := c.Keyset("Az1")
+	w := core.New(core.DefaultOptions())
+	for _, k := range keys {
+		w.Set(k, k)
+	}
+	batches := []int{4, 16, 64, 256}
+	type variant struct {
+		label string
+		depth int
+	}
+	depths := []variant{{"scalar", -1}, {"pipe4", 4}, {"pipe8", 8}, {"pipe16", 16}, {"pipe32", 32}}
+	if n := c.Interleave; n > 0 {
+		in := false
+		for _, d := range depths {
+			in = in || d.depth == n
+		}
+		if !in {
+			depths = append(depths, variant{fmt.Sprintf("pipe%d", n), n})
+		}
+	}
+
+	runtime.GC()
+	c.printf("batched reads: keyset Az1, %d keys, 1 thread (MOPS of individual lookups)\n", len(keys))
+	c.printf("%-12s", "depth/batch")
+	for _, b := range batches {
+		c.printf("%8d", b)
+	}
+	c.printf("%14s\n", "allocs/op")
+
+	rd := w.NewReader()
+	defer rd.Close()
+	for _, d := range depths {
+		w.SetBatchInterleave(d.depth)
+		c.printf("%-12s", d.label)
+		var allocs float64
+		for bi, b := range batches {
+			batch := make([][]byte, b)
+			vals := make([][]byte, b)
+			found := make([]bool, b)
+			if bi == len(batches)-1 {
+				// Allocations per individual lookup, on the largest batch;
+				// the pooled pipeline scratch must keep this at zero.
+				i := 0
+				allocs = allocsPerOp(500, func() {
+					for j := range batch {
+						batch[j] = keys[(i*2654435761+j*40503)%len(keys)]
+					}
+					rd.GetBatch(batch, vals, found, nil)
+					i++
+				}) / float64(b)
+			}
+			// Wall and process-CPU clocks bracket each cell: ops per
+			// CPU-second is the trajectory metric of record on shared hosts
+			// (see readpath.go).
+			w0, u0 := time.Now(), processCPUTime()
+			mops := batchReadThroughput(w, keys, b, c.Duration, c.Seed)
+			wall, cpu := time.Since(w0), processCPUTime()-u0
+			mopsCPU := mops
+			if cpu > 0 && wall > 0 {
+				mopsCPU = mops * wall.Seconds() / cpu.Seconds()
+			}
+			c.printf("%8.2f", mops)
+			c.record(Result{
+				Exp: "batchread", Op: fmt.Sprintf("%s/b%d", d.label, b),
+				Index: "wormhole", Threads: 1, Keys: len(keys),
+				MOPS: mops, MOPSCPU: mopsCPU, NsPerOp: 1e3 / mops,
+				AllocsPerOp: allocs,
+			})
+		}
+		c.printf("%14.4f\n", allocs)
+	}
+	w.SetBatchInterleave(0) // restore the default for any later use
+}
+
+// batchReadThroughput measures uniform random batched lookups through a
+// pinned Reader: one worker repeatedly fills a batch and issues one
+// GetBatch into preallocated result slices. The returned figure is MOPS
+// of individual lookups, not batches.
+func batchReadThroughput(w *core.Wormhole, keys [][]byte, batch int, dur time.Duration, seed int64) float64 {
+	n := len(keys)
+	rd := w.NewReader()
+	defer rd.Close()
+	b := make([][]byte, batch)
+	vals := make([][]byte, batch)
+	found := make([]bool, batch)
+	mbatches := Throughput(1, dur, seed, func(_ int, r *Rng) {
+		for i := range b {
+			b[i] = keys[r.Intn(n)]
+		}
+		rd.GetBatch(b, vals, found, nil)
+		if !found[0] {
+			panic("bench: loaded key missing from batched lookup")
+		}
+	})
+	return mbatches * float64(batch)
+}

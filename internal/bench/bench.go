@@ -28,6 +28,9 @@ type Config struct {
 	// Shards: an explicitly requested shard count that shard-sweep adds
 	// to its default ladder; 0 means the ladder alone.
 	Shards int
+	// Interleave: an explicitly requested GetBatch interleave depth that
+	// batchread adds to its default ladder; 0 means the ladder alone.
+	Interleave int
 	// Dir roots the durability experiment's store directories; empty
 	// means a temp directory removed after the run.
 	Dir string

@@ -44,6 +44,7 @@ func Experiments() []struct {
 		{"ablation-shortanchors", "anchor-minimizing split points (paper's future work)", AblationShortAnchors},
 		{"shard-sweep", "sharded store: shard count × goroutines scaling (extension)", ShardSweep},
 		{"readpath", "point-read path: plain vs pinned-reader lookups (perf trajectory)", ReadPath},
+		{"batchread", "batched reads: scalar loop vs prefetch-interleaved GetBatch pipeline (perf trajectory)", BatchRead},
 		{"scanpath", "range-scan path: lock-free vs locked, plain vs pinned (perf trajectory)", ScanPath},
 		{"durability", "durable store: volatile vs WAL sync policies, plus recovery rate (extension)", Durability},
 		{"replication", "leader→follower WAL shipping: steady lag, catch-up, follower reads (extension)", Replication},

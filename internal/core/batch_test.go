@@ -1,0 +1,275 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// batchConfigs enumerates the option shapes whose GetBatch code paths
+// differ: the full pipeline, its fallbacks (no eager hashing, no tag
+// matching, no lock-free leaf probe), and the unsafe scalar loop.
+func batchConfigs() map[string]Options {
+	full := DefaultOptions()
+	noInc := DefaultOptions()
+	noInc.IncHashing = false
+	noTag := DefaultOptions()
+	noTag.TagMatching = false
+	noSort := DefaultOptions()
+	noSort.SortByTag, noSort.DirectPos = false, false
+	unsafe := DefaultOptions()
+	unsafe.Concurrent = false
+	small := smallOpts(true)
+	return map[string]Options{
+		"full": full, "noinc": noInc, "notag": noTag,
+		"nosort": noSort, "unsafe": unsafe, "smallleaf": small,
+	}
+}
+
+// batchTestKeys builds a keyset with shared prefixes, an empty key, and
+// keys longer than maxEagerPrefix (which must take the slow lane).
+func batchTestKeys(n int) [][]byte {
+	r := rand.New(rand.NewSource(7))
+	keys := [][]byte{{}}
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			keys = append(keys, []byte(fmt.Sprintf("shared/prefix/deep/%06d", i)))
+		case 1:
+			keys = append(keys, []byte(fmt.Sprintf("k%d", r.Intn(n))))
+		case 2:
+			keys = append(keys, bytes.Repeat([]byte{byte('a' + i%3)}, 1+i%90)) // some > maxEagerPrefix
+		default:
+			b := make([]byte, 3+r.Intn(8))
+			r.Read(b)
+			keys = append(keys, b)
+		}
+	}
+	return keys
+}
+
+// TestGetBatchEquivalence checks, for every option shape and interleave
+// depth, that GetBatch is byte-identical to sequential scalar Gets over
+// batches with duplicates, misses, the empty key, and long keys, both
+// through the index and through a pinned Reader, with and without an
+// idxs subset.
+func TestGetBatchEquivalence(t *testing.T) {
+	for name, o := range batchConfigs() {
+		t.Run(name, func(t *testing.T) {
+			w := New(o)
+			keys := batchTestKeys(4000)
+			for i, k := range keys {
+				if i%3 != 2 { // leave a third of the keys missing
+					w.Set(k, []byte(fmt.Sprintf("v-%x", k)))
+				}
+			}
+			r := rand.New(rand.NewSource(11))
+			rd := w.NewReader()
+			defer rd.Close()
+			for _, depth := range []int{-1, 1, 2, 8, 64} {
+				w.SetBatchInterleave(depth)
+				for trial := 0; trial < 20; trial++ {
+					n := 1 + r.Intn(300) // up to well past a 128-key leaf
+					batch := make([][]byte, n)
+					for i := range batch {
+						if i > 0 && r.Intn(6) == 0 {
+							batch[i] = batch[r.Intn(i)]
+						} else {
+							batch[i] = keys[r.Intn(len(keys))]
+						}
+					}
+					vals := make([][]byte, n)
+					found := make([]bool, n)
+					w.GetBatch(batch, vals, found, nil)
+					for i, k := range batch {
+						sv, sok := w.Get(k)
+						if found[i] != sok || !bytes.Equal(vals[i], sv) {
+							t.Fatalf("depth %d: GetBatch[%d](%q) = %q,%v; Get = %q,%v",
+								depth, i, k, vals[i], found[i], sv, sok)
+						}
+					}
+					// Reader path, through an idxs subset covering every
+					// other position.
+					var idxs []int
+					for i := 0; i < n; i += 2 {
+						idxs = append(idxs, i)
+					}
+					vals2 := make([][]byte, n)
+					found2 := make([]bool, n)
+					rd.GetBatch(batch, vals2, found2, idxs)
+					for _, i := range idxs {
+						if found2[i] != found[i] || !bytes.Equal(vals2[i], vals[i]) {
+							t.Fatalf("depth %d: Reader.GetBatch[%d] = %q,%v; want %q,%v",
+								depth, i, vals2[i], found2[i], vals[i], found[i])
+						}
+					}
+					for i := 1; i < n; i += 2 {
+						if vals2[i] != nil || found2[i] {
+							t.Fatalf("depth %d: GetBatch wrote outside idxs at %d", depth, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGetBatchZeroAllocs guards the pooled pipeline scratch: a batched
+// lookup through a pinned Reader with caller-provided result slices must
+// not allocate, at any depth including the scalar baseline.
+func TestGetBatchZeroAllocs(t *testing.T) {
+	w := New(DefaultOptions())
+	var keys [][]byte
+	for i := 0; i < 50000; i++ {
+		k := []byte(fmt.Sprintf("az-%09d-shared-suffix", i*7))
+		keys = append(keys, k)
+		w.Set(k, k)
+	}
+	batch := make([][]byte, 64)
+	vals := make([][]byte, len(batch))
+	found := make([]bool, len(batch))
+	r := w.NewReader()
+	defer r.Close()
+	miss := []byte("az-miss-000000000")
+	for _, depth := range []int{-1, 8, 32} {
+		w.SetBatchInterleave(depth)
+		i := 0
+		if n := testing.AllocsPerRun(500, func() {
+			for j := range batch {
+				batch[j] = keys[(i*2654435761+j*40503)%len(keys)]
+			}
+			batch[3] = miss // a guaranteed miss per batch
+			r.GetBatch(batch, vals, found, nil)
+			i++
+		}); n != 0 {
+			t.Errorf("depth %d: Reader.GetBatch: %v allocs/op, want 0", depth, n)
+		}
+		i = 0
+		if n := testing.AllocsPerRun(500, func() {
+			w.GetBatch(batch, vals, found, nil)
+			i++
+		}); n != 0 {
+			t.Errorf("depth %d: Wormhole.GetBatch: %v allocs/op, want 0", depth, n)
+		}
+	}
+}
+
+// TestSetBatchInterleaveClamps pins the depth-normalization contract the
+// bench sweep relies on.
+func TestSetBatchInterleaveClamps(t *testing.T) {
+	w := New(DefaultOptions())
+	cases := []struct {
+		in   int
+		want int32
+	}{{0, defaultBatchInterleave}, {-5, 0}, {1, 1}, {maxBatchLanes, maxBatchLanes}, {1000, maxBatchLanes}}
+	for _, c := range cases {
+		w.SetBatchInterleave(c.in)
+		if got := w.batchDepth.Load(); got != c.want {
+			t.Errorf("SetBatchInterleave(%d): depth %d, want %d", c.in, got, c.want)
+		}
+	}
+	o := DefaultOptions()
+	o.BatchInterleave = -1
+	if w2 := New(o); w2.batchDepth.Load() != 0 {
+		t.Errorf("Options.BatchInterleave=-1: depth %d, want 0", w2.batchDepth.Load())
+	}
+}
+
+// TestGetBatchUnderChurn hammers the pipelined batch path while writers
+// overwrite values in place and force splits and merges around the
+// hammered keys — the seqlock brackets, version checks, and scalar
+// fallbacks of every lane race real mutations. Every found value must
+// reparse as a generation of its key (see overwriteValue). Run with
+// -race.
+func TestGetBatchUnderChurn(t *testing.T) {
+	w := New(smallOpts(true))
+	const hammered = 64
+	hotKey := func(i int) []byte { return []byte(fmt.Sprintf("hot-%03d", i)) }
+	for i := 0; i < hammered; i++ {
+		w.Set(hotKey(i), overwriteValue(0))
+	}
+	var stop atomic.Bool
+	var writers, readers sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for n := 1; !stop.Load(); n++ {
+				w.Set(hotKey(r.Intn(hammered)), overwriteValue(n))
+			}
+		}(g)
+	}
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		r := rand.New(rand.NewSource(99))
+		for !stop.Load() {
+			k := []byte(fmt.Sprintf("hot-%03d-churn-%04d", r.Intn(hammered), r.Intn(500)))
+			if r.Intn(2) == 0 {
+				w.Set(k, []byte("c"))
+			} else {
+				w.Del(k)
+			}
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			r := rand.New(rand.NewSource(int64(1000 + g)))
+			rd := w.NewReader()
+			defer rd.Close()
+			batch := make([][]byte, 24)
+			vals := make([][]byte, len(batch))
+			found := make([]bool, len(batch))
+			for round := 0; round < 600; round++ {
+				w.SetBatchInterleave([]int{-1, 4, 8, 32}[round%4])
+				for i := range batch {
+					if i > 0 && r.Intn(8) == 0 {
+						batch[i] = batch[r.Intn(i)]
+					} else {
+						batch[i] = hotKey(r.Intn(hammered))
+					}
+				}
+				rd.GetBatch(batch, vals, found, nil)
+				for i := range batch {
+					if !found[i] {
+						t.Errorf("hammered key %s missing", batch[i])
+						return
+					}
+					checkOverwriteValue(t, batch[i], vals[i])
+				}
+			}
+		}(g)
+	}
+	readers.Add(1)
+	go func() { // cold-miss batches against churned keys
+		defer readers.Done()
+		r := rand.New(rand.NewSource(5))
+		batch := make([][]byte, 16)
+		vals := make([][]byte, len(batch))
+		found := make([]bool, len(batch))
+		for round := 0; round < 600; round++ {
+			for i := range batch {
+				batch[i] = []byte(fmt.Sprintf("hot-%03d-churn-%04d", r.Intn(hammered), r.Intn(500)))
+			}
+			w.GetBatch(batch, vals, found, nil)
+			for i := range batch {
+				if found[i] && string(vals[i]) != "c" {
+					t.Errorf("churn key %s = %q, want %q", batch[i], vals[i], "c")
+					return
+				}
+			}
+		}
+	}()
+	readers.Wait()
+	stop.Store(true)
+	writers.Wait()
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -88,22 +88,7 @@ func (w *Wormhole) lpmPassEager(t *metaTable, key []byte, maxl int, optimistic b
 	m, n := 0, maxl+1
 	nodeM := t.root // the root item always exists in a published table
 	if n > 2 {
-		// Touch the buckets of the first three binary-search levels (the
-		// level-1 probe, both level-2 candidates, all four level-3
-		// candidates): seven independent loads the memory system runs
-		// concurrently, where the search loop alone would serialize them
-		// behind branch resolution. Duplicate depths just reload a hot
-		// line. The sum feeds a benign branch so the loads stay live.
-		p1 := n / 2
-		p2a, p2b := p1/2, (p1+n)/2
-		warm := t.buckets[hs[p1]&t.mask].tags[0] +
-			t.buckets[hs[p2a]&t.mask].tags[0] +
-			t.buckets[hs[p2b]&t.mask].tags[0] +
-			t.buckets[hs[p2a/2]&t.mask].tags[0] +
-			t.buckets[hs[(p2a+p1)/2]&t.mask].tags[0] +
-			t.buckets[hs[(p1+p2b)/2]&t.mask].tags[0] +
-			t.buckets[hs[(p2b+n)/2]&t.mask].tags[0]
-		if warm == 0xFFFF {
+		if t.warmSearchLevels(&hs, n) == 0xFFFF {
 			nodeM = t.root
 		}
 	}
@@ -127,11 +112,41 @@ func (w *Wormhole) lpmPassEager(t *metaTable, key []byte, maxl int, optimistic b
 	return nodeM, hs[m], true
 }
 
+// warmSearchLevels touches the buckets of the first three binary-search
+// levels of a prefix search whose upper bound is n (the level-1 probe,
+// both level-2 candidates, all four level-3 candidates): seven
+// independent loads the memory system runs concurrently, where the
+// search loop alone would serialize them behind branch resolution.
+// Duplicate depths just reload a hot line. The returned tag sum must
+// feed a benign branch in the caller so the loads stay live; the batched
+// read pipeline reuses this helper to warm every lane's buckets before
+// any lane starts its dependent probe chain.
+func (t *metaTable) warmSearchLevels(hs *[maxEagerPrefix + 1]uint32, n int) uint16 {
+	p1 := n / 2
+	p2a, p2b := p1/2, (p1+n)/2
+	return t.buckets[hs[p1]&t.mask].tags[0] +
+		t.buckets[hs[p2a]&t.mask].tags[0] +
+		t.buckets[hs[p2b]&t.mask].tags[0] +
+		t.buckets[hs[p2a/2]&t.mask].tags[0] +
+		t.buckets[hs[(p2a+p1)/2]&t.mask].tags[0] +
+		t.buckets[hs[(p1+p2b)/2]&t.mask].tags[0] +
+		t.buckets[hs[(p2b+n)/2]&t.mask].tags[0]
+}
+
 // searchMeta resolves key to its target leaf — the leaf whose real anchor
 // K1 and successor anchor K2 satisfy K1 <= key < K2 (Algorithm 3's
 // searchTrieHT). All anchor comparisons use the real (un-⊥-extended) form.
 func (w *Wormhole) searchMeta(t *metaTable, key []byte) *leafNode {
 	node, h := w.searchLPM(t, key)
+	return w.leafFromLPM(t, key, node, h)
+}
+
+// leafFromLPM finishes Algorithm 3 given an already-resolved longest
+// prefix match: node is the LPM item and h the hash of its stored key.
+// Split out of searchMeta so the batched read pipeline can run the LPM
+// phase round-robin across many keys and resolve each lane's leaf from
+// its own (node, hash) pair.
+func (w *Wormhole) leafFromLPM(t *metaTable, key []byte, node *metaNode, h uint32) *leafNode {
 	if node.isLeafItem() {
 		// The stored anchor is a prefix of the key, so by the prefix
 		// condition it is the unique such anchor and its leaf is the target.

@@ -45,6 +45,14 @@ type Options struct {
 	// QSBRSlots sizes the initial reader-slot bank (Concurrent only); the
 	// slot set grows on demand when more readers pin simultaneously.
 	QSBRSlots int
+
+	// BatchInterleave sets how many keys GetBatch keeps in flight at once
+	// in its memory-parallel pipeline: 0 selects the default depth,
+	// negative disables the pipeline entirely (a scalar per-key loop, the
+	// pre-pipeline behavior kept so benchmarks can measure both in one
+	// binary), and values above the lane cap are clamped. Adjustable at
+	// runtime with SetBatchInterleave.
+	BatchInterleave int
 }
 
 // DefaultOptions returns the full Wormhole configuration used throughout
@@ -91,6 +99,10 @@ type Wormhole struct {
 	head  *leafNode // leftmost leaf; never removed (merges consume the right node)
 	count atomic.Int64
 
+	// batchDepth is the GetBatch pipeline's interleave depth (0 = scalar
+	// loop); atomic so SetBatchInterleave can retune a live index.
+	batchDepth atomic.Int32
+
 	// hook, when non-nil, observes every committed mutation (see
 	// SetMutationHook); installed before the index is shared.
 	hook MutationHook
@@ -100,6 +112,7 @@ type Wormhole struct {
 func New(opt Options) *Wormhole {
 	opt.normalize()
 	w := &Wormhole{opt: opt}
+	w.batchDepth.Store(normalizeInterleave(opt.BatchInterleave))
 	w.head = newLeafNode(anchor{stored: []byte{}}, 8)
 	t1 := newMetaTable(64)
 	t1.set(&metaNode{key: []byte{}, leaf: w.head})
@@ -218,24 +231,25 @@ func (w *Wormhole) getOnline(s *qsbr.Slot, h uint32, key []byte) ([]byte, bool) 
 // GetBatch answers keys[i] into vals[i] and found[i] for every i in idxs
 // (nil idxs means all of keys). The whole batch shares one QSBR reader
 // announcement — the server-side analogue of netkv's request batching,
-// used by the sharded store's per-shard groups.
+// used by the sharded store's per-shard groups — and on the concurrent
+// index the lookups run through the memory-parallel pipeline (batch.go),
+// which interleaves the keys' dependent-miss chains instead of walking
+// them one at a time.
 func (w *Wormhole) GetBatch(keys, vals [][]byte, found []bool, idxs []int) {
-	if idxs == nil {
-		idxs = make([]int, len(keys))
-		for i := range idxs {
-			idxs[i] = i
-		}
-	}
 	if !w.opt.Concurrent {
+		if idxs == nil {
+			for i := range keys {
+				vals[i], found[i] = w.getUnsafe(hashKey(keys[i]), keys[i])
+			}
+			return
+		}
 		for _, i := range idxs {
 			vals[i], found[i] = w.getUnsafe(hashKey(keys[i]), keys[i])
 		}
 		return
 	}
 	s := w.q.Enter()
-	for _, i := range idxs {
-		vals[i], found[i] = w.getOnline(s, hashKey(keys[i]), keys[i])
-	}
+	w.getBatchOnline(s, keys, vals, found, idxs)
 	w.q.Leave(s)
 }
 
@@ -274,22 +288,15 @@ func (r *Reader) Get(key []byte) ([]byte, bool) {
 }
 
 // GetBatch answers keys[i] into vals[i] and found[i] for every i in idxs
-// (nil idxs means all of keys), under a single reader announcement.
+// (nil idxs means all of keys), under a single reader announcement on the
+// handle's pinned slot and through the memory-parallel pipeline.
 func (r *Reader) GetBatch(keys, vals [][]byte, found []bool, idxs []int) {
 	if r.pin == nil {
 		r.w.GetBatch(keys, vals, found, idxs)
 		return
 	}
-	if idxs == nil {
-		idxs = make([]int, len(keys))
-		for i := range idxs {
-			idxs[i] = i
-		}
-	}
 	s := r.pin.Enter()
-	for _, i := range idxs {
-		vals[i], found[i] = r.w.getOnline(s, hashKey(keys[i]), keys[i])
-	}
+	r.w.getBatchOnline(s, keys, vals, found, idxs)
 	r.pin.Leave()
 }
 

@@ -79,6 +79,18 @@ type ScanHandle interface {
 	ScanDesc(start []byte, fn func(key, val []byte) bool)
 }
 
+// BatchHandle is a ReadHandle that can answer several point lookups in
+// one call through its amortized per-reader state — for Wormhole, one
+// reader announcement for the whole batch and the memory-parallel
+// pipelined lookup. Slices are positional: vals[i], found[i] answer
+// keys[i], and the call must be equivalent to len(keys) sequential Gets.
+// The netkv server routes runs of consecutive point reads through the
+// connection's or worker's handle when it supports this.
+type BatchHandle interface {
+	ReadHandle
+	GetBatch(keys [][]byte) (vals [][]byte, found []bool)
+}
+
 // Durable is implemented by stores with a persistence lifecycle (the
 // durable sharded store). Volatile indexes simply don't implement it.
 type Durable interface {

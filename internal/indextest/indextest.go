@@ -180,6 +180,12 @@ func BatchOps(t *testing.T, ix interface {
 					t.Fatalf("round %d: GetBatch[%d](%x) = %q,%v want %q,%v",
 						round, i, keys[i], vals[i], found[i], mv, mok)
 				}
+				// Batched and scalar reads must agree byte for byte.
+				sv, sok := ix.Get(keys[i])
+				if found[i] != sok || (sok && !bytes.Equal(vals[i], sv)) {
+					t.Fatalf("round %d: GetBatch[%d](%x) = %q,%v but scalar Get = %q,%v",
+						round, i, keys[i], vals[i], found[i], sv, sok)
+				}
 			}
 		case 2:
 			found := ix.DelBatch(keys)
@@ -208,6 +214,88 @@ func BatchOps(t *testing.T, ix interface {
 	}
 }
 
+// BatchGetEquivalence is the batched-read equivalence oracle: GetBatch
+// must return byte-identical results to len(keys) sequential scalar
+// Gets, for every batch shape that tends to bite pipelined read paths —
+// duplicate keys within one batch, missing keys, empty keys, and
+// batches larger than a leaf (size the batch argument above the index's
+// leaf capacity). Needs only point operations plus GetBatch, so it runs
+// over every registered backend; mutation bursts between batches keep
+// the structure moving (splits, merges, removed keys).
+func BatchGetEquivalence(t *testing.T, ix interface {
+	Get([]byte) ([]byte, bool)
+	Set(key, val []byte)
+	Del([]byte) bool
+	GetBatch(keys [][]byte) ([][]byte, []bool)
+}, seed int64, rounds, batch int, gen func(*rand.Rand) []byte) {
+	t.Helper()
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(seed))
+	var present [][]byte // sample of inserted keys: guaranteed hits and duplicates
+	seq := 0
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < batch/2+1; i++ {
+			k := gen(r)
+			if r.Intn(4) == 0 {
+				ix.Del(k)
+				delete(model, string(k))
+				continue
+			}
+			seq++
+			v := fmt.Sprintf("e%d", seq)
+			ix.Set(k, []byte(v))
+			model[string(k)] = v
+			if len(present) < 4*batch {
+				present = append(present, k)
+			}
+		}
+		// Cycle the empty key through both states so batches observe it
+		// present and absent.
+		switch round % 3 {
+		case 0:
+			ix.Set([]byte{}, []byte("empty"))
+			model[""] = "empty"
+		case 2:
+			ix.Del([]byte{})
+			delete(model, "")
+		}
+		n := 1 + r.Intn(batch)
+		if round%4 == 3 {
+			n = batch // full-size rounds: larger than a leaf
+		}
+		keys := make([][]byte, n)
+		for i := range keys {
+			switch {
+			case i > 0 && r.Intn(6) == 0:
+				keys[i] = keys[r.Intn(i)] // duplicate of an earlier batch entry
+			case r.Intn(8) == 0:
+				keys[i] = []byte{}
+			case len(present) > 0 && r.Intn(2) == 0:
+				keys[i] = present[r.Intn(len(present))] // likely present
+			default:
+				keys[i] = gen(r) // hit or miss
+			}
+		}
+		vals, found := ix.GetBatch(keys)
+		if len(vals) != n || len(found) != n {
+			t.Fatalf("round %d: GetBatch returned %d/%d results for %d keys",
+				round, len(vals), len(found), n)
+		}
+		for i := range keys {
+			sv, sok := ix.Get(keys[i])
+			if found[i] != sok || (sok && !bytes.Equal(vals[i], sv)) {
+				t.Fatalf("round %d: GetBatch[%d](%x) = %q,%v but scalar Get = %q,%v",
+					round, i, keys[i], vals[i], found[i], sv, sok)
+			}
+			mv, mok := model[string(keys[i])]
+			if sok != mok || (mok && string(sv) != mv) {
+				t.Fatalf("round %d: Get(%x) = %q,%v disagrees with model %q,%v",
+					round, keys[i], sv, sok, mv, mok)
+			}
+		}
+	}
+}
+
 // MutableIndex is the mutation surface ConcurrentOps drives.
 type MutableIndex interface {
 	Get([]byte) ([]byte, bool)
@@ -222,17 +310,30 @@ type scanner interface {
 	Scan(start []byte, fn func(k, v []byte) bool)
 }
 
+// batchGetter is detected dynamically so the harness runs batched-read
+// verification only on indexes that expose GetBatch.
+type batchGetter interface {
+	GetBatch(keys [][]byte) (vals [][]byte, found []bool)
+}
+
 // Synchronized wraps a non-thread-safe index with one mutex so the
 // concurrent harness can drive every registered backend: the wrapped
 // index sees a serialized operation stream while the harness's goroutine
 // structure (and the race detector's view of the harness itself) stays
-// identical to the lock-free backends'. The wrapper advertises Scan only
-// when the wrapped index has one, so the harness's scanner detection
-// sees the underlying capability, not the wrapper's.
+// identical to the lock-free backends'. The wrapper advertises Scan and
+// GetBatch only when the wrapped index has them, so the harness's
+// capability detection sees the underlying index, not the wrapper.
 func Synchronized(ix MutableIndex) MutableIndex {
 	s := &syncIx{ix: ix}
-	if _, ok := ix.(scanner); ok {
+	_, canScan := ix.(scanner)
+	_, canBatch := ix.(batchGetter)
+	switch {
+	case canScan && canBatch:
+		return &syncScanBatchIx{syncScanIx{syncIx: s}}
+	case canScan:
 		return &syncScanIx{syncIx: s}
+	case canBatch:
+		return &syncBatchIx{syncIx: s}
 	}
 	return s
 }
@@ -251,6 +352,31 @@ func (s *syncScanIx) Scan(start []byte, fn func(k, v []byte) bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ix.(scanner).Scan(start, fn)
+}
+
+// syncBatchIx / syncScanBatchIx add the serialized GetBatch; scan and
+// batch support are orthogonal (cuckoo batches but cannot scan), so all
+// four capability combinations exist.
+type syncBatchIx struct {
+	*syncIx
+}
+
+func (s *syncBatchIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return s.syncIx.getBatchLocked(keys)
+}
+
+type syncScanBatchIx struct {
+	syncScanIx
+}
+
+func (s *syncScanBatchIx) GetBatch(keys [][]byte) ([][]byte, []bool) {
+	return s.syncIx.getBatchLocked(keys)
+}
+
+func (s *syncIx) getBatchLocked(keys [][]byte) ([][]byte, []bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ix.(batchGetter).GetBatch(keys)
 }
 
 func (s *syncIx) Get(k []byte) ([]byte, bool) {
@@ -399,8 +525,55 @@ func ConcurrentOps(t *testing.T, ix MutableIndex, seed int64, workers, steps int
 		}()
 	}
 
-	// Mutators finish first; only then is the scanner released, so it
-	// observes the full span of concurrent churn.
+	// The batched-read observer: hammers GetBatch under churn until the
+	// mutators finish, with duplicate keys inside each batch, checking
+	// result shape and that every found value embeds its key — a lane
+	// mix-up or a torn seqlock bracket in a pipelined batch path surfaces
+	// as a foreign value.
+	if bg, ok := ix.(batchGetter); ok {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			r := rand.New(rand.NewSource(seed ^ 0x6a7c))
+			keys := make([][]byte, 0, 48)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				keys = keys[:0]
+				n := 8 + r.Intn(40)
+				for i := 0; i < n; i++ {
+					if i > 0 && r.Intn(8) == 0 {
+						keys = append(keys, keys[r.Intn(i)])
+						continue
+					}
+					prefix := byte('A' + r.Intn(workers))
+					keys = append(keys, append([]byte{prefix}, gen(r)...))
+				}
+				vals, found := bg.GetBatch(keys)
+				if len(vals) != len(keys) || len(found) != len(keys) {
+					fail("concurrent GetBatch returned %d/%d results for %d keys",
+						len(vals), len(found), len(keys))
+					return
+				}
+				for i, k := range keys {
+					if !found[i] {
+						continue
+					}
+					if want := fmt.Sprintf("%x=", k); len(vals[i]) < len(want) || string(vals[i][:len(want)]) != want {
+						fail("concurrent GetBatch: key %x paired with foreign value %q", k, vals[i])
+						return
+					}
+				}
+				runtime.Gosched()
+			}
+		}()
+	}
+
+	// Mutators finish first; only then are the observers released, so they
+	// observe the full span of concurrent churn.
 	mutWG.Wait()
 	close(stop)
 	scanWG.Wait()
@@ -438,6 +611,20 @@ func ConcurrentOps(t *testing.T, ix MutableIndex, seed int64, workers, steps int
 		})
 		if seen != len(oracle.m) {
 			t.Fatalf("final scan saw %d keys, oracle has %d (exactly-once violated)", seen, len(oracle.m))
+		}
+	}
+	// One quiesced batch over every surviving key: the batched path must
+	// agree with the oracle exactly, like the scalar sweep above.
+	if bg, ok := ix.(batchGetter); ok {
+		keys := make([][]byte, 0, len(oracle.m))
+		for k := range oracle.m {
+			keys = append(keys, []byte(k))
+		}
+		vals, found := bg.GetBatch(keys)
+		for i, k := range keys {
+			if !found[i] || string(vals[i]) != oracle.m[string(k)] {
+				t.Fatalf("final GetBatch(%x) = %q,%v want %q", k, vals[i], found[i], oracle.m[string(k)])
+			}
 		}
 	}
 }

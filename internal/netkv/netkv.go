@@ -418,11 +418,39 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 		groups[g] = append(groups[g], i)
 	}
 	results := make([]result, len(reqs))
+	// Within a group, maximal runs of consecutive Gets go through the
+	// handle's batched lookup (Wormhole's memory-parallel pipeline) in one
+	// call. Runs never extend across a Set or Del, so each key's
+	// operations keep their in-batch program order.
 	runGroup := func(g []int, h index.ReadHandle) {
+		bh, _ := h.(index.BatchHandle)
+		var keys [][]byte
+		var run []int
+		flush := func() {
+			if len(run) == 0 {
+				return
+			}
+			vals, found := bh.GetBatch(keys)
+			for j, i := range run {
+				if found[j] {
+					results[i] = result{status: StatusOK, val: vals[j], hasVal: true}
+				} else {
+					results[i] = result{status: StatusNotFound, hasVal: true}
+				}
+			}
+			keys, run = keys[:0], run[:0]
+		}
 		for _, i := range g {
+			if bh != nil && reqs[i].Op == OpGet {
+				keys = append(keys, reqs[i].Key)
+				run = append(run, i)
+				continue
+			}
+			flush()
 			st, v, hasVal := s.execPoint(&reqs[i], h)
 			results[i] = result{status: st, val: v, hasVal: hasVal}
 		}
+		flush()
 	}
 	if active == 1 {
 		for _, g := range groups {

@@ -273,6 +273,70 @@ func TestShardedBatchSameKeyOrder(t *testing.T) {
 	}
 }
 
+// TestShardedBatchedGetRuns drives batches whose shard groups contain
+// long runs of consecutive Gets — the shape the server now routes
+// through the read handle's batched lookup — interleaved with writes
+// that split the runs. Results must stay positional (hits, misses, and
+// duplicate keys in one run) and same-key operations must keep program
+// order across the run boundaries.
+func TestShardedBatchedGetRuns(t *testing.T) {
+	_, c := startShardedServer(t)
+	key := func(i int) []byte { return []byte(fmt.Sprintf("runs-%05d", i)) }
+	const n = 300
+	for i := 0; i < n; i++ {
+		c.QueueSet(key(i), []byte(fmt.Sprintf("val-%05d", i)))
+	}
+	if _, err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// One batch: a long Get run with misses and duplicates, a Set that
+	// cuts the run, then Gets of the overwritten key.
+	for i := 0; i < n; i++ {
+		c.QueueGet(key(i))
+		if i%7 == 0 {
+			c.QueueGet([]byte(fmt.Sprintf("runs-miss-%05d", i)))
+			c.QueueGet(key(i)) // duplicate inside the run
+		}
+	}
+	c.QueueSet(key(42), []byte("rewritten"))
+	c.QueueGet(key(42))
+	rs, err := c.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 0
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("val-%05d", i)
+		if i == 42 {
+			// The Set of key 42 comes later in the batch, but a batch
+			// executes grouped by shard, not globally in order; for the
+			// same key, though, program order holds: this Get precedes
+			// the Set, so it must still see the original value.
+			want = "val-00042"
+		}
+		if rs[p].Status != StatusOK || string(rs[p].Val) != want {
+			t.Fatalf("get %d (result %d) = %d %q, want %q", i, p, rs[p].Status, rs[p].Val, want)
+		}
+		p++
+		if i%7 == 0 {
+			if rs[p].Status != StatusNotFound {
+				t.Fatalf("miss probe %d: status %d", i, rs[p].Status)
+			}
+			p++
+			if rs[p].Status != StatusOK || string(rs[p].Val) != want {
+				t.Fatalf("dup get %d = %d %q, want %q", i, rs[p].Status, rs[p].Val, want)
+			}
+			p++
+		}
+	}
+	if rs[p].Status != StatusOK {
+		t.Fatalf("rewrite set: %d", rs[p].Status)
+	}
+	if string(rs[p+1].Val) != "rewritten" {
+		t.Fatalf("get after rewrite = %q, want %q", rs[p+1].Val, "rewritten")
+	}
+}
+
 // TestShardedScanFallback sends a batch containing a scan: the server must
 // fall back to sequential processing and the stitched cross-shard scan
 // must come back in global key order.

@@ -65,6 +65,85 @@ func TestBatchOpsParallelPath(t *testing.T) {
 	indextest.BatchOps(t, st, 17, 60, 4*parallelBatch, indextest.GenRandom(8))
 }
 
+// TestGetBatchResultOrdering is the regression test for per-shard fan-out
+// reassembly: results must land at the caller's original positions even
+// when shard groups complete out of order. The batch interleaves keys
+// round-robin across all shards (adjacent positions live on different
+// shards), exceeds the parallel fan-out threshold so groups really run on
+// concurrent goroutines, and skews the group sizes so shards finish at
+// different times; every value encodes its key, so any transposition is
+// caught positionally. Both the store path (parallel fan-out) and the
+// pinned Reader path (sequential groups) are checked, plus a batch with
+// duplicates and misses.
+func TestGetBatchResultOrdering(t *testing.T) {
+	st := New(Options{Shards: 8, Sample: sampleFrom(indextest.GenRandom(8), 4096, 21)})
+	perShard := make([][][]byte, st.NumShards())
+	r := rand.New(rand.NewSource(77))
+	for len(perShard[0]) < 2*parallelBatch {
+		k := indextest.GenRandom(8)(r)
+		sh := st.ShardOf(k)
+		// Skew: high shards keep only a fraction of their keys, so their
+		// groups are small and finish long before shard 0's.
+		if sh > 0 && len(perShard[sh]) > 2*parallelBatch/(1+sh) {
+			continue
+		}
+		perShard[sh] = append(perShard[sh], k)
+		st.Set(k, append([]byte("val-of-"), k...))
+	}
+	var batch [][]byte
+	for i := 0; ; i++ {
+		added := false
+		for sh := range perShard {
+			if i < len(perShard[sh]) {
+				batch = append(batch, perShard[sh][i])
+				added = true
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	if len(batch) <= parallelBatch {
+		t.Fatalf("batch of %d does not reach the parallel fan-out threshold %d", len(batch), parallelBatch)
+	}
+	check := func(name string, vals [][]byte, found []bool) {
+		t.Helper()
+		if len(vals) != len(batch) || len(found) != len(batch) {
+			t.Fatalf("%s: got %d/%d results for %d keys", name, len(vals), len(found), len(batch))
+		}
+		for i, k := range batch {
+			want := append([]byte("val-of-"), k...)
+			if !found[i] || !bytes.Equal(vals[i], want) {
+				t.Fatalf("%s: result %d = %q,%v, want %q — fan-out reassembled out of order",
+					name, i, vals[i], found[i], want)
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		vals, found := st.GetBatch(batch)
+		check("store", vals, found)
+	}
+	rd := st.NewReader()
+	defer rd.Close()
+	vals, found := rd.GetBatch(batch)
+	check("reader", vals, found)
+
+	// Duplicates and misses keep their positions too.
+	mixed := [][]byte{batch[3], []byte("missing-key"), batch[3], batch[500], []byte{}, batch[3]}
+	vals, found = st.GetBatch(mixed)
+	for _, i := range []int{0, 2, 5} {
+		if !found[i] || !bytes.Equal(vals[i], append([]byte("val-of-"), batch[3]...)) {
+			t.Fatalf("duplicate at %d = %q,%v", i, vals[i], found[i])
+		}
+	}
+	if found[1] || found[4] || vals[1] != nil || vals[4] != nil {
+		t.Fatalf("missing keys reported present: %q,%v / %q,%v", vals[1], found[1], vals[4], found[4])
+	}
+	if !found[3] || !bytes.Equal(vals[3], append([]byte("val-of-"), batch[500]...)) {
+		t.Fatalf("result 3 = %q,%v", vals[3], found[3])
+	}
+}
+
 // TestCrossShardScanOrdering loads keys that straddle every boundary and
 // verifies that stitched scans yield the exact global order, including
 // scans that start precisely on, just below and just above a boundary.

@@ -49,6 +49,49 @@ func TestPublicAPIBasics(t *testing.T) {
 	}
 }
 
+// TestPublicGetBatch checks the batched read surface on Index, Reader,
+// Sharded and ShardedReader against scalar Gets, including duplicates,
+// misses and the empty key.
+func TestPublicGetBatch(t *testing.T) {
+	idx := wormhole.New()
+	sh := wormhole.NewSharded(wormhole.ShardedConfig{Shards: 4})
+	keys := make([][]byte, 0, 600)
+	for i := 0; i < 600; i++ {
+		k := []byte(fmt.Sprintf("pub-%04d", i))
+		keys = append(keys, k)
+		if i%3 != 0 { // leave a third missing
+			idx.Set(k, []byte(fmt.Sprintf("v%d", i)))
+			sh.Set(k, []byte(fmt.Sprintf("v%d", i)))
+		}
+	}
+	batch := [][]byte{{}, keys[1], keys[0], keys[1], []byte("absent")}
+	batch = append(batch, keys...)
+	rd := idx.Reader()
+	defer rd.Close()
+	srd := sh.Reader()
+	defer srd.Close()
+	check := func(name string, vals [][]byte, found []bool, get func([]byte) ([]byte, bool)) {
+		t.Helper()
+		if len(vals) != len(batch) || len(found) != len(batch) {
+			t.Fatalf("%s: %d/%d results for %d keys", name, len(vals), len(found), len(batch))
+		}
+		for i, k := range batch {
+			sv, sok := get(k)
+			if found[i] != sok || !bytes.Equal(vals[i], sv) {
+				t.Fatalf("%s: batch[%d](%q) = %q,%v; Get = %q,%v", name, i, k, vals[i], found[i], sv, sok)
+			}
+		}
+	}
+	vals, found := idx.GetBatch(batch)
+	check("Index", vals, found, idx.Get)
+	vals, found = rd.GetBatch(batch)
+	check("Reader", vals, found, idx.Get)
+	vals, found = sh.GetBatch(batch)
+	check("Sharded", vals, found, sh.Get)
+	vals, found = srd.GetBatch(batch)
+	check("ShardedReader", vals, found, sh.Get)
+}
+
 func TestPublicConfigVariants(t *testing.T) {
 	for _, cfg := range []wormhole.Config{
 		{},
