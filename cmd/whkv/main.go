@@ -9,6 +9,7 @@
 //	whkv serve -index wormhole-sharded -bounds "g,n,t"   # explicit shard boundaries
 //	whkv serve -dir /var/lib/whkv -sync interval        # durable store (WAL + snapshots)
 //	whkv serve -dir /var/lib/whkv2 -follow host:7070    # replication follower (read-only)
+//	whkv serve -read-timeout 5m -write-timeout 30s -max-inflight 64  # hardened edges
 //	whkv set   -addr 127.0.0.1:7070 -key a -val 1
 //	whkv get   -addr 127.0.0.1:7070 -key a
 //	whkv scan  -addr 127.0.0.1:7070 -key a -limit 10
@@ -74,9 +75,17 @@ func serve(args []string) {
 	dir := fs.String("dir", "", "durable mode: persist to this directory (WAL + snapshots per shard; reopening recovers). Implies a sharded store; -index must be wormhole-sharded or unset")
 	syncMode := fs.String("sync", "none", "durable mode sync policy: none, interval or always")
 	follow := fs.String("follow", "", "follower mode: replicate from this leader address, serve reads (writes answer StatusReadOnly); SIGUSR1 promotes to standalone. Combine with -dir so restarts resume the leader's WAL tail instead of resyncing")
+	readTimeout := fs.Duration("read-timeout", 0, "drop a connection idle longer than this between batches (0: never)")
+	writeTimeout := fs.Duration("write-timeout", 0, "drop a connection that cannot absorb a response within this (0: never)")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing request batches across all connections; excess connections queue (0: unlimited)")
 	fs.Parse(args)
+	hardening := netkv.ServerOptions{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxInflight:  *maxInflight,
+	}
 	if *follow != "" {
-		serveFollower(*addr, *follow, *dir, *syncMode)
+		serveFollower(*addr, *follow, *dir, *syncMode, hardening)
 		return
 	}
 	if *dir == "" && (*shards > 0 || *bounds != "") && *name != "wormhole-sharded" {
@@ -136,7 +145,7 @@ func serve(args []string) {
 	}
 	// A durable store doubles as a replication leader: followers subscribe
 	// on the same address clients use.
-	var opts netkv.ServerOptions
+	opts := hardening
 	var src *repl.Source
 	if durable != nil {
 		src = repl.NewSource(durable)
@@ -164,8 +173,22 @@ func serve(args []string) {
 	srv.Close()
 	if durable != nil {
 		if err := durable.Close(); err != nil {
+			// The sticky WAL error means acked writes may not have reached
+			// stable storage: say which shards, then exit non-zero so
+			// supervisors notice the data loss risk.
 			fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
+			printDegraded(durable.Health())
 			os.Exit(1)
+		}
+	}
+}
+
+// printDegraded reports each degraded shard's sticky failure to stderr.
+func printDegraded(hs []wal.Health) {
+	for i, h := range hs {
+		if h.Degraded {
+			fmt.Fprintf(os.Stderr, "whkv: shard %d degraded: %s (heal attempts: %d)\n",
+				i, h.Err, h.HealAttempts)
 		}
 	}
 }
@@ -173,7 +196,7 @@ func serve(args []string) {
 // serveFollower runs replication-follower mode: stream the leader's WAL
 // into a local store, serve reads from it, reject writes, and promote to
 // a writable standalone store on SIGUSR1.
-func serveFollower(addr, leader, dir, syncMode string) {
+func serveFollower(addr, leader, dir, syncMode string, hardening netkv.ServerOptions) {
 	policy, err := wal.ParsePolicy(syncMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whkv:", err)
@@ -192,10 +215,10 @@ func serveFollower(addr, leader, dir, syncMode string) {
 		os.Exit(1)
 	}
 	st := f.Store()
-	srv, err := netkv.ServeOpts(addr, st, netkv.ServerOptions{
-		ReadOnly: true,
-		StatFill: f.FillStat,
-	})
+	opts := hardening
+	opts.ReadOnly = true
+	opts.StatFill = f.FillStat
+	srv, err := netkv.ServeOpts(addr, st, opts)
 	if err != nil {
 		f.Close()
 		fmt.Fprintln(os.Stderr, "whkv:", err)
@@ -231,10 +254,12 @@ func serveFollower(addr, leader, dir, syncMode string) {
 	if promoted {
 		if err := st.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
+			printDegraded(st.Health())
 			os.Exit(1)
 		}
 	} else if err := f.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "whkv: closing follower:", err)
+		printDegraded(st.Health())
 		os.Exit(1)
 	}
 }
@@ -264,6 +289,20 @@ func stat(args []string) {
 	if st.Durable {
 		fmt.Printf("wal bytes: %d\n", st.WALBytes)
 		fmt.Printf("gens:      %v\n", st.Gens)
+	}
+	healthy := 0
+	for _, h := range st.Health {
+		if !h.Degraded {
+			healthy++
+		}
+	}
+	if len(st.Health) > 0 {
+		fmt.Printf("health:    %d/%d shards ok\n", healthy, len(st.Health))
+		for i, h := range st.Health {
+			if h.Degraded {
+				fmt.Printf("shard %-4d degraded: %s (heal attempts: %d)\n", i, h.Err, h.HealAttempts)
+			}
+		}
 	}
 	for _, fo := range st.Followers {
 		lag := fmt.Sprintf("%d records", fo.LagRecords)
@@ -334,6 +373,9 @@ func oneShot(cmd string, args []string) {
 		case netkv.StatusReadOnly:
 			fmt.Fprintln(os.Stderr, "whkv: server is a read-only follower; write to the leader")
 			os.Exit(1)
+		case netkv.StatusDegraded:
+			fmt.Fprintln(os.Stderr, "whkv: shard is degraded (WAL write failing); refusing writes until it heals — see whkv stat")
+			os.Exit(1)
 		default:
 			fmt.Fprintln(os.Stderr, "whkv: set failed on the server")
 			os.Exit(1)
@@ -344,6 +386,9 @@ func oneShot(cmd string, args []string) {
 			fmt.Println("deleted")
 		case netkv.StatusReadOnly:
 			fmt.Fprintln(os.Stderr, "whkv: server is a read-only follower; write to the leader")
+			os.Exit(1)
+		case netkv.StatusDegraded:
+			fmt.Fprintln(os.Stderr, "whkv: shard is degraded (WAL write failing); refusing writes until it heals — see whkv stat")
 			os.Exit(1)
 		default:
 			fmt.Println("(not found)")
@@ -359,7 +404,7 @@ func oneShot(cmd string, args []string) {
 		case netkv.StatusNotFound:
 			fmt.Println("(server is volatile)")
 		default:
-			fmt.Fprintln(os.Stderr, "whkv: flush failed on the server")
+			fmt.Fprintln(os.Stderr, "whkv: flush failed on the server (sticky WAL error; see whkv stat for per-shard health)")
 			os.Exit(1)
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,12 @@ const (
 	// StatusReadOnly rejects a mutation on a replication follower: writes
 	// belong on the leader until the follower is promoted.
 	StatusReadOnly
+	// StatusDegraded rejects a mutation whose owning shard is in degraded
+	// read-only mode: its WAL cannot log new writes (full disk, failed
+	// fsync), so accepting them would widen the unrecoverable window.
+	// Reads keep serving; the shard heals itself in the background and
+	// writes resume without a restart.
+	StatusDegraded
 )
 
 // DefaultBatch is the paper's request batch size for Figure 12.
@@ -82,6 +89,10 @@ type Stat struct {
 	// generation numbers.
 	WALBytes int64    `json:"wal_bytes,omitempty"`
 	Gens     []uint64 `json:"gens,omitempty"`
+	// Health is each shard's degradation status (degraded flag, sticky
+	// error, heal attempts) — the observable face of the degraded-mode
+	// state machine.
+	Health []wal.Health `json:"health,omitempty"`
 
 	// Leader fields.
 	Followers []FollowerStat `json:"followers,omitempty"`
@@ -126,6 +137,20 @@ type ServerOptions struct {
 	// StatFill, when non-nil, adds role-specific fields to each OpStat
 	// response.
 	StatFill func(*Stat)
+	// ReadTimeout, when non-zero, bounds how long a connection may sit
+	// between batches (and how long one batch may take to arrive): the
+	// read deadline is re-armed before each batch read, so a hung or idle
+	// client is dropped instead of holding a handler goroutine forever.
+	ReadTimeout time.Duration
+	// WriteTimeout, when non-zero, bounds each response flush: a client
+	// that stops draining its socket is dropped instead of blocking the
+	// handler on a full send buffer.
+	WriteTimeout time.Duration
+	// MaxInflight, when non-zero, caps concurrently-processing batches
+	// server-wide. Excess batches wait their turn after being read —
+	// backpressure degrades latency smoothly instead of letting load
+	// spikes pile unbounded work onto the workers.
+	MaxInflight int
 }
 
 // Request is one operation in a batch.
@@ -169,6 +194,12 @@ type Server struct {
 	wg  sync.WaitGroup
 	cls bool
 
+	// wh is the index's degraded-mode surface (the sharded durable
+	// store); nil when the index has none.
+	wh interface{ WriteErr(key []byte) error }
+	// sem is the MaxInflight semaphore; nil means uncapped.
+	sem chan struct{}
+
 	workers  []chan func(index.ReadHandle) // one job channel per shard
 	workerWG sync.WaitGroup
 }
@@ -200,8 +231,14 @@ func ServeOpts(addr string, ix index.Index, opt ServerOptions) (*Server, error) 
 	}
 	s := &Server{ix: ix, ln: ln, opt: opt}
 	s.ro.Store(opt.ReadOnly)
+	if opt.MaxInflight > 0 {
+		s.sem = make(chan struct{}, opt.MaxInflight)
+	}
 	if rp, ok := ix.(index.ReadPinner); ok {
 		s.rp = rp
+	}
+	if wh, ok := ix.(interface{ WriteErr(key []byte) error }); ok {
+		s.wh = wh
 	}
 	if dx, ok := ix.(index.Durable); ok {
 		s.dx = dx
@@ -226,7 +263,13 @@ func ServeOpts(addr string, ix index.Index, opt ServerOptions) (*Server, error) 
 					defer h.Close()
 				}
 				for job := range ch {
-					job(h)
+					// A panicking job must not take the worker (and with it
+					// the whole shard) down; its batch's connection reports
+					// StatusErr and the pool keeps serving.
+					func() {
+						defer func() { recover() }()
+						job(h)
+					}()
 				}
 			}()
 		}
@@ -288,6 +331,10 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	// A panic while serving this connection (a corrupt request tripping an
+	// index edge case, a bug in a handler) drops the connection, never the
+	// process: every other connection keeps serving.
+	defer func() { recover() }()
 	r := bufio.NewReaderSize(conn, 1<<20)
 	w := bufio.NewWriterSize(conn, 1<<20)
 	h := s.newReadHandle() // one pinned reader per connection
@@ -296,9 +343,12 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	scratch := make([]Request, 0, DefaultBatch)
 	for {
+		if s.opt.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.opt.ReadTimeout))
+		}
 		reqs, err := readRequests(r, scratch[:0])
 		if err != nil {
-			return // EOF or protocol error: drop the connection
+			return // EOF, deadline or protocol error: drop the connection
 		}
 		if len(reqs) == 1 && reqs[0].Op == OpSubscribe {
 			if s.opt.Subscribe == nil {
@@ -315,18 +365,32 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
-			// The connection now belongs to the replication stream.
+			// The connection now belongs to the replication stream: long
+			// idle stretches are its normal state, so the per-batch
+			// deadlines must not apply.
+			conn.SetDeadline(time.Time{})
 			s.opt.Subscribe(conn, r, w, reqs[0].Key)
 			return
 		}
-		if s.dispatchable(reqs) {
-			if err := s.processSharded(w, reqs, h); err != nil {
-				return
-			}
-		} else if err := s.process(w, reqs, h); err != nil {
-			return
+		if s.sem != nil {
+			s.sem <- struct{}{}
 		}
-		if err := w.Flush(); err != nil {
+		var perr error
+		if s.dispatchable(reqs) {
+			perr = s.processSharded(w, reqs, h)
+		} else {
+			perr = s.process(w, reqs, h)
+		}
+		if s.opt.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.opt.WriteTimeout))
+		}
+		if perr == nil {
+			perr = w.Flush()
+		}
+		if s.sem != nil {
+			<-s.sem
+		}
+		if perr != nil {
 			return
 		}
 		if s.closed() {
@@ -378,6 +442,12 @@ func (s *Server) execPoint(rq *Request, h index.ReadHandle) (status byte, val []
 		if s.ro.Load() {
 			return StatusReadOnly, nil, false
 		}
+		// The degraded check runs BEFORE the index mutates: a write the
+		// WAL cannot log must not land in memory either, or reads would
+		// serve state that a restart loses.
+		if s.wh != nil && s.wh.WriteErr(rq.Key) != nil {
+			return StatusDegraded, nil, false
+		}
 		k := append([]byte{}, rq.Key...)
 		v := append([]byte{}, rq.Val...)
 		s.ix.Set(k, v)
@@ -385,6 +455,9 @@ func (s *Server) execPoint(rq *Request, h index.ReadHandle) (status byte, val []
 	default: // OpDel; dispatchable/process admit nothing else
 		if s.ro.Load() {
 			return StatusReadOnly, nil, false
+		}
+		if s.wh != nil && s.wh.WriteErr(rq.Key) != nil {
+			return StatusDegraded, nil, false
 		}
 		if s.ix.Del(rq.Key) {
 			return StatusOK, nil, false
@@ -468,6 +541,16 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 			g := g
 			s.workers[sh] <- func(h index.ReadHandle) {
 				defer wg.Done()
+				// A panicking group answers StatusErr (with an empty value
+				// section where the wire format demands one, so the frame
+				// stays decodable) instead of poisoning the worker.
+				defer func() {
+					if recover() != nil {
+						for _, i := range g {
+							results[i] = result{status: StatusErr, hasVal: reqs[i].Op == OpGet}
+						}
+					}
+				}()
 				runGroup(g, h)
 			}
 		}
@@ -513,6 +596,9 @@ func (s *Server) stat() *Stat {
 	}
 	if g, ok := s.ix.(interface{ Gens() []uint64 }); ok {
 		st.Gens = g.Gens()
+	}
+	if hl, ok := s.ix.(interface{ Health() []wal.Health }); ok {
+		st.Health = hl.Health()
 	}
 	if s.opt.StatFill != nil {
 		s.opt.StatFill(st)
@@ -679,6 +765,12 @@ type Client struct {
 	ops  []byte // op kind per queued request, needed to decode responses
 	n    int
 	err  error // sticky transport error; cleared by Redial
+
+	// Timeout, when non-zero, bounds each Flush's network phases: the
+	// batch write and the response read each get a deadline this far
+	// out. An expired deadline surfaces as a sticky transport error;
+	// Redial (or FlushRetry, for read-only batches) recovers.
+	Timeout time.Duration
 }
 
 // Dial connects to a netkv server.
@@ -736,7 +828,10 @@ func (c *Client) Redial(maxWait time.Duration) error {
 		if time.Now().Add(backoff).After(deadline) {
 			return fmt.Errorf("netkv: redial %s: %w", c.addr, err)
 		}
-		time.Sleep(backoff)
+		// Jitter the sleep (uniform in [backoff/2, backoff]): a restarted
+		// leader must not take a synchronized reconnect stampede from
+		// every client and follower that lost it at the same instant.
+		time.Sleep(backoff/2 + rand.N(backoff/2+1))
 		if backoff *= 2; backoff > time.Second {
 			backoff = time.Second
 		}
@@ -824,6 +919,9 @@ func (c *Client) Flush() ([]Response, error) {
 	var hdr [6]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(c.out)+2))
 	binary.LittleEndian.PutUint16(hdr[4:], uint16(c.n))
+	if c.Timeout > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(c.Timeout))
+	}
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return nil, c.fail(err)
 	}
@@ -840,7 +938,51 @@ func (c *Client) Flush() ([]Response, error) {
 	return c.readResponses(ops)
 }
 
+// FlushRetry sends the batch like Flush but, when every queued operation
+// is an idempotent read (Get, Scan, ScanDesc, Stat) and the transport
+// fails, redials and re-sends the same batch until maxWait elapses —
+// safe precisely because re-executing a read changes nothing. Batches
+// containing mutations or flush barriers never retry: the dead server
+// may have applied them, and only the caller knows whether re-sending is
+// safe (the same reason Redial itself is caller-driven).
+func (c *Client) FlushRetry(maxWait time.Duration) ([]Response, error) {
+	idempotent := c.err == nil
+	for _, op := range c.ops {
+		switch op {
+		case OpGet, OpScan, OpScanDesc, OpStat:
+		default:
+			idempotent = false
+		}
+	}
+	if !idempotent {
+		return c.Flush()
+	}
+	out := append([]byte(nil), c.out...)
+	ops := append([]byte(nil), c.ops...)
+	n := c.n
+	deadline := time.Now().Add(maxWait)
+	for {
+		rs, err := c.Flush()
+		if err == nil {
+			return rs, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, err
+		}
+		if rerr := c.Redial(remain); rerr != nil {
+			return nil, err
+		}
+		c.out = append(c.out[:0], out...)
+		c.ops = append(c.ops[:0], ops...)
+		c.n = n
+	}
+}
+
 func (c *Client) readResponses(ops []byte) ([]Response, error) {
+	if c.Timeout > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.Timeout))
+	}
 	var hdr [6]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return nil, c.fail(err)

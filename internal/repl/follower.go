@@ -6,8 +6,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -16,6 +16,7 @@ import (
 
 	"github.com/repro/wormhole/internal/netkv"
 	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/vfs"
 	"github.com/repro/wormhole/internal/wal"
 )
 
@@ -113,7 +114,7 @@ func Start(o Options) (*Follower, error) {
 	// MANIFEST pins the partitioning) and its applied positions first, so
 	// the handshake can resume the tail.
 	if o.Dir != "" {
-		if _, err := os.Stat(filepath.Join(o.Dir, "MANIFEST")); err == nil {
+		if _, err := vfs.OrOS(o.Durability.FS).Stat(filepath.Join(o.Dir, "MANIFEST")); err == nil {
 			st, err := shard.Open(shard.Options{Dir: o.Dir, Durability: o.Durability})
 			if err != nil {
 				return nil, err
@@ -279,7 +280,9 @@ func (f *Follower) run(conn net.Conn, r *bufio.Reader) {
 		f.discardSnapStates()
 		f.logf("repl: stream from %s ended: %v; reconnecting", f.o.Leader, err)
 		for {
-			t := time.NewTimer(backoff)
+			// Jittered (uniform in [backoff/2, backoff]): followers that all
+			// lost the same leader must not redial it in lockstep.
+			t := time.NewTimer(backoff/2 + rand.N(backoff/2+1))
 			select {
 			case <-f.stop:
 				t.Stop()
@@ -373,6 +376,14 @@ func (f *Follower) applyBatch(body []byte) error {
 		return fmt.Errorf("%w: batch for shard %d", errProto, shard)
 	}
 	cur := f.appliedPos(shard)
+	if gen == cur.Gen && start > cur.Seq {
+		// A batch starting beyond the applied position would silently skip
+		// the records in between (lost to a dropped or torn message):
+		// treat it as a dead stream and reconnect, which re-handshakes
+		// from the position we actually hold.
+		return fmt.Errorf("%w: batch gap on shard %d: starts at %d, applied through %d",
+			errProto, shard, start, cur.Seq)
+	}
 	var skip uint64
 	if gen == cur.Gen && start < cur.Seq {
 		skip = cur.Seq - start

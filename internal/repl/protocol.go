@@ -81,6 +81,20 @@ func writeMsg(w *bufio.Writer, typ byte, body []byte) error {
 	return w.Flush()
 }
 
+// writeMsgTruncated frames the message with its true length but ships
+// only half the body — the fault injector's torn message. The receiver
+// must treat the short frame as a dead connection, never apply a prefix.
+func writeMsgTruncated(w *bufio.Writer, typ byte, body []byte) {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return
+	}
+	w.Write(body[:len(body)/2])
+	w.Flush()
+}
+
 // readMsg reads one framed message, reusing buf for the body.
 func readMsg(r *bufio.Reader, buf []byte) (typ byte, body, nextBuf []byte, err error) {
 	var hdr [4]byte

@@ -21,6 +21,29 @@ const (
 	heartbeatEvery = 200 * time.Millisecond
 )
 
+// FaultAction is a stream fault hook's verdict on one outbound
+// replication message.
+type FaultAction int
+
+const (
+	// FaultPass sends the message unchanged.
+	FaultPass FaultAction = iota
+	// FaultDropConn kills the subscriber's connection before the message
+	// goes out; the follower reconnects and resumes from its applied
+	// position.
+	FaultDropConn
+	// FaultTruncate sends the frame header and half the body, then kills
+	// the connection — a torn message the follower must reject.
+	FaultTruncate
+	// FaultDelay sleeps the returned duration before sending (a stalled
+	// network), then sends normally.
+	FaultDelay
+)
+
+// StreamFaultFunc inspects one outbound message (its type byte and body)
+// and decides its fate. The duration matters only for FaultDelay.
+type StreamFaultFunc func(typ byte, body []byte) (FaultAction, time.Duration)
+
 // Source is the leader side of replication for one durable sharded store.
 // It serves any number of concurrent subscribers, each on its own
 // connection handed over by the netkv server after an OpSubscribe
@@ -32,6 +55,24 @@ type Source struct {
 	mu     sync.Mutex
 	subs   map[*subscriber]struct{}
 	closed bool
+	fault  StreamFaultFunc
+}
+
+// SetStreamFault installs (or, with nil, removes) a fault hook consulted
+// for every outbound message on every subscriber stream — the lever the
+// convergence-under-faults tests use to drop, delay and tear messages
+// without reaching into the transport. Takes effect for in-flight
+// subscribers immediately.
+func (s *Source) SetStreamFault(fn StreamFaultFunc) {
+	s.mu.Lock()
+	s.fault = fn
+	s.mu.Unlock()
+}
+
+func (s *Source) faultFn() StreamFaultFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fault
 }
 
 // NewSource returns a replication source over st, which should be durable
@@ -143,6 +184,7 @@ func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 		}
 	}
 	sub := &subscriber{
+		src:    s,
 		remote: conn.RemoteAddr().String(),
 		conn:   conn,
 		w:      w,
@@ -171,6 +213,7 @@ func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 // goroutines multiplex framed messages onto the shared writer, and the
 // ack reader tracks how far the follower has durably applied.
 type subscriber struct {
+	src    *Source
 	remote string
 	conn   net.Conn
 	w      *bufio.Writer
@@ -216,7 +259,27 @@ func (sub *subscriber) sleep(d time.Duration) {
 }
 
 // send writes one framed message; any transport error kills the stream.
+// The source's fault hook, when armed, may drop the connection, tear the
+// frame, or delay it first.
 func (sub *subscriber) send(typ byte, body []byte) bool {
+	if fn := sub.src.faultFn(); fn != nil {
+		switch act, d := fn(typ, body); act {
+		case FaultDropConn:
+			sub.fail()
+			return false
+		case FaultTruncate:
+			sub.wmu.Lock()
+			writeMsgTruncated(sub.w, typ, body)
+			sub.wmu.Unlock()
+			sub.fail()
+			return false
+		case FaultDelay:
+			sub.sleep(d)
+			if sub.stopped() {
+				return false
+			}
+		}
+	}
 	sub.wmu.Lock()
 	err := writeMsg(sub.w, typ, body)
 	sub.wmu.Unlock()

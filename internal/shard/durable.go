@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"github.com/repro/wormhole/internal/vfs"
 	"github.com/repro/wormhole/internal/wal"
 )
 
@@ -28,7 +29,7 @@ type manifest struct {
 
 const manifestName = "MANIFEST"
 
-func writeManifest(dir string, p *Partitioner) error {
+func writeManifest(fsys vfs.FS, dir string, p *Partitioner) error {
 	m := manifest{Version: 1, Shards: p.NumShards()}
 	for _, b := range p.Bounds() {
 		m.Bounds = append(m.Bounds, base64.StdEncoding.EncodeToString(b))
@@ -41,11 +42,11 @@ func writeManifest(dir string, p *Partitioner) error {
 	// durable before any shard data is, or a crash between the two would
 	// silently re-derive different boundaries on reopen and orphan every
 	// key already written.
-	return wal.WriteFileAtomic(filepath.Join(dir, manifestName), append(buf, '\n'))
+	return wal.WriteFileAtomicFS(fsys, filepath.Join(dir, manifestName), append(buf, '\n'))
 }
 
-func readManifest(dir string) (*Partitioner, error) {
-	buf, err := os.ReadFile(filepath.Join(dir, manifestName))
+func readManifest(fsys vfs.FS, dir string) (*Partitioner, error) {
+	buf, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
 		return nil, err
 	}
@@ -82,10 +83,11 @@ func Open(o Options) (*Store, error) {
 	if o.Dir == "" {
 		return nil, errors.New("shard: Open requires Options.Dir")
 	}
-	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+	fsys := vfs.OrOS(o.Durability.FS)
+	if err := fsys.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	p, err := readManifest(o.Dir)
+	p, err := readManifest(fsys, o.Dir)
 	switch {
 	case err == nil:
 		o.Partitioner = p
@@ -101,7 +103,7 @@ func Open(o Options) (*Store, error) {
 				o.Partitioner = NewUniform(o.Shards)
 			}
 		}
-		if err := writeManifest(o.Dir, o.Partitioner); err != nil {
+		if err := writeManifest(fsys, o.Dir, o.Partitioner); err != nil {
 			return nil, err
 		}
 	default:
@@ -235,6 +237,51 @@ func (s *Store) Snapshot() error {
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// WriteErr reports whether key's owning shard can accept a new logged
+// mutation: nil on volatile or healthy stores, the shard's sticky WAL
+// error when it is in degraded read-only mode. The server consults it
+// BEFORE applying a write, so a mutation that could not be logged is
+// refused outright (StatusDegraded) instead of silently diverging the
+// in-memory index from its recoverable history. One atomic load on the
+// healthy path.
+func (s *Store) WriteErr(key []byte) error {
+	if len(s.wals) == 0 {
+		return nil
+	}
+	st := s.wals[s.part.Locate(key)]
+	if !st.Degraded() {
+		return nil
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	// Healed between the two loads: accept the write.
+	return nil
+}
+
+// Degraded reports whether any shard is in degraded read-only mode.
+func (s *Store) Degraded() bool {
+	for _, st := range s.wals {
+		if st.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// Health returns each shard's degradation status (nil for volatile
+// stores) — the OpStat health surface.
+func (s *Store) Health() []wal.Health {
+	if len(s.wals) == 0 {
+		return nil
+	}
+	out := make([]wal.Health, len(s.wals))
+	for i, st := range s.wals {
+		out[i] = st.Health()
+	}
+	return out
 }
 
 // Close flushes and closes every shard's WAL. In-flight reads and scans

@@ -1,0 +1,407 @@
+package vfs
+
+import (
+	"io"
+	"os"
+	"strings"
+	"sync"
+)
+
+// Kind classifies injectable operations; rules match on a bitmask.
+type Kind uint32
+
+const (
+	KindOpen Kind = 1 << iota
+	KindCreate
+	KindRead
+	KindWrite
+	KindSync
+	KindSyncDir
+	KindRename
+	KindRemove
+	KindTruncate
+
+	// KindMutating covers every operation that changes durable state —
+	// the crash-injection points of a workload.
+	KindMutating = KindCreate | KindWrite | KindSync | KindSyncDir | KindRename | KindRemove | KindTruncate
+	// KindAny matches every counted operation.
+	KindAny = KindOpen | KindMutating | KindRead
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOpen:
+		return "open"
+	case KindCreate:
+		return "create"
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindSync:
+		return "sync"
+	case KindSyncDir:
+		return "syncdir"
+	case KindRename:
+		return "rename"
+	case KindRemove:
+		return "remove"
+	case KindTruncate:
+		return "truncate"
+	}
+	return "kind(mask)"
+}
+
+// Rule schedules one fault. A rule fires when an operation's kind is in
+// the mask, its path contains PathContains, and its global op index
+// (0-based, assigned in call order across the whole filesystem) is at
+// least After — at most Count times (0 = unlimited).
+type Rule struct {
+	// Kind is the operation mask; zero means KindAny.
+	Kind Kind
+	// PathContains filters by substring of the operation's path; empty
+	// matches all paths.
+	PathContains string
+	// After is the first global op index the rule may fire on.
+	After int64
+	// Count caps how many times the rule fires; 0 means unlimited.
+	Count int
+	// Err is returned from the faulted operation (e.g. syscall.ENOSPC,
+	// or a generic I/O error for failed fsyncs). Defaults to
+	// io.ErrShortWrite for ShortWrite rules and ErrCrashed for Crash
+	// rules.
+	Err error
+	// ShortWrite makes a faulted write persist only the first half of
+	// its bytes before failing — a torn write.
+	ShortWrite bool
+	// Crash invokes the injector's CrashFn (power loss) and fails the
+	// operation, and every later one, with ErrCrashed.
+	Crash bool
+
+	fired int
+}
+
+// Injector wraps a filesystem and fails scheduled operations. Every
+// operation flowing through it — FS calls and calls on files it opened —
+// gets a global 0-based index; rules pick operations by kind, path and
+// index, making fault schedules fully deterministic for a deterministic
+// workload.
+type Injector struct {
+	inner FS
+	// CrashFn is invoked by a Crash rule; wire it to MemFS.Crash.
+	CrashFn func()
+	// Observe, when set, is called for every counted operation before
+	// rule matching — the crash-point harness uses it to record the
+	// op schedule of a clean run. Called under the injector lock; must
+	// not re-enter the filesystem.
+	Observe func(index int64, kind Kind, path string)
+
+	mu      sync.Mutex
+	ops     int64
+	rules   []*Rule
+	crashed bool
+}
+
+// NewInjector wraps inner (nil means the OS filesystem) with an empty
+// schedule: all operations pass through until rules are added.
+func NewInjector(inner FS) *Injector {
+	if inner == nil {
+		inner = OS()
+	}
+	inj := &Injector{inner: inner}
+	if m, ok := inner.(*MemFS); ok {
+		inj.CrashFn = m.Crash
+	}
+	return inj
+}
+
+// Inner returns the wrapped filesystem.
+func (i *Injector) Inner() FS { return i.inner }
+
+// AddRule arms a fault.
+func (i *Injector) AddRule(r Rule) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	rc := r
+	i.rules = append(i.rules, &rc)
+}
+
+// ClearRules disarms every fault (clearing a simulated full disk, say)
+// and un-sticks a previous Crash rule's error so a Restart-ed filesystem
+// serves again.
+func (i *Injector) ClearRules() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.rules = nil
+	i.crashed = false
+}
+
+// Ops returns how many operations have been counted so far.
+func (i *Injector) Ops() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.ops
+}
+
+// check assigns the operation its index and returns the rule to apply,
+// if any.
+func (i *Injector) check(kind Kind, path string) (*Rule, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := i.ops
+	i.ops++
+	if i.Observe != nil {
+		i.Observe(n, kind, path)
+	}
+	if i.crashed {
+		return nil, ErrCrashed
+	}
+	for _, r := range i.rules {
+		mask := r.Kind
+		if mask == 0 {
+			mask = KindAny
+		}
+		if mask&kind == 0 || n < r.After {
+			continue
+		}
+		if r.PathContains != "" && !strings.Contains(path, r.PathContains) {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		if r.Crash {
+			i.crashed = true
+		}
+		return r, nil
+	}
+	return nil, nil
+}
+
+// fault resolves a fired rule into the error the operation reports,
+// triggering the crash hook when asked.
+func (i *Injector) fault(r *Rule) error {
+	if r.Crash {
+		if i.CrashFn != nil {
+			i.CrashFn()
+		}
+		if r.Err != nil {
+			return r.Err
+		}
+		return ErrCrashed
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.ShortWrite {
+		return io.ErrShortWrite
+	}
+	return ErrCrashed
+}
+
+func (i *Injector) openKind(flag int) Kind {
+	if flag&os.O_CREATE != 0 {
+		return KindCreate
+	}
+	return KindOpen
+}
+
+func (i *Injector) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	r, err := i.check(i.openKind(flag), name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return nil, i.fault(r)
+	}
+	f, err := i.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: name}, nil
+}
+
+func (i *Injector) Open(name string) (File, error) {
+	r, err := i.check(KindOpen, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return nil, i.fault(r)
+	}
+	f, err := i.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: name}, nil
+}
+
+func (i *Injector) CreateTemp(dir, pattern string) (File, error) {
+	r, err := i.check(KindCreate, dir+"/"+pattern)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return nil, i.fault(r)
+	}
+	f, err := i.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{inj: i, f: f, path: f.Name()}, nil
+}
+
+func (i *Injector) Rename(oldpath, newpath string) error {
+	r, err := i.check(KindRename, newpath)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		return i.fault(r)
+	}
+	return i.inner.Rename(oldpath, newpath)
+}
+
+func (i *Injector) Remove(name string) error {
+	r, err := i.check(KindRemove, name)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		return i.fault(r)
+	}
+	return i.inner.Remove(name)
+}
+
+func (i *Injector) SyncDir(dir string) error {
+	r, err := i.check(KindSyncDir, dir)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		return i.fault(r)
+	}
+	return i.inner.SyncDir(dir)
+}
+
+func (i *Injector) ReadFile(name string) ([]byte, error) {
+	r, err := i.check(KindRead, name)
+	if err != nil {
+		return nil, err
+	}
+	if r != nil {
+		return nil, i.fault(r)
+	}
+	return i.inner.ReadFile(name)
+}
+
+// Metadata-only operations pass through uncounted: they neither change
+// durable state nor make interesting crash points.
+func (i *Injector) Stat(name string) (os.FileInfo, error)      { return i.inner.Stat(name) }
+func (i *Injector) ReadDir(name string) ([]os.DirEntry, error) { return i.inner.ReadDir(name) }
+func (i *Injector) MkdirAll(path string, perm os.FileMode) error {
+	return i.inner.MkdirAll(path, perm)
+}
+func (i *Injector) TryLock(name string) (io.Closer, error) { return i.inner.TryLock(name) }
+
+// injFile threads file operations back through the injector's schedule.
+type injFile struct {
+	inj  *Injector
+	f    File
+	path string
+}
+
+func (f *injFile) Name() string { return f.f.Name() }
+
+func (f *injFile) Read(p []byte) (int, error) {
+	r, err := f.inj.check(KindRead, f.path)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil {
+		return 0, f.inj.fault(r)
+	}
+	return f.f.Read(p)
+}
+
+func (f *injFile) ReadAt(p []byte, off int64) (int, error) {
+	r, err := f.inj.check(KindRead, f.path)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil {
+		return 0, f.inj.fault(r)
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *injFile) shortWrite(p []byte, at int64, pos bool) (int, error) {
+	half := p[:len(p)/2]
+	if len(half) > 0 {
+		if pos {
+			f.f.WriteAt(half, at)
+		} else {
+			f.f.Write(half)
+		}
+	}
+	return len(half), nil
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	r, err := f.inj.check(KindWrite, f.path)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil {
+		if r.ShortWrite {
+			n, _ := f.shortWrite(p, 0, false)
+			return n, f.inj.fault(r)
+		}
+		return 0, f.inj.fault(r)
+	}
+	return f.f.Write(p)
+}
+
+func (f *injFile) WriteAt(p []byte, off int64) (int, error) {
+	r, err := f.inj.check(KindWrite, f.path)
+	if err != nil {
+		return 0, err
+	}
+	if r != nil {
+		if r.ShortWrite {
+			n, _ := f.shortWrite(p, off, true)
+			return n, f.inj.fault(r)
+		}
+		return 0, f.inj.fault(r)
+	}
+	return f.f.WriteAt(p, off)
+}
+
+func (f *injFile) Sync() error {
+	r, err := f.inj.check(KindSync, f.path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		return f.inj.fault(r)
+	}
+	return f.f.Sync()
+}
+
+func (f *injFile) Truncate(size int64) error {
+	r, err := f.inj.check(KindTruncate, f.path)
+	if err != nil {
+		return err
+	}
+	if r != nil {
+		return f.inj.fault(r)
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+func (f *injFile) Close() error               { return f.f.Close() }

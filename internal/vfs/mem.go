@@ -1,0 +1,525 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrCrashed is returned by every operation on a MemFS between Crash and
+// Restart, and by any handle opened before the crash forever after —
+// simulated power loss invalidates file descriptors the way a real one
+// does.
+var ErrCrashed = errors.New("vfs: filesystem crashed")
+
+// MemFS is an in-memory filesystem that models durability precisely
+// enough to simulate power loss. Every file tracks two images: the
+// volatile contents (what reads observe) and the synced contents (what a
+// crash preserves — updated only by Sync). The namespace is likewise
+// two-layer: creations, renames and removals are volatile until SyncDir
+// on the parent directory commits them, exactly the contract the WAL
+// store is written against. Crash discards all volatile state — keeping
+// an optional torn tail of unsynced appended bytes — and invalidates
+// every open handle; Restart brings the durable image back online.
+//
+// Removed files stay readable through handles opened before the
+// removal (POSIX unlink semantics), which the replication sender's
+// segment readers depend on across WAL GC.
+type MemFS struct {
+	mu sync.Mutex
+	// TornTail, when set, is consulted during Crash for each file whose
+	// volatile image extends past its synced image: given the unsynced
+	// tail length it returns how many of those bytes survive (a torn
+	// write). Nil means none survive. Called under the FS lock; must not
+	// re-enter the FS.
+	TornTail func(unsynced int) int
+
+	files   map[string]*memFile // volatile namespace
+	durable map[string]*memFile // namespace as of the last covering SyncDir
+	dirs    map[string]bool
+	locks   map[string]bool
+	epoch   int
+	down    bool
+	tmpSeq  int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   make(map[string]*memFile),
+		durable: make(map[string]*memFile),
+		dirs:    make(map[string]bool),
+		locks:   make(map[string]bool),
+	}
+}
+
+type memFile struct {
+	name   string
+	data   []byte
+	synced []byte
+	mtime  time.Time
+}
+
+// Crash simulates power loss: the volatile namespace is replaced by the
+// durable one, every surviving file's contents revert to its synced
+// image plus an optional torn tail of unsynced appended bytes, all
+// advisory locks evaporate (the process died), and every open handle is
+// invalidated. Operations fail with ErrCrashed until Restart.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashLocked()
+}
+
+func (m *MemFS) crashLocked() {
+	if m.down {
+		return
+	}
+	m.down = true
+	m.epoch++
+	m.locks = make(map[string]bool)
+	next := make(map[string]*memFile, len(m.durable))
+	reverted := make(map[*memFile]bool)
+	for name, f := range m.durable {
+		if !reverted[f] {
+			reverted[f] = true
+			keep := 0
+			if unsynced := len(f.data) - len(f.synced); unsynced > 0 && m.TornTail != nil {
+				keep = m.TornTail(unsynced)
+				if keep < 0 {
+					keep = 0
+				}
+				if keep > unsynced {
+					keep = unsynced
+				}
+			}
+			img := make([]byte, 0, len(f.synced)+keep)
+			img = append(img, f.synced...)
+			if keep > 0 {
+				img = append(img, f.data[len(f.synced):len(f.synced)+keep]...)
+			}
+			f.data = img
+			f.synced = append([]byte(nil), f.synced...)
+		}
+		next[name] = f
+	}
+	m.files = next
+}
+
+// Restart brings the filesystem back online on its durable image. Handles
+// opened before the crash stay dead.
+func (m *MemFS) Restart() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down = false
+}
+
+// Down reports whether the filesystem is between Crash and Restart.
+func (m *MemFS) Down() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+func (m *MemFS) pathErr(op, name string, err error) error {
+	return &os.PathError{Op: op, Path: name, Err: err}
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, m.pathErr("open", name, ErrCrashed)
+	}
+	f, ok := m.files[name]
+	switch {
+	case ok && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, m.pathErr("open", name, iofs.ErrExist)
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, m.pathErr("open", name, iofs.ErrNotExist)
+	case !ok:
+		f = &memFile{name: name, mtime: time.Now()}
+		m.files[name] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	h := &memHandle{fs: m, f: f, name: name, epoch: m.epoch, rdonly: flag&(os.O_WRONLY|os.O_RDWR) == 0}
+	if flag&os.O_APPEND != 0 {
+		h.pos = int64(len(f.data))
+	}
+	return h, nil
+}
+
+func (m *MemFS) Open(name string) (File, error) {
+	return m.OpenFile(name, os.O_RDONLY, 0)
+}
+
+func (m *MemFS) CreateTemp(dir, pattern string) (File, error) {
+	m.mu.Lock()
+	if m.down {
+		m.mu.Unlock()
+		return nil, m.pathErr("createtemp", dir, ErrCrashed)
+	}
+	m.tmpSeq++
+	seq := m.tmpSeq
+	m.mu.Unlock()
+	var name string
+	if i := strings.LastIndex(pattern, "*"); i >= 0 {
+		name = pattern[:i] + fmt.Sprintf("%06d", seq) + pattern[i+1:]
+	} else {
+		name = pattern + fmt.Sprintf("%06d", seq)
+	}
+	return m.OpenFile(filepath.Join(dir, name), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o600)
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return m.pathErr("rename", oldpath, ErrCrashed)
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return m.pathErr("rename", oldpath, iofs.ErrNotExist)
+	}
+	delete(m.files, oldpath)
+	m.files[newpath] = f
+	f.name = newpath
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return m.pathErr("remove", name, ErrCrashed)
+	}
+	if _, ok := m.files[name]; !ok {
+		return m.pathErr("remove", name, iofs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Stat(name string) (os.FileInfo, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, m.pathErr("stat", name, ErrCrashed)
+	}
+	if f, ok := m.files[name]; ok {
+		return memInfo{name: filepath.Base(name), size: int64(len(f.data)), mtime: f.mtime}, nil
+	}
+	if m.dirs[name] {
+		return memInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, m.pathErr("stat", name, iofs.ErrNotExist)
+}
+
+func (m *MemFS) ReadDir(name string) ([]os.DirEntry, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, m.pathErr("readdir", name, ErrCrashed)
+	}
+	seen := make(map[string]os.DirEntry)
+	for p, f := range m.files {
+		if filepath.Dir(p) == name {
+			base := filepath.Base(p)
+			seen[base] = memDirEntry{info: memInfo{name: base, size: int64(len(f.data)), mtime: f.mtime}}
+		}
+	}
+	for d := range m.dirs {
+		if filepath.Dir(d) == name {
+			base := filepath.Base(d)
+			seen[base] = memDirEntry{info: memInfo{name: base, dir: true}}
+		}
+	}
+	if len(seen) == 0 && !m.dirs[name] {
+		return nil, m.pathErr("readdir", name, iofs.ErrNotExist)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]os.DirEntry, len(names))
+	for i, n := range names {
+		out[i] = seen[n]
+	}
+	return out, nil
+}
+
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	path = filepath.Clean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return m.pathErr("mkdir", path, ErrCrashed)
+	}
+	for p := path; p != "." && p != "/" && p != ""; p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, m.pathErr("read", name, ErrCrashed)
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return nil, m.pathErr("read", name, iofs.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// SyncDir commits the directory's entries: every live name under dir
+// becomes durable, every removed or renamed-away name is durably gone.
+func (m *MemFS) SyncDir(dir string) error {
+	dir = filepath.Clean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return m.pathErr("syncdir", dir, ErrCrashed)
+	}
+	for p, f := range m.files {
+		if filepath.Dir(p) == dir {
+			m.durable[p] = f
+		}
+	}
+	for p := range m.durable {
+		if filepath.Dir(p) == dir {
+			if _, live := m.files[p]; !live {
+				delete(m.durable, p)
+			}
+		}
+	}
+	return nil
+}
+
+type memLock struct {
+	fs   *MemFS
+	name string
+}
+
+func (l memLock) Close() error {
+	l.fs.mu.Lock()
+	defer l.fs.mu.Unlock()
+	delete(l.fs.locks, l.name)
+	return nil
+}
+
+func (m *MemFS) TryLock(name string) (io.Closer, error) {
+	name = filepath.Clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return nil, m.pathErr("lock", name, ErrCrashed)
+	}
+	if m.locks[name] {
+		return nil, m.pathErr("lock", name, errors.New("resource temporarily unavailable"))
+	}
+	m.locks[name] = true
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{name: name, mtime: time.Now()}
+	}
+	return memLock{fs: m, name: name}, nil
+}
+
+// memHandle is an open file. A handle outlives Remove (unlink semantics)
+// but not Crash.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	name   string
+	pos    int64
+	epoch  int
+	rdonly bool
+	closed bool
+}
+
+// check validates the handle under the FS lock; callers hold nothing.
+func (h *memHandle) check(op string) error {
+	if h.closed {
+		return &os.PathError{Op: op, Path: h.name, Err: iofs.ErrClosed}
+	}
+	if h.epoch != h.fs.epoch || h.fs.down {
+		return &os.PathError{Op: op, Path: h.name, Err: ErrCrashed}
+	}
+	return nil
+}
+
+func (h *memHandle) Name() string { return h.name }
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("read"); err != nil {
+		return 0, err
+	}
+	if h.pos >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.pos:])
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("read"); err != nil {
+		return 0, err
+	}
+	if off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) writeAt(p []byte, off int64) int {
+	if grow := off + int64(len(p)) - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	h.f.mtime = time.Now()
+	return copy(h.f.data[off:], p)
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("write"); err != nil {
+		return 0, err
+	}
+	if h.rdonly {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: iofs.ErrPermission}
+	}
+	n := h.writeAt(p, h.pos)
+	h.pos += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("write"); err != nil {
+		return 0, err
+	}
+	if h.rdonly {
+		return 0, &os.PathError{Op: "write", Path: h.name, Err: iofs.ErrPermission}
+	}
+	return h.writeAt(p, off), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("seek"); err != nil {
+		return 0, err
+	}
+	switch whence {
+	case io.SeekStart:
+		h.pos = offset
+	case io.SeekCurrent:
+		h.pos += offset
+	case io.SeekEnd:
+		h.pos = int64(len(h.f.data)) + offset
+	}
+	if h.pos < 0 {
+		h.pos = 0
+	}
+	return h.pos, nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("sync"); err != nil {
+		return err
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("truncate"); err != nil {
+		return err
+	}
+	if size < 0 {
+		return &os.PathError{Op: "truncate", Path: h.name, Err: iofs.ErrInvalid}
+	}
+	if size <= int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+	} else {
+		h.f.data = append(h.f.data, make([]byte, size-int64(len(h.f.data)))...)
+	}
+	return nil
+}
+
+func (h *memHandle) Stat() (os.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if err := h.check("stat"); err != nil {
+		return nil, err
+	}
+	return memInfo{name: filepath.Base(h.name), size: int64(len(h.f.data)), mtime: h.f.mtime}, nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	return nil
+}
+
+type memInfo struct {
+	name  string
+	size  int64
+	dir   bool
+	mtime time.Time
+}
+
+func (i memInfo) Name() string { return i.name }
+func (i memInfo) Size() int64  { return i.size }
+func (i memInfo) Mode() os.FileMode {
+	if i.dir {
+		return os.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memInfo) ModTime() time.Time { return i.mtime }
+func (i memInfo) IsDir() bool        { return i.dir }
+func (i memInfo) Sys() any           { return nil }
+
+type memDirEntry struct{ info memInfo }
+
+func (e memDirEntry) Name() string               { return e.info.name }
+func (e memDirEntry) IsDir() bool                { return e.info.dir }
+func (e memDirEntry) Type() os.FileMode          { return e.info.Mode().Type() }
+func (e memDirEntry) Info() (os.FileInfo, error) { return e.info, nil }

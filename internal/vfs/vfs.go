@@ -1,0 +1,153 @@
+// Package vfs abstracts the filesystem operations the persistence stack
+// performs, so that failure becomes a first-class, testable input. Three
+// implementations share one interface: the passthrough OS filesystem
+// (production — zero behavior change), an in-memory filesystem that
+// models durability precisely enough to simulate power loss (unsynced
+// bytes are dropped, possibly leaving a torn tail; directory entries not
+// covered by a directory sync vanish), and a deterministic fault
+// Injector that wraps either and fails scheduled operations with
+// scheduled errors (ENOSPC, short writes, failed fsyncs, simulated
+// crashes).
+//
+// The interface is deliberately narrow: exactly the operations
+// internal/wal performs. Anything the store cannot do, a fault cannot be
+// injected into, and anything it can do is injectable.
+package vfs
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is the per-file surface the persistence stack uses. *os.File
+// satisfies it directly.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Sync forces the file's written bytes to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat returns the file's metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the filesystem surface the persistence stack uses.
+type FS interface {
+	// OpenFile is the generalized open call (os.OpenFile semantics).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file read-only.
+	Open(name string) (File, error)
+	// CreateTemp creates a new unique temporary file in dir
+	// (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically replaces newpath with oldpath's file.
+	Rename(oldpath, newpath string) error
+	// Remove unlinks a file; open handles keep reading the old contents.
+	Remove(name string) error
+	// Stat returns a file's metadata by path.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// SyncDir fsyncs a directory, making its entries (creations,
+	// renames, removals) durable. Best-effort on filesystems that
+	// reject directory fsync.
+	SyncDir(dir string) error
+	// TryLock takes an exclusive advisory lock on the file at name,
+	// creating it if needed, without blocking: a second holder gets an
+	// error. Closing the returned handle releases the lock.
+	TryLock(name string) (io.Closer, error)
+}
+
+// OS returns the passthrough operating-system filesystem.
+func OS() FS { return osFS{} }
+
+// OrOS returns fsys, or the OS filesystem when fsys is nil — the
+// resolution every Options.FS consumer applies.
+func OrOS(fsys FS) FS {
+	if fsys == nil {
+		return osFS{}
+	}
+	return fsys
+}
+
+// osFS is the passthrough implementation over package os.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) Stat(name string) (os.FileInfo, error) {
+	return os.Stat(name)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && err != os.ErrInvalid {
+		return err
+	}
+	return nil
+}
+
+// osLock holds an flock'd file; Close releases it.
+type osLock struct{ f *os.File }
+
+func (l osLock) Close() error {
+	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	return l.f.Close()
+}
+
+func (osFS) TryLock(name string) (io.Closer, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return osLock{f}, nil
+}

@@ -1,0 +1,329 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// exercise runs the same lifecycle against any FS: create, write, sync,
+// rename, read back, remove.
+func exercise(t *testing.T, fs FS, dir string) {
+	t.Helper()
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	p := filepath.Join(dir, "a.log")
+	f, err := fs.OpenFile(p, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	var at [5]byte
+	if _, err := f.ReadAt(at[:], 6); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(at[:]) != "world" {
+		t.Fatalf("ReadAt = %q", at)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+
+	tmp, err := fs.CreateTemp(dir, "a.log.tmp*")
+	if err != nil {
+		t.Fatalf("CreateTemp: %v", err)
+	}
+	if _, err := tmp.Write(make([]byte, 16)); err != nil {
+		t.Fatalf("tmp write: %v", err)
+	}
+	if _, err := tmp.WriteAt([]byte{7}, 0); err != nil {
+		t.Fatalf("tmp WriteAt: %v", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		t.Fatalf("tmp Sync: %v", err)
+	}
+	tmpName := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		t.Fatalf("tmp Close: %v", err)
+	}
+	p2 := filepath.Join(dir, "b.snap")
+	if err := fs.Rename(tmpName, p2); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	b, err := fs.ReadFile(p2)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(b) != 16 || b[0] != 7 {
+		t.Fatalf("ReadFile = %v", b)
+	}
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	if len(names) != 2 || names[0] != "a.log" || names[1] != "b.snap" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if _, err := fs.Stat(p); err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if _, err := fs.Stat(filepath.Join(dir, "nope")); !os.IsNotExist(err) {
+		t.Fatalf("Stat missing: %v", err)
+	}
+	if err := fs.Remove(p2); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := fs.Stat(p2); !os.IsNotExist(err) {
+		t.Fatalf("Stat removed: %v", err)
+	}
+
+	lk, err := fs.TryLock(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		t.Fatalf("TryLock: %v", err)
+	}
+	if _, err := fs.TryLock(filepath.Join(dir, "LOCK")); err == nil {
+		t.Fatal("second TryLock succeeded")
+	}
+	if err := lk.Close(); err != nil {
+		t.Fatalf("unlock: %v", err)
+	}
+	lk2, err := fs.TryLock(filepath.Join(dir, "LOCK"))
+	if err != nil {
+		t.Fatalf("relock: %v", err)
+	}
+	lk2.Close()
+}
+
+func TestOSFS(t *testing.T) {
+	exercise(t, OS(), filepath.Join(t.TempDir(), "d"))
+}
+
+func TestMemFS(t *testing.T) {
+	exercise(t, NewMemFS(), "/d")
+}
+
+func TestInjectorPassthrough(t *testing.T) {
+	exercise(t, NewInjector(NewMemFS()), "/d")
+}
+
+func TestMemCrashDropsUnsynced(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f, _ := m.OpenFile("/d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("durable"))
+	f.Sync()
+	m.SyncDir("/d")
+	f.Write([]byte("volatile"))
+
+	m.Crash()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle write: %v", err)
+	}
+	if _, err := m.Open("/d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open while down: %v", err)
+	}
+	m.Restart()
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("stale handle after restart: %v", err)
+	}
+	b, err := m.ReadFile("/d/a")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(b) != "durable" {
+		t.Fatalf("after crash = %q", b)
+	}
+}
+
+func TestMemCrashTornTail(t *testing.T) {
+	m := NewMemFS()
+	m.TornTail = func(unsynced int) int { return 3 }
+	m.MkdirAll("/d", 0o755)
+	f, _ := m.OpenFile("/d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("base"))
+	f.Sync()
+	m.SyncDir("/d")
+	f.Write([]byte("ABCDEF"))
+	m.Crash()
+	m.Restart()
+	b, _ := m.ReadFile("/d/a")
+	if string(b) != "baseABC" {
+		t.Fatalf("torn tail = %q", b)
+	}
+}
+
+func TestMemCrashNamespace(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+
+	// Created, synced, dirent committed: survives.
+	g, _ := m.OpenFile("/d/kept", os.O_CREATE|os.O_RDWR, 0o644)
+	g.Write([]byte("y"))
+	g.Sync()
+	g.Close()
+	m.SyncDir("/d")
+
+	// Created after the directory sync, never dir-synced: vanishes.
+	f, _ := m.OpenFile("/d/unsynced", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+
+	// Removed but removal not dir-synced: reappears.
+	m.Remove("/d/kept")
+
+	m.Crash()
+	m.Restart()
+	if _, err := m.Stat("/d/unsynced"); !os.IsNotExist(err) {
+		t.Fatalf("unsynced dirent survived: %v", err)
+	}
+	b, err := m.ReadFile("/d/kept")
+	if err != nil || string(b) != "y" {
+		t.Fatalf("unsynced removal stuck: %q %v", b, err)
+	}
+
+	// Lock released by the crash.
+	if _, err := m.TryLock("/d/LOCK2"); err != nil {
+		t.Fatalf("TryLock pre-crash: %v", err)
+	}
+	m.Crash()
+	m.Restart()
+	if _, err := m.TryLock("/d/LOCK2"); err != nil {
+		t.Fatalf("TryLock after crash: %v", err)
+	}
+}
+
+func TestMemUnlinkKeepsHandles(t *testing.T) {
+	m := NewMemFS()
+	m.MkdirAll("/d", 0o755)
+	f, _ := m.OpenFile("/d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("content"))
+	r, err := m.Open("/d/a")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := m.Remove("/d/a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	var buf [7]byte
+	if _, err := r.ReadAt(buf[:], 0); err != nil {
+		t.Fatalf("ReadAt after unlink: %v", err)
+	}
+	if string(buf[:]) != "content" {
+		t.Fatalf("ReadAt = %q", buf)
+	}
+}
+
+func TestInjectorENOSPC(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m)
+	m.MkdirAll("/d", 0o755)
+	inj.AddRule(Rule{Kind: KindWrite, PathContains: "wal-", Err: syscall.ENOSPC})
+	f, err := inj.OpenFile("/d/wal-0001.log", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	g, _ := inj.OpenFile("/d/other", os.O_CREATE|os.O_RDWR, 0o644)
+	if _, err := g.Write([]byte("x")); err != nil {
+		t.Fatalf("unmatched path faulted: %v", err)
+	}
+	inj.ClearRules()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("after ClearRules: %v", err)
+	}
+}
+
+func TestInjectorShortWriteAndCount(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m)
+	m.MkdirAll("/d", 0o755)
+	f, _ := inj.OpenFile("/d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	inj.AddRule(Rule{Kind: KindWrite, ShortWrite: true, Count: 1})
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write: n=%d err=%v", n, err)
+	}
+	if _, err := f.Write([]byte("rest")); err != nil {
+		t.Fatalf("Count=1 rule still firing: %v", err)
+	}
+	b, _ := m.ReadFile("/d/a")
+	if string(b) != "abcrest" {
+		t.Fatalf("contents = %q", b)
+	}
+}
+
+func TestInjectorCrashSchedule(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m)
+	m.MkdirAll("/d", 0o755)
+	f, _ := inj.OpenFile("/d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("one"))
+	f.Sync()
+	inj.Inner().(*MemFS).SyncDir("/d") // bypass counting for setup
+
+	// Crash on the next write.
+	at := inj.Ops()
+	inj.AddRule(Rule{Kind: KindWrite, After: at, Count: 1, Crash: true})
+	if _, err := f.Write([]byte("two")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash rule: %v", err)
+	}
+	if !m.Down() {
+		t.Fatal("CrashFn not invoked")
+	}
+	// Everything after the crash fails too, even unmatched ops.
+	if _, err := inj.Open("/d/a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: %v", err)
+	}
+	m.Restart()
+	inj.ClearRules()
+	b, err := inj.ReadFile("/d/a")
+	if err != nil || string(b) != "one" {
+		t.Fatalf("recovered = %q, %v", b, err)
+	}
+}
+
+func TestInjectorObserve(t *testing.T) {
+	m := NewMemFS()
+	inj := NewInjector(m)
+	m.MkdirAll("/d", 0o755)
+	var kinds []Kind
+	inj.Observe = func(n int64, kind Kind, path string) { kinds = append(kinds, kind) }
+	f, _ := inj.OpenFile("/d/a", os.O_CREATE|os.O_RDWR, 0o644)
+	f.Write([]byte("x"))
+	f.Sync()
+	inj.SyncDir("/d")
+	want := []Kind{KindCreate, KindWrite, KindSync, KindSyncDir}
+	if len(kinds) != len(want) {
+		t.Fatalf("observed %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("observed %v, want %v", kinds, want)
+		}
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	"github.com/repro/wormhole/internal/core"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 // The crash-recovery matrix: run a deterministic operation stream through
@@ -317,7 +319,7 @@ func TestCrashRecoveryCorruptSnapshotFallsBack(t *testing.T) {
 	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
-	snaps, _ := listGens(refDir, "snap-", ".snap")
+	snaps, _ := listGens(vfs.OS(), refDir, "snap-", ".snap")
 	if len(snaps) != 1 {
 		t.Fatalf("expected 1 snapshot, found %d", len(snaps))
 	}

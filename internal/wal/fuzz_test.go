@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"github.com/repro/wormhole/internal/core"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 // buildWAL frames the given payloads into valid WAL bytes, for seeds.
@@ -14,7 +16,7 @@ func buildWAL(t testing.TB, payloads ...[]byte) []byte {
 	t.Helper()
 	dir := t.TempDir()
 	p := filepath.Join(dir, "seed.log")
-	l, err := openLog(p, 0, SyncNone, 0)
+	l, err := openLog(vfs.OS(), p, 0, SyncNone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

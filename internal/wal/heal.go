@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"errors"
+	"math/rand/v2"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Degraded read-only mode and the self-healer.
+//
+// The state machine: a WAL append or fsync failure records a sticky error
+// (recordFailure) and flips the store DEGRADED — reads, scans and
+// replication streaming keep serving, but write owners (the shard layer,
+// the server) consult Degraded() and refuse new mutations, because
+// accepting a write that cannot be logged silently widens the window of
+// unrecoverable history. A background healer then retries with jittered
+// exponential backoff: reclaim space if the disk looks full, write a
+// snapshot (which supersedes the poisoned log history and garbage-collects
+// the old WAL generations — the reclamation that matters), and finally
+// probe the fresh generation with a no-op append + fsync. Only a probe
+// that round-trips to stable storage restores WRITABLE; a probe failure
+// re-poisons the store and the loop backs off and tries again.
+
+// Default self-heal backoff bounds.
+const (
+	DefaultHealMin = 50 * time.Millisecond
+	DefaultHealMax = 5 * time.Second
+)
+
+// Health is one store's degradation status, shaped for OpStat and
+// operators.
+type Health struct {
+	Degraded     bool   `json:"degraded"`
+	Err          string `json:"err,omitempty"`
+	Gen          uint64 `json:"gen,omitempty"`
+	HealAttempts int64  `json:"heal_attempts,omitempty"`
+	LastHealErr  string `json:"last_heal_err,omitempty"`
+}
+
+// Degraded reports whether the store is in degraded read-only mode: a WAL
+// append or fsync failure stands unhealed, so new mutations may not be
+// recoverable and write owners should refuse them. One atomic load — safe
+// on the per-write hot path.
+func (s *Store) Degraded() bool { return s.degraded.Load() }
+
+// Health returns the store's degradation status: the sticky error (if
+// any), the generation it was stamped with, and the healer's progress.
+func (s *Store) Health() Health {
+	h := Health{Degraded: s.degraded.Load()}
+	s.failMu.Lock()
+	if s.failure != nil {
+		h.Err = s.failure.Error()
+		h.Gen = s.failGen
+	}
+	s.failMu.Unlock()
+	s.healMu.Lock()
+	h.HealAttempts = s.healAttempts
+	if s.lastHealErr != nil {
+		h.LastHealErr = s.lastHealErr.Error()
+	}
+	s.healMu.Unlock()
+	return h
+}
+
+// ensureHealer starts the background heal loop if one is not already
+// running. Called by recordFailure; idempotent.
+func (s *Store) ensureHealer() {
+	if s.opt.NoSelfHeal {
+		return
+	}
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	if s.healing || s.closed.Load() {
+		return
+	}
+	s.healing = true
+	s.healWG.Add(1)
+	go s.healLoop()
+}
+
+// healLoop retries healOnce with jittered exponential backoff until the
+// store is writable again or closed. The jitter keeps a fleet of shards
+// degraded by one shared fault (a full disk degrades every shard at once)
+// from retrying in lockstep.
+func (s *Store) healLoop() {
+	defer s.healWG.Done()
+	min, max := s.opt.HealMin, s.opt.HealMax
+	if min <= 0 {
+		min = DefaultHealMin
+	}
+	if max < min {
+		max = DefaultHealMax
+		if max < min {
+			max = min
+		}
+	}
+	backoff := min
+	for {
+		d := backoff/2 + rand.N(backoff/2+1) // uniform in [backoff/2, backoff]
+		t := time.NewTimer(d)
+		select {
+		case <-s.healStop:
+			t.Stop()
+			s.healMu.Lock()
+			s.healing = false
+			s.healMu.Unlock()
+			return
+		case <-t.C:
+		}
+		if s.closed.Load() {
+			s.healMu.Lock()
+			s.healing = false
+			s.healMu.Unlock()
+			return
+		}
+		err := s.healOnce()
+		s.healMu.Lock()
+		s.healAttempts++
+		s.lastHealErr = err
+		s.healMu.Unlock()
+		if err == nil {
+			// Healed — unless a new failure raced in behind the probe.
+			// The exit check under healMu pairs with ensureHealer: a
+			// failure recorded after we release the lock finds
+			// healing == false and spawns a fresh loop.
+			s.healMu.Lock()
+			if s.Err() == nil || s.closed.Load() {
+				s.healing = false
+				s.healMu.Unlock()
+				return
+			}
+			s.healMu.Unlock()
+			backoff = min
+			continue
+		}
+		if backoff *= 2; backoff > max {
+			backoff = max
+		}
+	}
+}
+
+// healOnce is one recovery attempt: reclaim space when the failure looks
+// like a full disk, supersede the poisoned log history with a snapshot
+// (whose GC of the old WAL generations is itself the big reclamation),
+// then probe the fresh generation. Returns nil only when the store ends
+// the attempt writable.
+func (s *Store) healOnce() error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if errors.Is(s.Err(), syscall.ENOSPC) {
+		s.removeStaleTemps()
+	}
+	if err := s.Snapshot(); err != nil {
+		return err
+	}
+	return s.probe()
+}
+
+// probe appends a no-op record and forces it to disk: the round-trip that
+// proves the append path works again. A failure re-poisons the store,
+// stamped with the current generation, keeping it degraded.
+func (s *Store) probe() error {
+	s.logMu.RLock()
+	gen := s.gen
+	log := s.log
+	s.logMu.RUnlock()
+	if _, err := log.Append([]byte{opNoop}); err != nil {
+		s.recordFailure(err, gen)
+		return err
+	}
+	if err := log.Sync(); err != nil {
+		s.recordFailure(err, gen)
+		return err
+	}
+	return nil
+}
+
+// removeStaleTemps deletes leftover "*.tmp*" files in the store directory
+// — aborted snapshot or manifest writes that may be holding the very
+// space a heal needs. Racing an explicit concurrent Snapshot's live temp
+// is harmless: its rename fails, the snapshot reports an error, and a
+// later attempt retries.
+func (s *Store) removeStaleTemps() {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			s.fs.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}

@@ -23,18 +23,25 @@ import (
 // mutate the index for them — but they occupy a record ordinal like any
 // other record, so streamed sequence numbers stay aligned with file frame
 // counts.
+// opNoop is a one-byte heal probe: the self-healer appends and fsyncs one
+// to prove the append path round-trips to stable storage before declaring
+// a degraded store writable again. Replay and replication count it as a
+// record ordinal (keeping positions aligned with file frame counts) but
+// apply nothing.
 const (
-	opSet byte = 1
-	opDel byte = 2
-	opPos byte = 3
+	opSet  byte = 1
+	opDel  byte = 2
+	opPos  byte = 3
+	opNoop byte = 4
 )
 
 // Public record kinds, for replication consumers decoding streamed WAL
 // payloads with DecodeRecord.
 const (
-	RecordSet = opSet
-	RecordDel = opDel
-	RecordPos = opPos
+	RecordSet  = opSet
+	RecordDel  = opDel
+	RecordPos  = opPos
+	RecordNoop = opNoop
 )
 
 // appendSetRecord encodes a set mutation onto buf and returns it.
@@ -66,6 +73,9 @@ func appendPosRecord(buf []byte, p Position) []byte {
 // encoder bug, so replay treats it like corruption and stops. A position
 // marker decodes with nil key and val; use DecodePosition for its fields.
 func decodeRecord(payload []byte) (op byte, key, val []byte, err error) {
+	if len(payload) == 1 && payload[0] == opNoop {
+		return opNoop, nil, nil, nil
+	}
 	if len(payload) < 2 {
 		return 0, nil, nil, fmt.Errorf("wal: record too short (%d bytes)", len(payload))
 	}

@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 // Snapshot files hold one key-ordered copy of the index:
@@ -35,14 +38,19 @@ var errSnapshot = errors.New("wal: invalid snapshot")
 // no half-written file under the real name. scan must yield keys in
 // strictly ascending order (the index's scan cursor does).
 func WriteSnapshot(path string, scan func(fn func(key, val []byte) bool)) (err error) {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	return writeSnapshotFS(vfs.OS(), path, scan)
+}
+
+// writeSnapshotFS is WriteSnapshot over an injectable filesystem.
+func writeSnapshotFS(fsys vfs.FS, path string, scan func(fn func(key, val []byte) bool)) (err error) {
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 
@@ -87,7 +95,7 @@ func WriteSnapshot(path string, scan func(fn func(key, val []byte) bool)) (err e
 		return err
 	}
 
-	if _, err = tmp.Seek(0, 0); err != nil {
+	if _, err = tmp.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
 	h := crc32.New(castagnoli)
@@ -96,7 +104,7 @@ func WriteSnapshot(path string, scan func(fn func(key, val []byte) bool)) (err e
 	}
 	var tr [snapTrailer]byte
 	binary.LittleEndian.PutUint32(tr[:], h.Sum32())
-	if _, err = tmp.Seek(0, 2); err != nil {
+	if _, err = tmp.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
 	if _, err = tmp.Write(tr[:]); err != nil {
@@ -108,11 +116,11 @@ func WriteSnapshot(path string, scan func(fn func(key, val []byte) bool)) (err e
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return syncDirFS(fsys, filepath.Dir(path))
 }
 
 // LoadSnapshot reads and validates a snapshot, returning its pairs in
@@ -122,7 +130,12 @@ func WriteSnapshot(path string, scan func(fn func(key, val []byte) bool)) (err e
 // CRC mismatch, count mismatch, truncated pair, keys out of order — yields
 // an error and no pairs: a snapshot is all-or-nothing.
 func LoadSnapshot(path string) (keys, vals [][]byte, err error) {
-	data, err := os.ReadFile(path)
+	return loadSnapshotFS(vfs.OS(), path)
+}
+
+// loadSnapshotFS is LoadSnapshot over an injectable filesystem.
+func loadSnapshotFS(fsys vfs.FS, path string) (keys, vals [][]byte, err error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -169,16 +182,11 @@ func LoadSnapshot(path string) (keys, vals [][]byte, err error) {
 	return keys, vals, nil
 }
 
-// syncDir fsyncs a directory so a just-created or just-renamed entry
+// syncDirFS fsyncs a directory so a just-created or just-renamed entry
 // survives power loss. Best-effort on filesystems that reject directory
 // fsync.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+func syncDirFS(fsys vfs.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil && !errors.Is(err, os.ErrInvalid) {
 		return fmt.Errorf("wal: fsync %s: %w", dir, err)
 	}
 	return nil
@@ -190,15 +198,21 @@ func syncDir(dir string) error {
 // layer's MANIFEST uses it; it is the canonical small-file counterpart
 // of WriteSnapshot's streaming path.
 func WriteFileAtomic(path string, data []byte) (err error) {
+	return WriteFileAtomicFS(vfs.OS(), path, data)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic over an injectable filesystem (the
+// shard layer passes its configured FS through for the MANIFEST).
+func WriteFileAtomicFS(fsys vfs.FS, path string, data []byte) (err error) {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			tmp.Close()
-			os.Remove(tmp.Name())
+			fsys.Remove(tmp.Name())
 		}
 	}()
 	if _, err = tmp.Write(data); err != nil {
@@ -210,9 +224,9 @@ func WriteFileAtomic(path string, data []byte) (err error) {
 	if err = tmp.Close(); err != nil {
 		return err
 	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err = fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return err
 	}
-	return syncDir(dir)
+	return syncDirFS(fsys, dir)
 }

@@ -3,15 +3,16 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
-	"syscall"
 	"time"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 // Backend is the index surface the store persists: the mutation entry
@@ -35,6 +36,17 @@ type Options struct {
 	Sync SyncPolicy
 	// Interval is the SyncInterval flush cadence (default DefaultInterval).
 	Interval time.Duration
+	// FS is the filesystem the store operates on; nil means the real OS
+	// filesystem. Fault-injection tests swap in vfs implementations; the
+	// OS path behaves exactly as it did before the abstraction.
+	FS vfs.FS
+	// HealMin and HealMax bound the self-healer's jittered exponential
+	// backoff (defaults 50ms and 5s).
+	HealMin, HealMax time.Duration
+	// NoSelfHeal disables the background healer: a degraded store stays
+	// degraded until an explicit Snapshot succeeds. Crash harnesses use
+	// it to keep fault schedules deterministic.
+	NoSelfHeal bool
 }
 
 // Store manages one backend's persistence directory: an active WAL, the
@@ -56,6 +68,7 @@ type Store struct {
 	dir string
 	opt Options
 	b   Backend
+	fs  vfs.FS
 
 	logMu sync.RWMutex // appenders share; rotation excludes
 	log   *Log
@@ -67,7 +80,7 @@ type Store struct {
 
 	// lock is the held LOCK file preventing a second process (or a second
 	// Open in this one) from truncating and interleaving with a live WAL.
-	lock *os.File
+	lock io.Closer
 
 	snapMu sync.Mutex // serializes Snapshot/Close
 	closed atomic.Bool
@@ -82,6 +95,18 @@ type Store struct {
 	failMu  sync.Mutex
 	failure error
 	failGen uint64
+
+	// Degraded-mode state machine: degraded mirrors failure != nil with
+	// one atomic for lock-free write-path checks, and the healer
+	// goroutine (heal.go) retries snapshot+probe in the background until
+	// an append round-trips again.
+	degraded     atomic.Bool
+	healMu       sync.Mutex
+	healing      bool
+	healAttempts int64
+	lastHealErr  error
+	healStop     chan struct{}
+	healWG       sync.WaitGroup
 
 	// Recovery statistics, fixed at Open.
 	recoveredSnap int // pairs bulk-loaded from the snapshot
@@ -102,8 +127,8 @@ func snapPath(dir string, gen uint64) string {
 
 // listGens returns the generation numbers of all files in dir matching
 // prefix-%016x.suffix, ascending.
-func listGens(dir, prefix, suffix string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
+func listGens(fsys vfs.FS, dir, prefix, suffix string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -132,23 +157,24 @@ func listGens(dir, prefix, suffix string) ([]uint64, error) {
 // new appends extend the valid prefix, and discards any later generations
 // whose ordering can no longer be trusted.
 func Open(dir string, b Backend, opt Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := vfs.OrOS(opt.FS)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	// Exactly one live store may own a directory: a second opener would
 	// truncate the WAL to its on-disk prefix and interleave appends with
 	// the first owner's buffered writer, corrupting acknowledged records.
-	lock, err := acquireDirLock(dir)
+	lock, err := acquireDirLock(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opt: opt, b: b, lock: lock}
+	s := &Store{dir: dir, opt: opt, b: b, fs: fsys, lock: lock, healStop: make(chan struct{})}
 	fail := func(err error) (*Store, error) {
 		releaseDirLock(lock)
 		return nil, err
 	}
 
-	snaps, err := listGens(dir, "snap-", ".snap")
+	snaps, err := listGens(fsys, dir, "snap-", ".snap")
 	if err != nil {
 		return fail(err)
 	}
@@ -156,7 +182,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 	// (normally none exists: each snapshot GCs its predecessors).
 	var snapGen uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		keys, vals, err := LoadSnapshot(snapPath(dir, snaps[i]))
+		keys, vals, err := loadSnapshotFS(fsys, snapPath(dir, snaps[i]))
 		if err != nil {
 			continue
 		}
@@ -168,7 +194,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 		break
 	}
 
-	wals, err := listGens(dir, "wal-", ".log")
+	wals, err := listGens(fsys, dir, "wal-", ".log")
 	if err != nil {
 		return fail(err)
 	}
@@ -198,14 +224,14 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 			// the orphans too — left behind, a future recovery could see
 			// them as contiguous with freshly created generations.
 			for _, later := range wals[i:] {
-				os.Remove(walPath(dir, later))
+				fsys.Remove(walPath(dir, later))
 			}
 			break
 		}
 		expect = g + 1
 		var replayed int
 		decodeOK := true
-		validLen, err := Replay(walPath(dir, g), func(payload []byte) error {
+		validLen, err := replayFS(fsys, walPath(dir, g), func(payload []byte) error {
 			op, key, val, derr := decodeRecord(payload)
 			if derr != nil {
 				decodeOK = false
@@ -226,6 +252,8 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 				// mutation. decodeRecord validated it, so this cannot fail.
 				p, _ := DecodePosition(payload)
 				s.recoveredPos, s.hasRecoveredPos = p, true
+			case opNoop:
+				// A heal probe: occupies a record ordinal, applies nothing.
 			}
 			replayed++
 			return nil
@@ -242,7 +270,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 		if !decodeOK || s.tornAt(g, validLen) {
 			// Stop at the tear; generations beyond it are untrusted.
 			for _, later := range wals[i+1:] {
-				os.Remove(walPath(dir, later))
+				fsys.Remove(walPath(dir, later))
 			}
 			break
 		}
@@ -250,13 +278,13 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 
 	s.gen = appendGen
 	s.base = appendSeq
-	log, err := openLog(walPath(dir, appendGen), appendOff, opt.Sync, opt.Interval)
+	log, err := openLog(fsys, walPath(dir, appendGen), appendOff, opt.Sync, opt.Interval)
 	if err != nil {
 		return fail(err)
 	}
 	// The WAL file (possibly just created) and any truncation must be
 	// reachable after power loss before the first record is acknowledged.
-	if err := syncDir(dir); err != nil {
+	if err := syncDirFS(fsys, dir); err != nil {
 		log.Close()
 		return fail(err)
 	}
@@ -264,30 +292,25 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 	return s, nil
 }
 
-// acquireDirLock takes an exclusive, non-blocking flock on dir/LOCK.
-func acquireDirLock(dir string) (*os.File, error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+// acquireDirLock takes an exclusive, non-blocking lock on dir/LOCK.
+func acquireDirLock(fsys vfs.FS, dir string) (io.Closer, error) {
+	lk, err := fsys.TryLock(filepath.Join(dir, "LOCK"))
 	if err != nil {
-		return nil, err
-	}
-	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("wal: %s is locked by another live store: %w", dir, err)
 	}
-	return f, nil
+	return lk, nil
 }
 
-func releaseDirLock(f *os.File) {
-	if f != nil {
-		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
-		f.Close()
+func releaseDirLock(lk io.Closer) {
+	if lk != nil {
+		lk.Close()
 	}
 }
 
 // tornAt reports whether the WAL file for gen has bytes past the valid
 // record prefix — a torn or corrupt tail.
 func (s *Store) tornAt(gen uint64, validLen int64) bool {
-	fi, err := os.Stat(walPath(s.dir, gen))
+	fi, err := s.fs.Stat(walPath(s.dir, gen))
 	return err == nil && fi.Size() > validLen
 }
 
@@ -315,7 +338,8 @@ const tokenSeqBits = 40
 func packToken(gen, seq uint64) uint64 { return gen<<tokenSeqBits | seq&(1<<tokenSeqBits-1) }
 
 // recordFailure keeps the first durability-compromising error, stamped
-// with the generation it happened in.
+// with the generation it happened in, flips the store into degraded
+// read-only mode, and kicks the self-healer.
 func (s *Store) recordFailure(err error, gen uint64) {
 	if err == nil || err == ErrClosed {
 		return
@@ -324,7 +348,11 @@ func (s *Store) recordFailure(err error, gen uint64) {
 	if s.failure == nil {
 		s.failure, s.failGen = err, gen
 	}
+	// The atomic mirror changes only under failMu, so it cannot be left
+	// contradicting the failure it mirrors by a racing clear.
+	s.degraded.Store(true)
 	s.failMu.Unlock()
+	s.ensureHealer()
 }
 
 // Err returns the first logging failure since Open (nil if none). A
@@ -450,7 +478,7 @@ func (s *Store) Snapshot() error {
 	s.logMu.Lock()
 	oldLog, oldGen := s.log, s.gen
 	newGen := oldGen + 1
-	newLog, err := openLog(walPath(s.dir, newGen), 0, s.opt.Sync, s.opt.Interval)
+	newLog, err := openLog(s.fs, walPath(s.dir, newGen), 0, s.opt.Sync, s.opt.Interval)
 	if err != nil {
 		s.logMu.Unlock()
 		return err
@@ -463,7 +491,7 @@ func (s *Store) Snapshot() error {
 	// generation then stays on disk, complete and synced, until the
 	// snapshot that covers it is durably in place — a crash mid-snapshot
 	// recovers from the previous snapshot plus both WAL generations.
-	if err := syncDir(s.dir); err != nil {
+	if err := syncDirFS(s.fs, s.dir); err != nil {
 		newLog.Close()
 		s.logMu.Unlock()
 		return err
@@ -479,7 +507,7 @@ func (s *Store) Snapshot() error {
 	s.log, s.gen, s.base = newLog, newGen, 0
 	s.logMu.Unlock()
 
-	if err := WriteSnapshot(snapPath(s.dir, newGen), func(fn func(k, v []byte) bool) {
+	if err := writeSnapshotFS(s.fs, snapPath(s.dir, newGen), func(fn func(k, v []byte) bool) {
 		s.b.Scan(nil, fn)
 	}); err != nil {
 		return errors.Join(closeErr, err)
@@ -493,19 +521,23 @@ func (s *Store) Snapshot() error {
 	if s.failure != nil && s.failGen < newGen {
 		s.failure = nil
 	}
+	if s.failure == nil {
+		// Back to writable: the snapshot supersedes the poisoned history.
+		s.degraded.Store(false)
+	}
 	s.failMu.Unlock()
 
 	// GC everything older than the new generation.
-	snaps, _ := listGens(s.dir, "snap-", ".snap")
+	snaps, _ := listGens(s.fs, s.dir, "snap-", ".snap")
 	for _, g := range snaps {
 		if g < newGen {
-			os.Remove(snapPath(s.dir, g))
+			s.fs.Remove(snapPath(s.dir, g))
 		}
 	}
-	wals, _ := listGens(s.dir, "wal-", ".log")
+	wals, _ := listGens(s.fs, s.dir, "wal-", ".log")
 	for _, g := range wals {
 		if g < newGen {
-			os.Remove(walPath(s.dir, g))
+			s.fs.Remove(walPath(s.dir, g))
 		}
 	}
 	return nil
@@ -517,14 +549,22 @@ func (s *Store) Snapshot() error {
 // in-memory index are unaffected. Idempotent.
 func (s *Store) Close() error {
 	s.snapMu.Lock()
-	defer s.snapMu.Unlock()
 	if s.closed.Swap(true) {
+		s.snapMu.Unlock()
 		return nil
 	}
 	s.logMu.Lock()
-	defer s.logMu.Unlock()
 	err := errors.Join(s.Err(), s.log.Close())
 	releaseDirLock(s.lock)
 	s.lock = nil
+	s.logMu.Unlock()
+	s.snapMu.Unlock()
+	// Stop the healer only after releasing the locks: an in-flight heal
+	// attempt may be blocked on snapMu inside Snapshot and must get in to
+	// observe the closed store before the wait below can finish.
+	close(s.healStop)
+	s.healMu.Lock() // any in-flight ensureHealer has added itself or seen closed
+	s.healMu.Unlock()
+	s.healWG.Wait()
 	return err
 }

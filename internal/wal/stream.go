@@ -5,7 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 // Streaming support for replication: a leader tails its own WAL files and
@@ -66,7 +67,7 @@ func (s *Store) FlushBuffered() error {
 // HasWAL reports whether generation gen's log file is still on disk (it
 // may have been garbage-collected by a covering snapshot).
 func (s *Store) HasWAL(gen uint64) bool {
-	_, err := os.Stat(walPath(s.dir, gen))
+	_, err := s.fs.Stat(walPath(s.dir, gen))
 	return err == nil
 }
 
@@ -107,7 +108,7 @@ func (s *Store) RecoveredPosition() (Position, bool) {
 // the file never truncates an in-flight stream — the reader drains the
 // final contents and the sender moves on.
 func (s *Store) OpenSegment(gen uint64) (*SegmentReader, error) {
-	f, err := os.Open(walPath(s.dir, gen))
+	f, err := s.fs.Open(walPath(s.dir, gen))
 	if err != nil {
 		return nil, err
 	}
@@ -120,7 +121,7 @@ func (s *Store) OpenSegment(gen uint64) (*SegmentReader, error) {
 // absolute offset (never consuming a partial frame), so a record that is
 // half-flushed now parses whole on a later call.
 type SegmentReader struct {
-	f   *os.File
+	f   vfs.File
 	gen uint64
 	off int64  // file offset of buf[0]
 	buf []byte // unparsed window starting at off

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 // SyncPolicy selects when appended records are forced to stable storage.
@@ -99,7 +101,7 @@ type Log struct {
 	interval time.Duration
 
 	mu     sync.Mutex // guards f, w, appended, err, closed
-	f      *os.File
+	f      vfs.File
 	w      *bufio.Writer
 	size   int64  // bytes framed so far (buffered + written)
 	seq    uint64 // records appended
@@ -119,8 +121,8 @@ type Log struct {
 // openLog opens path for appending (creating it if needed) at offset off,
 // which must be the validated record-prefix length — the file is truncated
 // there so a torn tail is never appended after.
-func openLog(path string, off int64, policy SyncPolicy, interval time.Duration) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+func openLog(fsys vfs.FS, path string, off int64, policy SyncPolicy, interval time.Duration) (*Log, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +344,12 @@ func (l *Log) Close() error {
 // garbage tail. fn returning an error aborts the replay and is returned
 // verbatim. A missing file replays zero records.
 func Replay(path string, fn func(payload []byte) error) (validLen int64, err error) {
-	f, err := os.Open(path)
+	return replayFS(vfs.OS(), path, fn)
+}
+
+// replayFS is Replay over an injectable filesystem.
+func replayFS(fsys vfs.FS, path string, fn func(payload []byte) error) (validLen int64, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, nil

@@ -10,11 +10,13 @@ import (
 	"time"
 
 	"github.com/repro/wormhole/internal/core"
+
+	"github.com/repro/wormhole/internal/vfs"
 )
 
 func TestLogAppendReplayRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "w.log")
-	l, err := openLog(path, 0, SyncNone, 0)
+	l, err := openLog(vfs.OS(), path, 0, SyncNone, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +69,7 @@ func TestLogReplayMissingFile(t *testing.T) {
 
 func TestLogGroupCommitConcurrent(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "w.log")
-	l, err := openLog(path, 0, SyncAlways, 0)
+	l, err := openLog(vfs.OS(), path, 0, SyncAlways, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +108,7 @@ func TestLogGroupCommitConcurrent(t *testing.T) {
 }
 
 func TestLogDoubleCloseIdempotent(t *testing.T) {
-	l, err := openLog(filepath.Join(t.TempDir(), "w.log"), 0, SyncInterval, time.Millisecond)
+	l, err := openLog(vfs.OS(), filepath.Join(t.TempDir(), "w.log"), 0, SyncInterval, time.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,8 +258,8 @@ func TestStoreSnapshotTruncatesAndRecovers(t *testing.T) {
 	}
 
 	// The old generation must be gone.
-	wals, _ := listGens(dir, "wal-", ".log")
-	snaps, _ := listGens(dir, "snap-", ".snap")
+	wals, _ := listGens(vfs.OS(), dir, "wal-", ".log")
+	snaps, _ := listGens(vfs.OS(), dir, "snap-", ".snap")
 	if len(wals) != 1 || len(snaps) != 1 {
 		t.Fatalf("after snapshot: %d wals, %d snaps (want 1, 1)", len(wals), len(snaps))
 	}
@@ -375,7 +377,7 @@ func TestStoreSyncIntervalFlushes(t *testing.T) {
 	// file without going through Close's flush.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		wals, _ := listGens(dir, "wal-", ".log")
+		wals, _ := listGens(vfs.OS(), dir, "wal-", ".log")
 		if len(wals) == 1 {
 			if fi, err := os.Stat(walPath(dir, wals[0])); err == nil && fi.Size() > 0 {
 				break
@@ -490,7 +492,7 @@ func TestStoreRecoveryRefusesGappedGenerations(t *testing.T) {
 	// Destroy the snapshot: wal-2 alone must NOT be replayed onto an
 	// empty index — its records assume the snapshot state, so replaying
 	// them without it would fabricate a non-prefix state.
-	snaps, _ := listGens(dir, "snap-", ".snap")
+	snaps, _ := listGens(vfs.OS(), dir, "snap-", ".snap")
 	for _, g := range snaps {
 		os.Remove(snapPath(dir, g))
 	}
@@ -506,7 +508,7 @@ func TestStoreRecoveryRefusesGappedGenerations(t *testing.T) {
 	}
 	// The orphaned generation must be gone so it can't collide with the
 	// fresh generation sequence later.
-	if wals, _ := listGens(dir, "wal-", ".log"); len(wals) != 1 || wals[0] != 1 {
+	if wals, _ := listGens(vfs.OS(), dir, "wal-", ".log"); len(wals) != 1 || wals[0] != 1 {
 		t.Fatalf("orphaned generations left behind: %v", wals)
 	}
 }
