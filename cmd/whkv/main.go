@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -75,6 +76,9 @@ func serve(args []string) {
 	dir := fs.String("dir", "", "durable mode: persist to this directory (WAL + snapshots per shard; reopening recovers). Implies a sharded store; -index must be wormhole-sharded or unset")
 	syncMode := fs.String("sync", "none", "durable mode sync policy: none, interval or always")
 	follow := fs.String("follow", "", "follower mode: replicate from this leader address, serve reads (writes answer StatusReadOnly); SIGUSR1 promotes to standalone. Combine with -dir so restarts resume the leader's WAL tail instead of resyncing")
+	connectTimeout := fs.Duration("connect-timeout", 0, "follower mode: keep retrying the first leader handshake this long before giving up and exiting non-zero (0: one attempt, fail fast)")
+	autoPromote := fs.Bool("auto-promote", false, "follower mode: promote automatically when the leader goes silent for -heartbeat-timeout, bumping the replication epoch so the old leader is fenced on first contact")
+	heartbeatTimeout := fs.Duration("heartbeat-timeout", 2*time.Second, "follower mode: leader silence that triggers -auto-promote")
 	readTimeout := fs.Duration("read-timeout", 0, "drop a connection idle longer than this between batches (0: never)")
 	writeTimeout := fs.Duration("write-timeout", 0, "drop a connection that cannot absorb a response within this (0: never)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing request batches across all connections; excess connections queue (0: unlimited)")
@@ -85,7 +89,11 @@ func serve(args []string) {
 		MaxInflight:  *maxInflight,
 	}
 	if *follow != "" {
-		serveFollower(*addr, *follow, *dir, *syncMode, hardening)
+		serveFollower(followerConfig{
+			addr: *addr, leader: *follow, dir: *dir, syncMode: *syncMode,
+			connectTimeout: *connectTimeout, autoPromote: *autoPromote,
+			heartbeatTimeout: *heartbeatTimeout, hardening: hardening,
+		})
 		return
 	}
 	if *dir == "" && (*shards > 0 || *bounds != "") && *name != "wormhole-sharded" {
@@ -193,55 +201,116 @@ func printDegraded(hs []wal.Health) {
 	}
 }
 
+// followerConfig bundles serveFollower's knobs.
+type followerConfig struct {
+	addr, leader, dir, syncMode string
+	connectTimeout              time.Duration
+	autoPromote                 bool
+	heartbeatTimeout            time.Duration
+	hardening                   netkv.ServerOptions
+}
+
 // serveFollower runs replication-follower mode: stream the leader's WAL
 // into a local store, serve reads from it, reject writes, and promote to
-// a writable standalone store on SIGUSR1.
-func serveFollower(addr, leader, dir, syncMode string, hardening netkv.ServerOptions) {
-	policy, err := wal.ParsePolicy(syncMode)
+// a writable standalone store on SIGUSR1 — or automatically on leader
+// silence with -auto-promote, which bumps the replication epoch so the old
+// leader is fenced on first contact with the new lineage.
+func serveFollower(c followerConfig) {
+	policy, err := wal.ParsePolicy(c.syncMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(2)
 	}
-	f, err := repl.Start(repl.Options{
-		Leader:     leader,
-		Dir:        dir,
+	// Auto-promotion may fire from the follower's monitor goroutine before
+	// the serving socket below exists; the promotion handler waits for it.
+	var srvP atomic.Pointer[netkv.Server]
+	srvReady := make(chan struct{})
+	var autoPromoted atomic.Bool
+	o := repl.Options{
+		Leader:     c.leader,
+		Dir:        c.dir,
 		Durability: wal.Options{Sync: policy},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "whkv: "+format+"\n", args...)
 		},
-	})
+	}
+	if c.autoPromote {
+		o.AutoPromote = true
+		o.HeartbeatTimeout = c.heartbeatTimeout
+		o.OnPromote = func(st *shard.Store) {
+			<-srvReady
+			if srv := srvP.Load(); srv != nil {
+				srv.SetReadOnly(false)
+			}
+			autoPromoted.Store(true)
+			fmt.Printf("whkv: leader %s silent for %v: auto-promoted to epoch %d (writes enabled)\n",
+				c.leader, c.heartbeatTimeout, st.Epoch())
+			// Best-effort fence of the old leader, should it still be alive
+			// behind a partition: a direct FENCE closes the window before
+			// replication-level contact would. Failure is fine — a dead
+			// leader is fenced on its first contact with this lineage.
+			if cl, err := netkv.Dial(c.leader); err == nil {
+				cl.Timeout = 2 * time.Second
+				if err := cl.Fence(st.Epoch()); err == nil {
+					fmt.Printf("whkv: fenced old leader %s at epoch %d\n", c.leader, st.Epoch())
+				}
+				cl.Close()
+			}
+		}
+	}
+	// -connect-timeout: the first handshake may race the leader's own
+	// startup (an init system bringing both up), so retry it rather than
+	// failing fast — but never indefinitely, and exit non-zero when the
+	// leader never materializes.
+	deadline := time.Now().Add(c.connectTimeout)
+	f, err := repl.Start(o)
+	for err != nil && c.connectTimeout > 0 && time.Now().Before(deadline) {
+		fmt.Fprintf(os.Stderr, "whkv: waiting for leader: %v\n", err)
+		time.Sleep(500 * time.Millisecond)
+		f, err = repl.Start(o)
+	}
 	if err != nil {
+		close(srvReady)
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(1)
 	}
 	st := f.Store()
-	opts := hardening
+	opts := c.hardening
 	opts.ReadOnly = true
 	opts.StatFill = f.FillStat
-	srv, err := netkv.ServeOpts(addr, st, opts)
+	srv, err := netkv.ServeOpts(c.addr, st, opts)
 	if err != nil {
-		f.Close()
+		close(srvReady)
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(1)
 	}
+	srvP.Store(srv)
+	close(srvReady)
 	persisted := "volatile; resyncs on restart"
-	if dir != "" {
-		persisted = "durable in " + dir
+	if c.dir != "" {
+		persisted = "durable in " + c.dir
 	}
-	fmt.Printf("whkv: following %s on %s (%d shards, %s); SIGUSR1 promotes\n",
-		leader, srv.Addr(), st.NumShards(), persisted)
+	promoteHow := "SIGUSR1 promotes"
+	if c.autoPromote {
+		promoteHow = fmt.Sprintf("auto-promote after %v of leader silence (SIGUSR1 forces it)", c.heartbeatTimeout)
+	}
+	fmt.Printf("whkv: following %s on %s (%d shards, %s); %s\n",
+		c.leader, srv.Addr(), st.NumShards(), persisted, promoteHow)
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGUSR1)
 	promoted := false
 	for s := range sig {
-		if s == syscall.SIGUSR1 && !promoted {
-			// Clean promotion: stop streaming, then open the store to
-			// writes. The process keeps serving without a restart.
-			f.Promote()
-			srv.SetReadOnly(false)
-			promoted = true
-			fmt.Printf("whkv: promoted to standalone (writes enabled, replication stopped)\n")
+		if s == syscall.SIGUSR1 && !promoted && !autoPromoted.Load() {
+			// Clean promotion: stop streaming, bump the epoch, then open
+			// the store to writes. The process keeps serving without a
+			// restart. Promote is idempotent against a racing
+			// auto-promotion — exactly one epoch bump happens.
+			if f.Promote() != nil {
+				srv.SetReadOnly(false)
+				promoted = true
+				fmt.Printf("whkv: promoted to epoch %d (writes enabled, replication stopped)\n", st.Epoch())
+			}
 			continue
 		}
 		if s == syscall.SIGUSR1 {
@@ -251,14 +320,15 @@ func serveFollower(addr, leader, dir, syncMode string, hardening netkv.ServerOpt
 	}
 	fmt.Println("whkv: shutting down")
 	srv.Close()
-	if promoted {
-		if err := st.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
-			printDegraded(st.Health())
-			os.Exit(1)
-		}
-	} else if err := f.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "whkv: closing follower:", err)
+	// Close the follower first: it stops the auto-promote monitor, so the
+	// promotion state is final when deciding who owns the store (a
+	// promotion — manual or automatic — transferred ownership to us).
+	err = f.Close()
+	if promoted || autoPromoted.Load() {
+		err = st.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whkv: closing store:", err)
 		printDegraded(st.Health())
 		os.Exit(1)
 	}
@@ -281,6 +351,12 @@ func stat(args []string) {
 		os.Exit(1)
 	}
 	fmt.Printf("role:      %s%s\n", st.Role, map[bool]string{true: " (read-only)"}[st.ReadOnly])
+	if st.Epoch > 0 {
+		fmt.Printf("epoch:     %d\n", st.Epoch)
+	}
+	if st.FencedBy > 0 {
+		fmt.Printf("fenced:    by epoch %d (stale leader; writes answer StatusFenced)\n", st.FencedBy)
+	}
 	fmt.Printf("keys:      %d\n", st.Keys)
 	if st.Shards > 0 {
 		fmt.Printf("shards:    %d\n", st.Shards)
@@ -314,6 +390,9 @@ func stat(args []string) {
 	}
 	if st.Role == "follower" {
 		fmt.Printf("leader:    %s (connected: %v)\n", st.Leader, st.Connected)
+		if st.LeaderEpoch > 0 {
+			fmt.Printf("leader epoch: %d\n", st.LeaderEpoch)
+		}
 		if st.LagRecords != nil {
 			if *st.LagRecords < 0 {
 				fmt.Printf("lag:       spans a WAL rotation\n")
@@ -376,6 +455,9 @@ func oneShot(cmd string, args []string) {
 		case netkv.StatusDegraded:
 			fmt.Fprintln(os.Stderr, "whkv: shard is degraded (WAL write failing); refusing writes until it heals — see whkv stat")
 			os.Exit(1)
+		case netkv.StatusFenced:
+			fmt.Fprintln(os.Stderr, "whkv: server is a fenced stale leader (a higher epoch exists); the write was NOT applied — resend it to the current leader (see whkv stat for both epochs)")
+			os.Exit(1)
 		default:
 			fmt.Fprintln(os.Stderr, "whkv: set failed on the server")
 			os.Exit(1)
@@ -389,6 +471,9 @@ func oneShot(cmd string, args []string) {
 			os.Exit(1)
 		case netkv.StatusDegraded:
 			fmt.Fprintln(os.Stderr, "whkv: shard is degraded (WAL write failing); refusing writes until it heals — see whkv stat")
+			os.Exit(1)
+		case netkv.StatusFenced:
+			fmt.Fprintln(os.Stderr, "whkv: server is a fenced stale leader (a higher epoch exists); the delete was NOT applied — resend it to the current leader (see whkv stat for both epochs)")
 			os.Exit(1)
 		default:
 			fmt.Println("(not found)")

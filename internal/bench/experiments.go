@@ -48,6 +48,7 @@ func Experiments() []struct {
 		{"scanpath", "range-scan path: lock-free vs locked, plain vs pinned (perf trajectory)", ScanPath},
 		{"durability", "durable store: volatile vs WAL sync policies, plus recovery rate (extension)", Durability},
 		{"replication", "leader→follower WAL shipping: steady lag, catch-up, follower reads (extension)", Replication},
+		{"failover", "leader kill → auto-promotion: time to writable, client-observed gap (extension)", Failover},
 	}
 }
 

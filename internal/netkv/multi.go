@@ -1,0 +1,186 @@
+package netkv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// MultiClient is a failover-aware point-operation client over a fixed set
+// of server addresses — what an application keeps using across a leader
+// failover. It speaks to one server at a time and moves on when that
+// server refuses or dies:
+//
+//   - StatusFenced and StatusReadOnly rotate to the next address and
+//     resend. Both refusals happen BEFORE the index mutates, so the
+//     operation was definitively not applied and resending is exactly-once
+//     safe.
+//   - A transport error also rotates and resends, but the dead server may
+//     have applied the operation before dying: across failover the client
+//     is at-least-once for mutations, the standard contract of an
+//     asynchronously-replicated store (a Set resend is idempotent; a Del
+//     may report NotFound for a delete that in fact happened).
+//
+// Rotation retries with backoff until Timeout (default 5s) elapses, so a
+// brief window where every node refuses — the gap between a leader dying
+// and a follower promoting — heals instead of failing fast.
+//
+// Not safe for concurrent use, like Client.
+type MultiClient struct {
+	addrs []string
+	cur   int
+	c     *Client
+
+	// Timeout bounds each operation end to end, failover included
+	// (default 5s).
+	Timeout time.Duration
+}
+
+// DialMulti returns a MultiClient over addrs, preferring them in order. No
+// connection is attempted until the first operation, so a dead first
+// server costs a failover, not a construction error.
+func DialMulti(addrs ...string) (*MultiClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("netkv: DialMulti needs at least one address")
+	}
+	return &MultiClient{addrs: append([]string(nil), addrs...)}, nil
+}
+
+// Addr returns the address the client currently prefers.
+func (m *MultiClient) Addr() string { return m.addrs[m.cur] }
+
+// Close closes the live connection, if any.
+func (m *MultiClient) Close() error {
+	if m.c == nil {
+		return nil
+	}
+	err := m.c.Close()
+	m.c = nil
+	return err
+}
+
+func (m *MultiClient) budget() time.Duration {
+	if m.Timeout > 0 {
+		return m.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (m *MultiClient) client() (*Client, error) {
+	if m.c != nil {
+		return m.c, nil
+	}
+	c, err := Dial(m.addrs[m.cur])
+	if err != nil {
+		return nil, err
+	}
+	// A server that dies mid-connection without closing it must cost a
+	// bounded slice of the budget, not all of it: the per-Flush timeout
+	// turns a silent peer into a transport error the rotation handles.
+	c.Timeout = m.budget() / 4
+	m.c = c
+	return c, nil
+}
+
+func (m *MultiClient) rotate() {
+	if m.c != nil {
+		m.c.Close()
+		m.c = nil
+	}
+	m.cur = (m.cur + 1) % len(m.addrs)
+}
+
+// do runs one operation as a single-request batch, failing over until it
+// gets a definitive answer or the budget runs out.
+func (m *MultiClient) do(op byte, key, val []byte) (Response, error) {
+	deadline := time.Now().Add(m.budget())
+	backoff := time.Millisecond
+	var lastErr error
+	sleep := func() {
+		// Jittered, capped: during the promotion gap every address
+		// refuses, and the poll cadence bounds how fast the client
+		// notices the new leader without hammering the refusing ones.
+		time.Sleep(backoff/2 + rand.N(backoff/2+1))
+		if backoff *= 2; backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
+	}
+	for time.Now().Before(deadline) {
+		c, err := m.client()
+		if err != nil {
+			lastErr = err
+			m.rotate()
+			sleep()
+			continue
+		}
+		c.queue(op, key, val, 0)
+		rs, err := c.Flush()
+		if err != nil {
+			lastErr = err
+			m.rotate()
+			continue
+		}
+		r := rs[len(rs)-1]
+		switch r.Status {
+		case StatusFenced, StatusReadOnly:
+			lastErr = fmt.Errorf("netkv: %s refused the write (status %d)", m.addrs[m.cur], r.Status)
+			m.rotate()
+			sleep()
+			continue
+		}
+		// The response buffer is reused on the next Flush: copy out.
+		r.Val = append([]byte(nil), r.Val...)
+		return r, nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("netkv: no server answered")
+	}
+	return Response{}, fmt.Errorf("netkv: every server failed or refused for %v: %w", m.budget(), lastErr)
+}
+
+// Set writes key=val on whichever server currently accepts writes.
+func (m *MultiClient) Set(key, val []byte) error {
+	r, err := m.do(OpSet, key, val)
+	if err != nil {
+		return err
+	}
+	if r.Status != StatusOK {
+		return fmt.Errorf("netkv: set refused (status %d)", r.Status)
+	}
+	return nil
+}
+
+// Get reads key from the current server (which may be a follower serving
+// a slightly stale prefix — reads are allowed everywhere).
+func (m *MultiClient) Get(key []byte) ([]byte, bool, error) {
+	r, err := m.do(OpGet, key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return r.Val, true, nil
+	case StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("netkv: get failed (status %d)", r.Status)
+	}
+}
+
+// Del deletes key on whichever server currently accepts writes; found
+// reports whether the key existed there.
+func (m *MultiClient) Del(key []byte) (bool, error) {
+	r, err := m.do(OpDel, key, nil)
+	if err != nil {
+		return false, err
+	}
+	switch r.Status {
+	case StatusOK:
+		return true, nil
+	case StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("netkv: del failed (status %d)", r.Status)
+	}
+}

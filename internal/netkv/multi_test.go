@@ -1,0 +1,110 @@
+package netkv
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/repro/wormhole/internal/shard"
+)
+
+func serveShard(t *testing.T, st *shard.Store) *Server {
+	t.Helper()
+	s, err := Serve("127.0.0.1:0", st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestMultiClientFailsOverOnFence: the preferred server is a fenced stale
+// leader — every write refuses with StatusFenced before the index mutates
+// — so the MultiClient must rotate and land the write on the second
+// server, and keep preferring it afterwards.
+func TestMultiClientFailsOverOnFence(t *testing.T) {
+	stale := shard.New(shard.Options{Shards: 2})
+	if err := stale.Fence(5); err != nil {
+		t.Fatal(err)
+	}
+	current := shard.New(shard.Options{Shards: 2})
+	srvStale := serveShard(t, stale)
+	srvCur := serveShard(t, current)
+
+	mc, err := DialMulti(srvStale.Addr(), srvCur.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	mc.Timeout = 5 * time.Second
+	if err := mc.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Addr() != srvCur.Addr() {
+		t.Fatalf("client settled on %s, want %s", mc.Addr(), srvCur.Addr())
+	}
+	if _, ok := current.Get([]byte("k")); !ok {
+		t.Fatal("write missing on the accepting server")
+	}
+	if _, ok := stale.Get([]byte("k")); ok {
+		t.Fatal("write landed on the fenced server")
+	}
+	if v, ok, err := mc.Get([]byte("k")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("read-back through the client: %q %v %v", v, ok, err)
+	}
+	if found, err := mc.Del([]byte("k")); err != nil || !found {
+		t.Fatalf("delete through the client: %v %v", found, err)
+	}
+}
+
+// TestMultiClientFailsOverOnDeadServer: the preferred address refuses
+// connections outright (a dead machine); the client must rotate on the
+// dial error.
+func TestMultiClientFailsOverOnDeadServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close() // nothing listens here anymore
+
+	st := shard.New(shard.Options{Shards: 2})
+	srv := serveShard(t, st)
+	mc, err := DialMulti(dead, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	mc.Timeout = 5 * time.Second
+	if err := mc.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get([]byte("k")); !ok {
+		t.Fatal("write missing after dial failover")
+	}
+}
+
+// TestMultiClientTimesOutWhenEveryoneRefuses: with every address fenced,
+// the budget must expire with an error naming the last refusal instead of
+// spinning forever.
+func TestMultiClientTimesOutWhenEveryoneRefuses(t *testing.T) {
+	a := shard.New(shard.Options{Shards: 2})
+	a.Fence(3)
+	b := shard.New(shard.Options{Shards: 2})
+	b.Fence(4)
+	srvA := serveShard(t, a)
+	srvB := serveShard(t, b)
+	mc, err := DialMulti(srvA.Addr(), srvB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	mc.Timeout = 300 * time.Millisecond
+	start := time.Now()
+	if err := mc.Set([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("write succeeded with every server fenced")
+	}
+	if el := time.Since(start); el > 3*time.Second {
+		t.Fatalf("budgeted failure took %v", el)
+	}
+}

@@ -50,6 +50,13 @@ const (
 	// becomes a replication stream (internal/repl's framing). Servers
 	// without a replication source answer StatusNotFound.
 	OpSubscribe
+	// OpFence tells a server that a higher replication epoch exists (the
+	// key carries it, 8 bytes little-endian): a stale leader flips into
+	// fenced read-only mode before answering, so no write can land after
+	// the fence is acknowledged. Best-effort — fencing also happens on
+	// first replication contact with the new lineage — and idempotent.
+	// Servers whose index has no epochs answer StatusNotFound.
+	OpFence
 )
 
 // Status codes.
@@ -67,6 +74,11 @@ const (
 	// Reads keep serving; the shard heals itself in the background and
 	// writes resume without a restart.
 	StatusDegraded
+	// StatusFenced rejects a mutation on a stale leader: a higher
+	// replication epoch exists, the refusal happens BEFORE the index
+	// mutates, and — unlike a transport error — it proves the operation
+	// was not applied, so a client may safely resend it to the new leader.
+	StatusFenced
 )
 
 // DefaultBatch is the paper's request batch size for Figure 12.
@@ -93,6 +105,15 @@ type Stat struct {
 	// error, heal attempts) — the observable face of the degraded-mode
 	// state machine.
 	Health []wal.Health `json:"health,omitempty"`
+
+	// Epoch is the served store's replication epoch; FencedBy, when
+	// non-zero, is the higher epoch that fenced it (the node refuses
+	// writes with StatusFenced). Together they answer "who is fenced, and
+	// by whom" from either side of a failover.
+	Epoch    uint64 `json:"epoch,omitempty"`
+	FencedBy uint64 `json:"fenced_by,omitempty"`
+	// LeaderEpoch is the highest leader epoch a follower has observed.
+	LeaderEpoch uint64 `json:"leader_epoch,omitempty"`
 
 	// Leader fields.
 	Followers []FollowerStat `json:"followers,omitempty"`
@@ -169,6 +190,18 @@ type Response struct {
 	Keys, Vals [][]byte
 }
 
+// fencer is the epoch-fencing surface a served index may expose (the
+// sharded durable store does). FenceErr is the refuse-early write check —
+// non-nil exactly when a higher epoch has fenced the store — kept separate
+// from WriteErr so StatusFenced (definitively not applied, safe to resend
+// to the new leader) never blurs into StatusDegraded (local I/O trouble).
+type fencer interface {
+	FenceErr() error
+	Fence(epoch uint64) error
+	Epoch() uint64
+	FencedBy() uint64
+}
+
 // Server serves an index.Index over TCP. When the index is a sharded
 // store (index.Batcher), each request batch's point operations are
 // dispatched to a pool of per-shard workers: one worker owns each shard,
@@ -197,6 +230,9 @@ type Server struct {
 	// wh is the index's degraded-mode surface (the sharded durable
 	// store); nil when the index has none.
 	wh interface{ WriteErr(key []byte) error }
+	// fc is the index's epoch-fencing surface; nil when the index has no
+	// replication epochs.
+	fc fencer
 	// sem is the MaxInflight semaphore; nil means uncapped.
 	sem chan struct{}
 
@@ -239,6 +275,9 @@ func ServeOpts(addr string, ix index.Index, opt ServerOptions) (*Server, error) 
 	}
 	if wh, ok := ix.(interface{ WriteErr(key []byte) error }); ok {
 		s.wh = wh
+	}
+	if fc, ok := ix.(fencer); ok {
+		s.fc = fc
 	}
 	if dx, ok := ix.(index.Durable); ok {
 		s.dx = dx
@@ -439,6 +478,13 @@ func (s *Server) execPoint(rq *Request, h index.ReadHandle) (status byte, val []
 		}
 		return StatusOK, v, true
 	case OpSet:
+		// The fence check runs first, BEFORE the index mutates: a stale
+		// leader must refuse every write once it knows a higher epoch
+		// exists, and the refusal must prove non-application so clients
+		// can resend to the new leader.
+		if s.fc != nil && s.fc.FenceErr() != nil {
+			return StatusFenced, nil, false
+		}
 		if s.ro.Load() {
 			return StatusReadOnly, nil, false
 		}
@@ -453,6 +499,9 @@ func (s *Server) execPoint(rq *Request, h index.ReadHandle) (status byte, val []
 		s.ix.Set(k, v)
 		return StatusOK, nil, false
 	default: // OpDel; dispatchable/process admit nothing else
+		if s.fc != nil && s.fc.FenceErr() != nil {
+			return StatusFenced, nil, false
+		}
 		if s.ro.Load() {
 			return StatusReadOnly, nil, false
 		}
@@ -600,6 +649,10 @@ func (s *Server) stat() *Stat {
 	if hl, ok := s.ix.(interface{ Health() []wal.Health }); ok {
 		st.Health = hl.Health()
 	}
+	if s.fc != nil {
+		st.Epoch = s.fc.Epoch()
+		st.FencedBy = s.fc.FencedBy()
+	}
 	if s.opt.StatFill != nil {
 		s.opt.StatFill(st)
 	}
@@ -650,6 +703,18 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 			case s.dx == nil:
 				body = append(body, StatusNotFound)
 			case s.dx.Flush() != nil:
+				body = append(body, StatusErr)
+			default:
+				body = append(body, StatusOK)
+			}
+		case OpFence:
+			switch {
+			case s.fc == nil || len(rq.Key) != 8:
+				body = append(body, StatusNotFound)
+			case s.fc.Fence(binary.LittleEndian.Uint64(rq.Key)) != nil:
+				// The in-memory fence stands even when persisting it
+				// failed; report the failure so the caller knows a restart
+				// could forget it.
 				body = append(body, StatusErr)
 			default:
 				body = append(body, StatusOK)
@@ -873,6 +938,35 @@ func (c *Client) Stat() (*Stat, error) {
 		return nil, fmt.Errorf("netkv: stat from %s: %w", c.addr, err)
 	}
 	return &st, nil
+}
+
+// QueueFence appends a FENCE carrying epoch: the server, if its index has
+// replication epochs, refuses all writes with StatusFenced from before
+// this request is answered.
+func (c *Client) QueueFence(epoch uint64) {
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], epoch)
+	c.queue(OpFence, k[:], nil, 0)
+}
+
+// Fence issues a one-request batch fencing the server at epoch. A nil
+// return means the server accepted (and persisted) the fence; any write it
+// answers afterwards reports StatusFenced. StatusNotFound (the server's
+// index has no epochs) and persistence failures surface as errors.
+func (c *Client) Fence(epoch uint64) error {
+	c.QueueFence(epoch)
+	rs, err := c.Flush()
+	if err != nil {
+		return err
+	}
+	switch st := rs[len(rs)-1].Status; st {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return fmt.Errorf("netkv: %s has no replication epochs to fence", c.addr)
+	default:
+		return fmt.Errorf("netkv: fence of %s failed (status %d)", c.addr, st)
+	}
 }
 
 // QueueScan appends a SCAN (up to limit ascending pairs from key; an

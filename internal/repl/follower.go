@@ -40,6 +40,18 @@ type Options struct {
 	// BackoffMin/BackoffMax bound the reconnect backoff (default
 	// 100ms/5s).
 	BackoffMin, BackoffMax time.Duration
+	// AutoPromote arms leader-loss failover: when no leader contact
+	// (message or successful handshake) happens for HeartbeatTimeout, the
+	// follower promotes itself — bumping the replication epoch past any it
+	// has observed, so the old leader is fenced on first contact with the
+	// new lineage.
+	AutoPromote bool
+	// HeartbeatTimeout is the silence that triggers auto-promotion
+	// (default 2s; the leader heartbeats idle streams every 200ms).
+	HeartbeatTimeout time.Duration
+	// OnPromote, when non-nil, runs after an automatic promotion with the
+	// newly-writable store. Manual Promote calls do not invoke it.
+	OnPromote func(*shard.Store)
 	// Logf, when non-nil, receives connection lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +59,9 @@ type Options struct {
 func (o *Options) normalize() {
 	if o.AckInterval <= 0 {
 		o.AckInterval = 100 * time.Millisecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 2 * time.Second
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
@@ -75,15 +90,41 @@ type Follower struct {
 	snap      map[int]*snapState
 	conn      net.Conn
 	lastAck   time.Time
+	connEpoch uint64        // leader epoch of the live connection
+	resync    *resyncTarget // full-resync in progress (history mismatch)
 
 	recordsApplied   atomic.Int64
 	snapshotsApplied atomic.Int64
 	connected        atomic.Bool
 	promoted         atomic.Bool
+	everConnected    atomic.Bool
+	observedEpoch    atomic.Uint64 // highest leader epoch ever seen
+	lastContact      atomic.Int64  // unix nanos of the last leader contact
+
+	// lifeMu serializes Promote and Close — the auto-promote monitor races
+	// both a manual promotion and a shutdown, and exactly one must win.
+	lifeMu sync.Mutex
+	closed bool
 
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+	// monWG tracks the auto-promote monitor separately from wg: the
+	// monitor itself calls Promote→halt→wg.Wait(), so putting it in wg
+	// would self-deadlock.
+	monWG sync.WaitGroup
+}
+
+// resyncTarget is the lineage the follower is switching to: when the
+// handshake finds its leadership history differs from the leader's, every
+// shard is corrected by snapshot, and only once the last one lands is the
+// leader's (epoch, history) adopted and persisted. A crash mid-resync
+// leaves the old history in place, so the next handshake resyncs again —
+// never a half-adopted lineage.
+type resyncTarget struct {
+	epoch   uint64
+	hist    []shard.EpochEntry
+	pending map[int]bool
 }
 
 // snapState is one shard's in-progress snapshot catch-up: the follower's
@@ -142,6 +183,10 @@ func Start(o Options) (*Follower, error) {
 	f.setConn(conn)
 	f.wg.Add(1)
 	go f.run(conn, r)
+	if o.AutoPromote {
+		f.monWG.Add(1)
+		go f.monitor()
+	}
 	return f, nil
 }
 
@@ -185,13 +230,17 @@ func (f *Follower) handshake() (net.Conn, *bufio.Reader, error) {
 		return nil, nil, err
 	}
 	var positions []wal.Position
+	var ownEpoch uint64
+	var ownHist []shard.EpochEntry
 	if f.st != nil {
 		positions = f.appliedSnapshot()
+		ownEpoch = f.st.Epoch()
+		ownHist = f.st.EpochHistory()
 	}
 	// The subscribe request travels as one netkv batch frame carrying a
 	// single OpSubscribe whose key is the handshake payload; the response
 	// and everything after it are this package's framing.
-	payload := encodeSubscribe(positions)
+	payload := encodeSubscribe(ownEpoch, ownHist, positions)
 	var req []byte
 	req = binary.LittleEndian.AppendUint32(req, uint32(2+1+4+len(payload)+4))
 	req = binary.LittleEndian.AppendUint16(req, 1)
@@ -207,7 +256,7 @@ func (f *Follower) handshake() (net.Conn, *bufio.Reader, error) {
 	// sends nothing at all must not block the magic read forever.
 	conn.SetReadDeadline(time.Now().Add(f.o.DialTimeout))
 	r := bufio.NewReaderSize(conn, 1<<20)
-	status, nshards, bounds, err := readHandshake(r)
+	status, leaderEpoch, leaderHist, nshards, bounds, err := readHandshake(r)
 	if err != nil {
 		if errors.Is(err, errNotLeader) {
 			return fail(fmt.Errorf("repl: %s is not a replication leader (serve it with -dir)", f.o.Leader))
@@ -215,19 +264,33 @@ func (f *Follower) handshake() (net.Conn, *bufio.Reader, error) {
 		return fail(fmt.Errorf("repl: handshake with %s: %w", f.o.Leader, err))
 	}
 	conn.SetReadDeadline(time.Time{})
+	if leaderEpoch > f.observedEpoch.Load() {
+		f.observedEpoch.Store(leaderEpoch)
+	}
 	switch status {
 	case hsOK:
 	case hsMismatch:
 		return fail(fmt.Errorf("repl: leader %s has %d shards, local store has %d",
 			f.o.Leader, nshards, len(positions)))
+	case hsStale:
+		return fail(fmt.Errorf("repl: %s is a stale leader, outbid by epoch %d", f.o.Leader, leaderEpoch))
 	default:
 		return fail(fmt.Errorf("repl: leader %s refused subscription (volatile or closing)", f.o.Leader))
+	}
+	if ownEpoch > leaderEpoch {
+		// Defensive: a correct leader fences itself and answers hsStale on
+		// seeing our higher epoch. Never follow a lower-epoch lineage.
+		return fail(fmt.Errorf("repl: leader %s is at epoch %d, below ours (%d)",
+			f.o.Leader, leaderEpoch, ownEpoch))
 	}
 	if f.st == nil {
 		st, err := f.createStore(bounds)
 		if err != nil {
 			return fail(err)
 		}
+		// A fresh store is the empty prefix of every lineage: adopt the
+		// leader's outright so a restart re-handshakes with it.
+		st.AdoptHistory(leaderEpoch, leaderHist)
 		f.st = st
 		f.applied = make([]wal.Position, st.NumShards())
 		for i := range f.applied {
@@ -236,6 +299,24 @@ func (f *Follower) handshake() (net.Conn, *bufio.Reader, error) {
 	} else if !boundsEqual(f.st.Bounds(), bounds) {
 		return fail(fmt.Errorf("repl: leader %s partitioner boundaries differ from the local store's", f.o.Leader))
 	}
+	f.mu.Lock()
+	f.connEpoch = leaderEpoch
+	f.resync = nil
+	if positions != nil && !shard.HistoryEqual(ownHist, leaderHist) {
+		// Different lineage: the leader snapshots every shard before any
+		// tailing (it made the same comparison). Adopt its history only
+		// once the last correction lands.
+		pending := make(map[int]bool, f.st.NumShards())
+		for i := 0; i < f.st.NumShards(); i++ {
+			pending[i] = true
+		}
+		f.resync = &resyncTarget{epoch: leaderEpoch, hist: leaderHist, pending: pending}
+		f.logf("repl: leader %s lineage differs (epoch %d vs %d): full snapshot resync",
+			f.o.Leader, leaderEpoch, ownEpoch)
+	}
+	f.mu.Unlock()
+	f.lastContact.Store(time.Now().UnixNano())
+	f.everConnected.Store(true)
 	return conn, r, nil
 }
 
@@ -311,14 +392,21 @@ func (f *Follower) run(conn net.Conn, r *bufio.Reader) {
 func (f *Follower) discardSnapStates() {
 	f.mu.Lock()
 	f.snap = make(map[int]*snapState)
+	// A half-finished lineage resync restarts from scratch too: the next
+	// handshake re-detects the history mismatch.
+	f.resync = nil
 	f.mu.Unlock()
 }
 
-// stream reads and applies messages until the connection errors.
+// stream reads and applies messages until the connection errors. Every
+// epoch-stamped message must match the handshake epoch — a frame from
+// another term means the sender's identity changed mid-connection, and the
+// only safe response is to drop the stream and re-handshake.
 func (f *Follower) stream(conn net.Conn, r *bufio.Reader) error {
 	w := bufio.NewWriterSize(conn, 1<<16)
 	f.mu.Lock()
 	f.lastAck = time.Now()
+	epoch := f.connEpoch
 	f.mu.Unlock()
 	var buf []byte
 	for {
@@ -327,22 +415,28 @@ func (f *Follower) stream(conn net.Conn, r *bufio.Reader) error {
 			return err
 		}
 		buf = next
+		f.lastContact.Store(time.Now().UnixNano())
 		switch typ {
 		case msgBatch:
-			err = f.applyBatch(body)
+			err = f.applyBatch(body, epoch)
 		case msgSnapBegin:
-			err = f.snapBegin(body)
+			err = f.snapBegin(body, epoch)
 		case msgSnapChunk:
 			err = f.snapChunk(body)
 		case msgSnapEnd:
 			err = f.snapEnd(body)
 		case msgHeartbeat:
+			var e uint64
 			var shard int
 			var p wal.Position
-			if shard, p, err = decodePosMsg(body); err == nil && shard < len(f.leaderEnd) {
-				f.mu.Lock()
-				f.leaderEnd[shard] = p
-				f.mu.Unlock()
+			if e, shard, p, err = decodePosMsg(body); err == nil {
+				if e != epoch {
+					err = fmt.Errorf("%w: heartbeat from epoch %d on an epoch-%d stream", errProto, e, epoch)
+				} else if shard < len(f.leaderEnd) {
+					f.mu.Lock()
+					f.leaderEnd[shard] = p
+					f.mu.Unlock()
+				}
 			}
 		default:
 			err = fmt.Errorf("%w: unexpected message type %d", errProto, typ)
@@ -363,15 +457,19 @@ func (f *Follower) stream(conn net.Conn, r *bufio.Reader) error {
 // position arithmetic, the rest run through the store's normal mutation
 // path — and therefore into the follower's own WAL — and the new position
 // is logged durably after them, so prefix semantics covers both.
-func (f *Follower) applyBatch(body []byte) error {
-	if len(body) < 22 {
+func (f *Follower) applyBatch(body []byte, epoch uint64) error {
+	if len(body) < 30 {
 		return fmt.Errorf("%w: short batch", errProto)
 	}
-	shard := int(binary.LittleEndian.Uint16(body[:2]))
-	gen := binary.LittleEndian.Uint64(body[2:10])
-	start := binary.LittleEndian.Uint64(body[10:18])
-	count := binary.LittleEndian.Uint32(body[18:22])
-	rest := body[22:]
+	e := binary.LittleEndian.Uint64(body[:8])
+	shard := int(binary.LittleEndian.Uint16(body[8:10]))
+	gen := binary.LittleEndian.Uint64(body[10:18])
+	start := binary.LittleEndian.Uint64(body[18:26])
+	count := binary.LittleEndian.Uint32(body[26:30])
+	rest := body[30:]
+	if e != epoch {
+		return fmt.Errorf("%w: batch from epoch %d on an epoch-%d stream", errProto, e, epoch)
+	}
 	if shard >= f.st.NumShards() {
 		return fmt.Errorf("%w: batch for shard %d", errProto, shard)
 	}
@@ -453,10 +551,13 @@ func (f *Follower) applyRecord(payload []byte) error {
 	return nil
 }
 
-func (f *Follower) snapBegin(body []byte) error {
-	shard, pos, err := decodePosMsg(body)
+func (f *Follower) snapBegin(body []byte, epoch uint64) error {
+	e, shard, pos, err := decodePosMsg(body)
 	if err != nil {
 		return fmt.Errorf("%w: bad snapshot begin", errProto)
+	}
+	if e != epoch {
+		return fmt.Errorf("%w: snapshot from epoch %d on an epoch-%d stream", errProto, e, epoch)
 	}
 	if shard >= f.st.NumShards() {
 		return fmt.Errorf("%w: snapshot for shard %d", errProto, shard)
@@ -586,6 +687,25 @@ func (f *Follower) snapEnd(body []byte) error {
 		}
 	}
 	f.snapshotsApplied.Add(1)
+	// During a lineage resync, adopting the leader's (epoch, history) waits
+	// for the LAST shard's correction: until then our positions are a mix
+	// of two lineages and the old history — which forces the resync to
+	// repeat after a crash — is the safe one to re-handshake with.
+	f.mu.Lock()
+	if rt := f.resync; rt != nil {
+		delete(rt.pending, shard)
+		if len(rt.pending) == 0 {
+			f.resync = nil
+			f.mu.Unlock()
+			if err := f.st.AdoptHistory(rt.epoch, rt.hist); err != nil {
+				f.logf("repl: persisting adopted epoch %d: %v", rt.epoch, err)
+			} else {
+				f.logf("repl: adopted leader lineage at epoch %d", rt.epoch)
+			}
+			return nil
+		}
+	}
+	f.mu.Unlock()
 	return nil
 }
 
@@ -598,6 +718,7 @@ func (f *Follower) maybeAck(w *bufio.Writer, force bool) error {
 		f.lastAck = time.Now()
 	}
 	positions := f.applied
+	epoch := f.connEpoch
 	if due {
 		positions = append([]wal.Position(nil), f.applied...)
 	}
@@ -607,7 +728,7 @@ func (f *Follower) maybeAck(w *bufio.Writer, force bool) error {
 	}
 	var body []byte
 	for i, p := range positions {
-		if err := writeMsg(w, msgAck, appendPosMsg(body[:0], i, p)); err != nil {
+		if err := writeMsg(w, msgAck, appendPosMsg(body[:0], epoch, i, p)); err != nil {
 			return err
 		}
 	}
@@ -673,6 +794,16 @@ func (f *Follower) SnapshotsApplied() int64 { return f.snapshotsApplied.Load() }
 // Connected reports whether a stream to the leader is currently live.
 func (f *Follower) Connected() bool { return f.connected.Load() }
 
+// EverConnected reports whether any handshake has ever succeeded — the
+// gate both for -connect-timeout (a follower that never reached its
+// leader should fail fast, not serve an empty store) and for
+// auto-promotion (a node that never saw the leader has no business
+// declaring it dead).
+func (f *Follower) EverConnected() bool { return f.everConnected.Load() }
+
+// ObservedEpoch returns the highest leader epoch this follower has seen.
+func (f *Follower) ObservedEpoch() uint64 { return f.observedEpoch.Load() }
+
 // CatchingUp returns the shards with a snapshot catch-up in progress —
 // their reads pass through mixed states until the merge completes. After
 // Promote or Close it reports the shards whose merge was abandoned
@@ -690,6 +821,9 @@ func (f *Follower) CatchingUp() []int {
 
 // FillStat adds follower fields to an OpStat response.
 func (f *Follower) FillStat(st *netkv.Stat) {
+	st.Epoch = f.st.Epoch()
+	st.FencedBy = f.st.FencedBy()
+	st.LeaderEpoch = f.observedEpoch.Load()
 	if f.promoted.Load() {
 		st.Role = "standalone (promoted)"
 		return
@@ -719,29 +853,89 @@ func (f *Follower) halt() {
 	f.wg.Wait()
 }
 
+// monitor watches for leader loss when AutoPromote is armed: once any
+// handshake has succeeded, HeartbeatTimeout of silence (no message, no
+// successful reconnect — the leader heartbeats idle streams every 200ms,
+// so silence means the leader or the path to it is gone) promotes the
+// follower. The promotion bumps the epoch past every one observed, so the
+// old leader is fenced on first contact with the new lineage.
+func (f *Follower) monitor() {
+	defer f.monWG.Done()
+	interval := f.o.HeartbeatTimeout / 4
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		if !f.everConnected.Load() {
+			continue
+		}
+		if time.Since(time.Unix(0, f.lastContact.Load())) < f.o.HeartbeatTimeout {
+			continue
+		}
+		st := f.Promote()
+		if st != nil && f.o.OnPromote != nil {
+			f.o.OnPromote(st)
+		}
+		return
+	}
+}
+
 // Promote detaches the follower from its leader and returns the local
 // store, now the caller's to write: clean promotion to a standalone
 // (still durable, when opened with a Dir) store. The replication loop is
-// fully stopped before Promote returns; the store keeps every applied
-// record. Promoting while a snapshot catch-up is streaming abandons that
-// merge half-finished — the affected shards (CatchingUp) may retain keys
-// the leader had deleted, which Promote logs but does not block on: the
-// operator promoting because the leader died mid-merge must not be
-// stranded.
+// fully stopped and the replication epoch durably bumped past every epoch
+// this follower has observed before Promote returns, so the first contact
+// between the old leader and the new lineage fences the old leader. The
+// store keeps every applied record. Promoting while a snapshot catch-up is
+// streaming abandons that merge half-finished — the affected shards
+// (CatchingUp) may retain keys the leader had deleted, which Promote logs
+// but does not block on: the operator promoting because the leader died
+// mid-merge must not be stranded.
+//
+// Safe to call concurrently with itself (idempotent: one epoch bump) and
+// with an armed auto-promote monitor (exactly one promotion happens).
+// Returns nil after Close.
 func (f *Follower) Promote() *shard.Store {
-	f.promoted.Store(true)
+	f.lifeMu.Lock()
+	defer f.lifeMu.Unlock()
+	if f.closed {
+		return nil
+	}
+	if f.promoted.Swap(true) {
+		return f.st
+	}
 	f.halt()
 	if shards := f.CatchingUp(); len(shards) > 0 {
 		f.logf("repl: promoted with a snapshot catch-up in progress on shards %v: they may retain keys the leader had deleted", shards)
 	}
+	epoch, err := f.st.BumpEpoch(f.observedEpoch.Load())
+	if err != nil {
+		f.logf("repl: persisting promotion epoch %d: %v", epoch, err)
+	}
+	f.logf("repl: promoted at epoch %d", epoch)
 	return f.st
 }
 
 // Close stops replication and closes the local store (unless Promote
 // already transferred ownership). Idempotent.
 func (f *Follower) Close() error {
+	f.lifeMu.Lock()
+	f.closed = true
 	f.halt()
-	if f.promoted.Load() {
+	promoted := f.promoted.Load()
+	f.lifeMu.Unlock()
+	// The monitor's Promote blocks on lifeMu; with closed set it returns
+	// nil, so this wait cannot deadlock — and after it, no promotion can
+	// race the store close below.
+	f.monWG.Wait()
+	if promoted {
 		return nil
 	}
 	return f.st.Close()

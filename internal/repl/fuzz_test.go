@@ -1,0 +1,56 @@
+package repl
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// FuzzSubscribeHandshake throws arbitrary bytes at the subscribe-payload
+// decoder — the one parser on the leader that consumes follower-supplied
+// input before any authentication of intent. It must never panic or
+// balloon memory on hostile counts, and anything it accepts must be
+// canonical: re-encoding the decoded values reproduces the input byte for
+// byte, so there is exactly one wire form per logical handshake.
+func FuzzSubscribeHandshake(f *testing.F) {
+	f.Add(encodeSubscribe(0, nil, nil))
+	f.Add(encodeSubscribe(1, []shard.EpochEntry{{Epoch: 1}}, []wal.Position{{Gen: 1, Seq: 0}}))
+	hist := []shard.EpochEntry{
+		{Epoch: 1},
+		{Epoch: 4, Start: []wal.Position{{Gen: 2, Seq: 17}, {Gen: 1, Seq: 3}, {Gen: 5, Seq: 1 << 33}}},
+	}
+	full := encodeSubscribe(7, hist, []wal.Position{{Gen: 3, Seq: 99}, {Gen: 1, Seq: 0}})
+	f.Add(full)
+	f.Add(full[:len(full)-1])                       // truncated positions
+	f.Add(full[:len(magic)+1])                      // header only
+	f.Add([]byte("WHRPX\x02junk"))                  // bad magic
+	f.Add(append(full[:0:0], full...)[:len(magic)]) // magic alone
+	f.Add(bytes.Repeat([]byte{0xff}, 64))           // hostile counts
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		epoch, hist, positions, err := decodeSubscribe(payload)
+		if err != nil {
+			return
+		}
+		out := encodeSubscribe(epoch, hist, positions)
+		if !bytes.Equal(out, payload) {
+			t.Fatalf("accepted non-canonical payload:\n in  %x\n out %x", payload, out)
+		}
+		// And the canonical form must round-trip to the same values.
+		e2, h2, p2, err := decodeSubscribe(out)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding failed: %v", err)
+		}
+		if e2 != epoch || !shard.HistoryEqual(h2, hist) || len(p2) != len(positions) {
+			t.Fatalf("round trip changed values: %d/%v/%v -> %d/%v/%v",
+				epoch, hist, positions, e2, h2, p2)
+		}
+		for i := range p2 {
+			if p2[i] != positions[i] {
+				t.Fatalf("position %d changed: %v -> %v", i, positions[i], p2[i])
+			}
+		}
+	})
+}

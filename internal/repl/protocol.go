@@ -29,13 +29,18 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/repro/wormhole/internal/shard"
 	"github.com/repro/wormhole/internal/wal"
 )
 
 // Handshake magic + version; bumping the version is a wire break.
+// Version 2 added epoch fencing: the subscribe payload carries the
+// follower's epoch and leadership history, the handshake response carries
+// the leader's, and every leader→follower stream frame plus the upstream
+// acks are stamped with the sender's epoch.
 const (
 	magic        = "WHRP1"
-	protoVersion = 1
+	protoVersion = 2
 )
 
 // Handshake status codes.
@@ -43,18 +48,19 @@ const (
 	hsOK          byte = 0
 	hsMismatch    byte = 1 // shard count or boundary disagreement
 	hsUnavailable byte = 2 // leader cannot replicate (volatile, closing, bad request)
+	hsStale       byte = 3 // the server is not the current leader: the response epoch outbids it
 )
 
 // Stream message types. Every message is framed [len u32][type byte][body]
 // with len covering type+body; both directions share the framing, so one
 // reader loop serves the follower and the leader's ack reader alike.
 const (
-	msgBatch     byte = 1 // shard u16, gen u64, startSeq u64, count u32, count×(len u32, payload)
-	msgSnapBegin byte = 2 // shard u16, gen u64, seq u64 — the position the tail resumes from
+	msgBatch     byte = 1 // epoch u64, shard u16, gen u64, startSeq u64, count u32, count×(len u32, payload)
+	msgSnapBegin byte = 2 // epoch u64, shard u16, gen u64, seq u64 — the position the tail resumes from
 	msgSnapChunk byte = 3 // shard u16, count u32, count×(klen u32, key, vlen u32, val)
 	msgSnapEnd   byte = 4 // shard u16
-	msgHeartbeat byte = 5 // shard u16, gen u64, endSeq u64 — the leader's current end
-	msgAck       byte = 6 // shard u16, gen u64, seq u64 — follower's applied position
+	msgHeartbeat byte = 5 // epoch u64, shard u16, gen u64, endSeq u64 — the leader's current end
+	msgAck       byte = 6 // epoch u64, shard u16, gen u64, seq u64 — follower's applied position
 )
 
 const (
@@ -115,11 +121,61 @@ func readMsg(r *bufio.Reader, buf []byte) (typ byte, body, nextBuf []byte, err e
 	return buf[0], buf[1:], buf, nil
 }
 
+// appendHistory encodes a leadership history: count u16, then per term
+// epoch u64 + start-position count u16 + that many (gen u64, seq u64).
+func appendHistory(b []byte, hist []shard.EpochEntry) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(hist)))
+	for _, e := range hist {
+		b = binary.LittleEndian.AppendUint64(b, e.Epoch)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(e.Start)))
+		for _, p := range e.Start {
+			b = binary.LittleEndian.AppendUint64(b, p.Gen)
+			b = binary.LittleEndian.AppendUint64(b, p.Seq)
+		}
+	}
+	return b
+}
+
+// decodeHistory parses an encoded history, returning the remaining bytes.
+// Allocation is bounded by the payload length, never by the claimed
+// counts, so hostile frames cannot balloon memory.
+func decodeHistory(rest []byte) ([]shard.EpochEntry, []byte, error) {
+	if len(rest) < 2 {
+		return nil, nil, fmt.Errorf("%w: history truncated", errProto)
+	}
+	n := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	var hist []shard.EpochEntry
+	for i := 0; i < n; i++ {
+		if len(rest) < 10 {
+			return nil, nil, fmt.Errorf("%w: history entry truncated", errProto)
+		}
+		e := shard.EpochEntry{Epoch: binary.LittleEndian.Uint64(rest[:8])}
+		ns := int(binary.LittleEndian.Uint16(rest[8:10]))
+		rest = rest[10:]
+		if len(rest) < ns*16 {
+			return nil, nil, fmt.Errorf("%w: history positions truncated", errProto)
+		}
+		for j := 0; j < ns; j++ {
+			e.Start = append(e.Start, wal.Position{
+				Gen: binary.LittleEndian.Uint64(rest[:8]),
+				Seq: binary.LittleEndian.Uint64(rest[8:16]),
+			})
+			rest = rest[16:]
+		}
+		hist = append(hist, e)
+	}
+	return hist, rest, nil
+}
+
 // encodeSubscribe builds the OpSubscribe request payload: the follower's
-// per-shard applied positions, or none when it is fresh and the leader
-// should assume genesis everywhere.
-func encodeSubscribe(positions []wal.Position) []byte {
+// epoch, its leadership history, and its per-shard applied positions — or
+// no positions when it is fresh and the leader should assume genesis
+// everywhere.
+func encodeSubscribe(epoch uint64, hist []shard.EpochEntry, positions []wal.Position) []byte {
 	b := append([]byte(magic), protoVersion)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = appendHistory(b, hist)
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(positions)))
 	for _, p := range positions {
 		b = binary.LittleEndian.AppendUint64(b, p.Gen)
@@ -128,37 +184,49 @@ func encodeSubscribe(positions []wal.Position) []byte {
 	return b
 }
 
-// decodeSubscribe parses the handshake payload; a nil slice with nil error
-// means a fresh follower.
-func decodeSubscribe(payload []byte) ([]wal.Position, error) {
-	if len(payload) < len(magic)+3 || string(payload[:len(magic)]) != magic {
-		return nil, fmt.Errorf("%w: bad subscribe magic", errProto)
+// decodeSubscribe parses the handshake payload; nil positions with nil
+// error mean a fresh follower.
+func decodeSubscribe(payload []byte) (epoch uint64, hist []shard.EpochEntry, positions []wal.Position, err error) {
+	if len(payload) < len(magic)+1+8+2+2 || string(payload[:len(magic)]) != magic {
+		return 0, nil, nil, fmt.Errorf("%w: bad subscribe magic", errProto)
 	}
 	if v := payload[len(magic)]; v != protoVersion {
-		return nil, fmt.Errorf("%w: protocol version %d (want %d)", errProto, v, protoVersion)
+		return 0, nil, nil, fmt.Errorf("%w: protocol version %d (want %d)", errProto, v, protoVersion)
 	}
 	rest := payload[len(magic)+1:]
+	epoch = binary.LittleEndian.Uint64(rest[:8])
+	hist, rest, err = decodeHistory(rest[8:])
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(rest) < 2 {
+		return 0, nil, nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
+	}
 	n := int(binary.LittleEndian.Uint16(rest[:2]))
 	rest = rest[2:]
 	if len(rest) != n*16 {
-		return nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
+		return 0, nil, nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
 	}
 	if n == 0 {
-		return nil, nil
+		return epoch, hist, nil, nil
 	}
-	positions := make([]wal.Position, n)
+	positions = make([]wal.Position, n)
 	for i := range positions {
 		positions[i].Gen = binary.LittleEndian.Uint64(rest[:8])
 		positions[i].Seq = binary.LittleEndian.Uint64(rest[8:16])
 		rest = rest[16:]
 	}
-	return positions, nil
+	return epoch, hist, positions, nil
 }
 
-// writeHandshake sends the leader's handshake response: status, shard
-// count, and the partitioner boundaries the follower must route by.
-func writeHandshake(w *bufio.Writer, status byte, nshards int, bounds [][]byte) error {
+// writeHandshake sends the leader's handshake response: status, the
+// leader's epoch and leadership history, shard count, and the partitioner
+// boundaries the follower must route by. On hsStale the epoch is the one
+// that outbids this server — the follower records it and looks elsewhere.
+func writeHandshake(w *bufio.Writer, status byte, epoch uint64, hist []shard.EpochEntry, nshards int, bounds [][]byte) error {
 	b := append([]byte(magic), status)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = appendHistory(b, hist)
 	b = binary.LittleEndian.AppendUint16(b, uint16(nshards))
 	b = binary.LittleEndian.AppendUint16(b, uint16(len(bounds)))
 	for _, bd := range bounds {
@@ -181,57 +249,84 @@ var errNotLeader = errors.New("repl: server is not a replication leader")
 // 7-byte netkv StatusNotFound frame, which must be detected from its
 // first bytes — blocking for the full handshake header would stall until
 // the read deadline instead of surfacing the refusal.
-func readHandshake(r *bufio.Reader) (status byte, nshards int, bounds [][]byte, err error) {
+func readHandshake(r *bufio.Reader) (status byte, epoch uint64, hist []shard.EpochEntry, nshards int, bounds [][]byte, err error) {
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(r, head); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, 0, nil, err
 	}
 	if string(head) != magic {
-		return 0, 0, nil, errNotLeader
+		return 0, 0, nil, 0, nil, errNotLeader
 	}
-	hdr := make([]byte, 5)
+	hdr := make([]byte, 1+8+2)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, 0, nil, err
 	}
 	status = hdr[0]
-	nshards = int(binary.LittleEndian.Uint16(hdr[1:]))
-	nbounds := int(binary.LittleEndian.Uint16(hdr[3:]))
-	if nbounds > 1<<16 {
-		return 0, 0, nil, errProto
+	epoch = binary.LittleEndian.Uint64(hdr[1:9])
+	nhist := int(binary.LittleEndian.Uint16(hdr[9:11]))
+	entry := make([]byte, 10)
+	for i := 0; i < nhist; i++ {
+		if _, err := io.ReadFull(r, entry); err != nil {
+			return 0, 0, nil, 0, nil, err
+		}
+		e := shard.EpochEntry{Epoch: binary.LittleEndian.Uint64(entry[:8])}
+		ns := int(binary.LittleEndian.Uint16(entry[8:10]))
+		var pos [16]byte
+		for j := 0; j < ns; j++ {
+			if _, err := io.ReadFull(r, pos[:]); err != nil {
+				return 0, 0, nil, 0, nil, err
+			}
+			e.Start = append(e.Start, wal.Position{
+				Gen: binary.LittleEndian.Uint64(pos[:8]),
+				Seq: binary.LittleEndian.Uint64(pos[8:16]),
+			})
+		}
+		hist = append(hist, e)
 	}
+	tail := make([]byte, 4)
+	if _, err := io.ReadFull(r, tail); err != nil {
+		return 0, 0, nil, 0, nil, err
+	}
+	nshards = int(binary.LittleEndian.Uint16(tail[:2]))
+	nbounds := int(binary.LittleEndian.Uint16(tail[2:4]))
 	var lenBuf [4]byte
 	for i := 0; i < nbounds; i++ {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, 0, nil, err
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
 		if n > 1<<20 {
-			return 0, 0, nil, fmt.Errorf("%w: boundary length %d", errProto, n)
+			return 0, 0, nil, 0, nil, fmt.Errorf("%w: boundary length %d", errProto, n)
 		}
 		bd := make([]byte, n)
 		if _, err := io.ReadFull(r, bd); err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, 0, nil, err
 		}
 		bounds = append(bounds, bd)
 	}
-	return status, nshards, bounds, nil
+	return status, epoch, hist, nshards, bounds, nil
 }
 
-// appendPosMsg encodes the common [shard u16][gen u64][seq u64] body shared
-// by msgHeartbeat and msgAck.
-func appendPosMsg(b []byte, shard int, p wal.Position) []byte {
+// appendPosMsg encodes the [epoch u64][shard u16][gen u64][seq u64] body
+// shared by msgSnapBegin, msgHeartbeat, and msgAck. The epoch stamp is what
+// lets either side detect a cross-term message: a follower drops a
+// connection whose frames stop matching the handshake epoch, and a leader
+// receiving an ack from a higher epoch knows it has been superseded.
+func appendPosMsg(b []byte, epoch uint64, shard int, p wal.Position) []byte {
+	b = binary.LittleEndian.AppendUint64(b, epoch)
 	b = binary.LittleEndian.AppendUint16(b, uint16(shard))
 	b = binary.LittleEndian.AppendUint64(b, p.Gen)
 	return binary.LittleEndian.AppendUint64(b, p.Seq)
 }
 
-// decodePosMsg parses a heartbeat or ack body.
-func decodePosMsg(body []byte) (shard int, p wal.Position, err error) {
-	if len(body) != 18 {
-		return 0, wal.Position{}, fmt.Errorf("%w: position message length %d", errProto, len(body))
+// decodePosMsg parses a snapshot-begin, heartbeat, or ack body.
+func decodePosMsg(body []byte) (epoch uint64, shard int, p wal.Position, err error) {
+	if len(body) != 26 {
+		return 0, 0, wal.Position{}, fmt.Errorf("%w: position message length %d", errProto, len(body))
 	}
-	shard = int(binary.LittleEndian.Uint16(body[:2]))
-	p.Gen = binary.LittleEndian.Uint64(body[2:10])
-	p.Seq = binary.LittleEndian.Uint64(body[10:18])
-	return shard, p, nil
+	epoch = binary.LittleEndian.Uint64(body[:8])
+	shard = int(binary.LittleEndian.Uint16(body[8:10]))
+	p.Gen = binary.LittleEndian.Uint64(body[10:18])
+	p.Seq = binary.LittleEndian.Uint64(body[18:26])
+	return epoch, shard, p, nil
 }

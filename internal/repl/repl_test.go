@@ -495,16 +495,31 @@ func TestPositionSurvivesInWAL(t *testing.T) {
 	}
 }
 
-// TestSubscribePayloadRoundTrip exercises the handshake encoding directly.
+// TestSubscribePayloadRoundTrip exercises the handshake encoding directly:
+// epoch, leadership history, and positions all survive the round trip, and
+// malformed payloads are rejected rather than misread.
 func TestSubscribePayloadRoundTrip(t *testing.T) {
-	for _, positions := range [][]wal.Position{
+	histories := [][]shard.EpochEntry{
+		nil,
+		{{Epoch: 1}},
+		{{Epoch: 1}, {Epoch: 3, Start: []wal.Position{{Gen: 2, Seq: 41}, {Gen: 1, Seq: 7}}}},
+	}
+	for hi, positions := range [][]wal.Position{
 		nil,
 		{{Gen: 1, Seq: 0}},
 		{{Gen: 3, Seq: 77}, {Gen: 1, Seq: 0}, {Gen: 9, Seq: 1 << 40}},
 	} {
-		got, err := decodeSubscribe(encodeSubscribe(positions))
+		hist := histories[hi]
+		epoch := uint64(hi * 5)
+		gotEpoch, gotHist, got, err := decodeSubscribe(encodeSubscribe(epoch, hist, positions))
 		if err != nil {
 			t.Fatalf("%v: %v", positions, err)
+		}
+		if gotEpoch != epoch {
+			t.Fatalf("epoch round trip %d -> %d", epoch, gotEpoch)
+		}
+		if !shard.HistoryEqual(gotHist, hist) {
+			t.Fatalf("history round trip %v -> %v", hist, gotHist)
 		}
 		if len(got) != len(positions) {
 			t.Fatalf("round trip %v -> %v", positions, got)
@@ -515,11 +530,14 @@ func TestSubscribePayloadRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if _, err := decodeSubscribe([]byte("WHRPX\x01\x00\x00")); err == nil {
+	if _, _, _, err := decodeSubscribe([]byte("WHRPX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if _, err := decodeSubscribe(encodeSubscribe(nil)[:6]); err == nil {
-		t.Fatal("truncated payload accepted")
+	full := encodeSubscribe(7, histories[2], []wal.Position{{Gen: 1, Seq: 2}})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, _, err := decodeSubscribe(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
 	}
 }
 
@@ -530,7 +548,7 @@ func TestMessageFraming(t *testing.T) {
 	defer b.Close()
 	go func() {
 		w := bufio.NewWriter(a)
-		writeMsg(w, msgAck, appendPosMsg(nil, 2, wal.Position{Gen: 5, Seq: 99}))
+		writeMsg(w, msgAck, appendPosMsg(nil, 4, 2, wal.Position{Gen: 5, Seq: 99}))
 	}()
 	typ, body, _, err := readMsg(bufio.NewReader(b), nil)
 	if err != nil {
@@ -539,9 +557,9 @@ func TestMessageFraming(t *testing.T) {
 	if typ != msgAck {
 		t.Fatalf("type %d", typ)
 	}
-	sh, p, err := decodePosMsg(body)
-	if err != nil || sh != 2 || p != (wal.Position{Gen: 5, Seq: 99}) {
-		t.Fatalf("decoded %d %v %v", sh, p, err)
+	e, sh, p, err := decodePosMsg(body)
+	if err != nil || e != 4 || sh != 2 || p != (wal.Position{Gen: 5, Seq: 99}) {
+		t.Fatalf("decoded %d %d %v %v", e, sh, p, err)
 	}
 }
 

@@ -114,6 +114,8 @@ func (s *Source) DisconnectAll() {
 // distance cannot be counted from positions alone).
 func (s *Source) FillStat(st *netkv.Stat) {
 	st.Role = "leader"
+	st.Epoch = s.st.Epoch()
+	st.FencedBy = s.st.FencedBy()
 	s.mu.Lock()
 	subs := make([]*subscriber, 0, len(s.subs))
 	for sub := range s.subs {
@@ -168,23 +170,49 @@ func (s *Source) unregister(sub *subscriber) {
 func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer, payload []byte) {
 	n := s.st.NumShards()
 	bounds := s.st.Bounds()
-	positions, err := decodeSubscribe(payload)
+	fe, fhist, positions, err := decodeSubscribe(payload)
 	if err != nil || !s.st.Durable() {
-		writeHandshake(w, hsUnavailable, n, nil)
+		writeHandshake(w, hsUnavailable, s.st.Epoch(), nil, n, nil)
+		return
+	}
+	leaderEpoch := s.st.Epoch()
+	leaderHist := s.st.EpochHistory()
+	// Fencing, both directions. A subscriber from a higher epoch proves a
+	// newer leadership term exists: fence ourselves BEFORE answering, so no
+	// write can sneak in between learning of the term and refusing. A
+	// subscriber from any epoch gets hsStale if we are already fenced — a
+	// fenced node must not feed a replica that would then trust a
+	// superseded lineage.
+	if fe > leaderEpoch {
+		s.st.Fence(fe)
+		writeHandshake(w, hsStale, fe, nil, n, nil)
+		return
+	}
+	if fb := s.st.FencedBy(); fb != 0 {
+		writeHandshake(w, hsStale, fb, nil, n, nil)
 		return
 	}
 	if positions != nil && len(positions) != n {
-		writeHandshake(w, hsMismatch, n, bounds)
+		writeHandshake(w, hsMismatch, leaderEpoch, leaderHist, n, bounds)
 		return
 	}
+	// A fresh follower (no positions) tails from genesis: the empty state
+	// is a valid prefix of any lineage. A follower with state resumes the
+	// tail only when its leadership history matches ours verbatim — any
+	// difference means its positions are coordinates in some other
+	// leader's WAL, and every shard must be corrected by snapshot first.
+	forceSnap := false
 	if positions == nil {
 		positions = make([]wal.Position, n)
 		for i := range positions {
 			positions[i] = wal.Genesis
 		}
+	} else if !shard.HistoryEqual(fhist, leaderHist) {
+		forceSnap = true
 	}
 	sub := &subscriber{
 		src:    s,
+		epoch:  leaderEpoch,
 		remote: conn.RemoteAddr().String(),
 		conn:   conn,
 		w:      w,
@@ -194,17 +222,17 @@ func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 	}
 	sub.lastAck = time.Now()
 	if !s.register(sub) {
-		writeHandshake(w, hsUnavailable, n, nil)
+		writeHandshake(w, hsUnavailable, leaderEpoch, nil, n, nil)
 		return
 	}
 	defer s.unregister(sub)
-	if err := writeHandshake(w, hsOK, n, bounds); err != nil {
+	if err := writeHandshake(w, hsOK, leaderEpoch, leaderHist, n, bounds); err != nil {
 		return
 	}
 	sub.wg.Add(1 + n)
 	go sub.readAcks(r)
 	for i := 0; i < n; i++ {
-		go sub.streamShard(s.st, i, positions[i])
+		go sub.streamShard(s.st, i, positions[i], forceSnap)
 	}
 	sub.wg.Wait()
 }
@@ -214,6 +242,7 @@ func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 // ack reader tracks how far the follower has durably applied.
 type subscriber struct {
 	src    *Source
+	epoch  uint64 // the leader epoch this stream serves, fixed at handshake
 	remote string
 	conn   net.Conn
 	w      *bufio.Writer
@@ -297,6 +326,9 @@ func (sub *subscriber) setSent(shard int, p wal.Position) {
 }
 
 // readAcks consumes the follower→leader direction: applied-position acks.
+// An ack stamped with a higher epoch than this stream's is proof the
+// follower moved to a newer leadership term mid-connection: the leader
+// fences itself and drops the stream.
 func (sub *subscriber) readAcks(r *bufio.Reader) {
 	defer sub.wg.Done()
 	defer sub.fail()
@@ -307,8 +339,12 @@ func (sub *subscriber) readAcks(r *bufio.Reader) {
 			return
 		}
 		buf = next
-		shard, p, err := decodePosMsg(body)
+		epoch, shard, p, err := decodePosMsg(body)
 		if err != nil || shard >= len(sub.acked) {
+			return
+		}
+		if epoch > sub.epoch {
+			sub.src.st.Fence(epoch)
 			return
 		}
 		sub.mu.Lock()
@@ -323,9 +359,18 @@ func (sub *subscriber) readAcks(r *bufio.Reader) {
 // the GC horizon (its generation was deleted by a covering snapshot),
 // beyond the leader's history (the follower applied records a crashed
 // leader lost), or pointing into a sealed generation past its end.
-func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position) {
+func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position, forceSnap bool) {
 	defer sub.wg.Done()
 	ws := st.WAL(shard)
+	if forceSnap {
+		// History mismatch at handshake: the follower's position is in a
+		// foreign lineage's coordinates — correct it before any tailing.
+		next, ok := sub.sendSnapshot(st, shard)
+		if !ok {
+			return
+		}
+		pos = next
+	}
 	for !sub.stopped() {
 		active := ws.ActiveGen()
 		reachable := pos.Gen == active ||
@@ -397,6 +442,7 @@ func (sub *subscriber) streamSegment(ws *wal.Store, shard int, sr *wal.SegmentRe
 	sealed := false
 	for !sub.stopped() {
 		body = body[:0]
+		body = binary.LittleEndian.AppendUint64(body, sub.epoch)
 		body = binary.LittleEndian.AppendUint16(body, uint16(shard))
 		body = binary.LittleEndian.AppendUint64(body, sr.Gen())
 		body = binary.LittleEndian.AppendUint64(body, sr.Seq())
@@ -434,7 +480,7 @@ func (sub *subscriber) streamSegment(ws *wal.Store, shard int, sr *wal.SegmentRe
 		ws.FlushBuffered()
 		if time.Since(lastBeat) >= heartbeatEvery {
 			lastBeat = time.Now()
-			if !sub.send(msgHeartbeat, appendPosMsg(body[:0], shard, ws.EndPos())) {
+			if !sub.send(msgHeartbeat, appendPosMsg(body[:0], sub.epoch, shard, ws.EndPos())) {
 				return pos, false
 			}
 		}
@@ -461,7 +507,7 @@ func (sub *subscriber) sendSnapshot(st *shard.Store, shard int) (wal.Position, b
 	ws := st.WAL(shard)
 	pos := ws.EndPos()
 	var body []byte
-	if !sub.send(msgSnapBegin, appendPosMsg(body, shard, pos)) {
+	if !sub.send(msgSnapBegin, appendPosMsg(body, sub.epoch, shard, pos)) {
 		return wal.Position{}, false
 	}
 	newChunk := func() []byte {

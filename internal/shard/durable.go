@@ -20,17 +20,33 @@ import (
 // partitioner boundaries: routing must be byte-identical across restarts
 // or previously stored keys would become unreachable in their new shard.
 
-// manifest is the durable partitioning contract, written once at creation.
+// manifest is the durable partitioning and leadership contract. The
+// partitioning half is written once at creation; the epoch half is
+// rewritten (atomically, through the same temp+rename path) on every
+// promotion, fence, and lineage adoption. The epoch fields are additive —
+// a PR-5-era manifest without them reads as epoch 1, unfenced.
 type manifest struct {
 	Version int      `json:"version"`
 	Shards  int      `json:"shards"`
 	Bounds  []string `json:"bounds"` // base64, strictly ascending
+
+	Epoch    uint64       `json:"epoch,omitempty"`
+	FencedBy uint64       `json:"fenced_by,omitempty"`
+	Epochs   []EpochEntry `json:"epochs,omitempty"`
+}
+
+// manifestEpochs bundles the epoch half of the manifest for writers.
+type manifestEpochs struct {
+	Epoch    uint64
+	FencedBy uint64
+	History  []EpochEntry
 }
 
 const manifestName = "MANIFEST"
 
-func writeManifest(fsys vfs.FS, dir string, p *Partitioner) error {
-	m := manifest{Version: 1, Shards: p.NumShards()}
+func writeManifest(fsys vfs.FS, dir string, p *Partitioner, e manifestEpochs) error {
+	m := manifest{Version: 1, Shards: p.NumShards(),
+		Epoch: e.Epoch, FencedBy: e.FencedBy, Epochs: e.History}
 	for _, b := range p.Bounds() {
 		m.Bounds = append(m.Bounds, base64.StdEncoding.EncodeToString(b))
 	}
@@ -41,36 +57,46 @@ func writeManifest(fsys vfs.FS, dir string, p *Partitioner) error {
 	// The manifest pins routing for the store's whole life; it must be
 	// durable before any shard data is, or a crash between the two would
 	// silently re-derive different boundaries on reopen and orphan every
-	// key already written.
+	// key already written. The same atomicity makes an epoch bump
+	// all-or-nothing: a crash mid-promotion recovers either the old or
+	// the new lineage, never a half-written one.
 	return wal.WriteFileAtomicFS(fsys, filepath.Join(dir, manifestName), append(buf, '\n'))
 }
 
-func readManifest(fsys vfs.FS, dir string) (*Partitioner, error) {
+func readManifest(fsys vfs.FS, dir string) (*Partitioner, manifestEpochs, error) {
+	var none manifestEpochs
 	buf, err := fsys.ReadFile(filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, err
+		return nil, none, err
 	}
 	var m manifest
 	if err := json.Unmarshal(buf, &m); err != nil {
-		return nil, fmt.Errorf("shard: corrupt MANIFEST: %w", err)
+		return nil, none, fmt.Errorf("shard: corrupt MANIFEST: %w", err)
 	}
 	if m.Version != 1 {
-		return nil, fmt.Errorf("shard: MANIFEST version %d not supported", m.Version)
+		return nil, none, fmt.Errorf("shard: MANIFEST version %d not supported", m.Version)
 	}
 	bounds := make([][]byte, 0, len(m.Bounds))
 	for _, s := range m.Bounds {
 		b, err := base64.StdEncoding.DecodeString(s)
 		if err != nil {
-			return nil, fmt.Errorf("shard: corrupt MANIFEST boundary: %w", err)
+			return nil, none, fmt.Errorf("shard: corrupt MANIFEST boundary: %w", err)
 		}
 		bounds = append(bounds, b)
 	}
 	p := NewExplicit(bounds)
 	if p.NumShards() != m.Shards {
-		return nil, fmt.Errorf("shard: MANIFEST shard count %d does not match %d boundaries",
+		return nil, none, fmt.Errorf("shard: MANIFEST shard count %d does not match %d boundaries",
 			m.Shards, len(bounds))
 	}
-	return p, nil
+	e := manifestEpochs{Epoch: m.Epoch, FencedBy: m.FencedBy, History: m.Epochs}
+	if e.Epoch == 0 {
+		e.Epoch = 1
+	}
+	if len(e.History) == 0 {
+		e.History = []EpochEntry{{Epoch: e.Epoch}}
+	}
+	return p, e, nil
 }
 
 // Open creates or reopens a durable store in o.Dir. On a fresh directory
@@ -87,10 +113,12 @@ func Open(o Options) (*Store, error) {
 	if err := fsys.MkdirAll(o.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	p, err := readManifest(fsys, o.Dir)
+	epochs := manifestEpochs{Epoch: 1, History: []EpochEntry{{Epoch: 1}}}
+	p, recovered, err := readManifest(fsys, o.Dir)
 	switch {
 	case err == nil:
 		o.Partitioner = p
+		epochs = recovered
 	case os.IsNotExist(err):
 		// Fresh directory: derive the partitioning as New would, then pin it.
 		if o.Shards <= 0 {
@@ -103,7 +131,7 @@ func Open(o Options) (*Store, error) {
 				o.Partitioner = NewUniform(o.Shards)
 			}
 		}
-		if err := writeManifest(fsys, o.Dir, o.Partitioner); err != nil {
+		if err := writeManifest(fsys, o.Dir, o.Partitioner, epochs); err != nil {
 			return nil, err
 		}
 	default:
@@ -113,6 +141,11 @@ func Open(o Options) (*Store, error) {
 	dir := o.Dir
 	s := New(o)
 	s.dir = dir
+	s.fs = fsys
+	s.epoch = epochs.Epoch
+	s.history = epochs.History
+	s.fencedBy = epochs.FencedBy
+	s.fenced.Store(epochs.FencedBy != 0)
 	s.wals = make([]*wal.Store, len(s.shards))
 	var wg sync.WaitGroup
 	errs := make([]error, len(s.shards))

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/repro/wormhole/internal/wal"
+)
+
+// Replication epochs. Leadership over a store's keyspace is a fenced,
+// monotonic epoch: every promotion bumps it, the bump is durable (MANIFEST
+// plus an in-band WAL stamp per shard) before the new leader accepts a
+// write, and a store that learns of a higher epoch fences itself — all
+// writes refuse with ErrFenced BEFORE the index mutates, the same
+// refuse-early shape as degraded mode. Positions in a WAL stream are only
+// meaningful within the leader lineage that produced them, so the epoch
+// history (which terms this store's state descends from, and where each
+// began) is what replication compares to decide whether a tail resume is
+// safe or a snapshot resync is required.
+
+// ErrFenced is the sticky write-refusal error of a store that has learned
+// of a higher replication epoch. Use errors.Is against FenceErr results.
+var ErrFenced = errors.New("shard: fenced by a higher replication epoch")
+
+// EpochEntry is one leadership term in a store's replication history: the
+// epoch number and the per-shard end positions of the promoting store when
+// the term began. Start positions are coordinates in the WAL of the leader
+// that served the term; two histories are comparable only verbatim.
+type EpochEntry struct {
+	Epoch uint64         `json:"epoch"`
+	Start []wal.Position `json:"start,omitempty"`
+}
+
+// HistoryEqual reports whether two epoch histories are identical term for
+// term — the condition under which a follower's applied positions are
+// coordinates in the leader's WAL lineage and a tail resume is safe. Any
+// difference (missing term, extra term, same epoch number starting at a
+// different position) means the states descend from different leader
+// writes somewhere, and only a snapshot resync reconverges them.
+func HistoryEqual(a, b []EpochEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Epoch != b[i].Epoch || len(a[i].Start) != len(b[i].Start) {
+			return false
+		}
+		for j := range a[i].Start {
+			if a[i].Start[j] != b[i].Start[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CloneHistory deep-copies an epoch history.
+func CloneHistory(h []EpochEntry) []EpochEntry {
+	if h == nil {
+		return nil
+	}
+	out := make([]EpochEntry, len(h))
+	for i, e := range h {
+		out[i] = EpochEntry{Epoch: e.Epoch, Start: append([]wal.Position(nil), e.Start...)}
+	}
+	return out
+}
+
+// Epoch returns the store's current replication epoch (1 for a store that
+// has never been promoted or adopted a later lineage).
+func (s *Store) Epoch() uint64 {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.epoch
+}
+
+// FencedBy returns the higher epoch that fenced this store, or 0 when the
+// store is not fenced.
+func (s *Store) FencedBy() uint64 {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return s.fencedBy
+}
+
+// EpochHistory returns a copy of the store's leadership history.
+func (s *Store) EpochHistory() []EpochEntry {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	return CloneHistory(s.history)
+}
+
+// FenceErr is the write-path fencing check: nil when the store may accept
+// writes, an ErrFenced-wrapping error naming both epochs when a higher
+// epoch has fenced it. The server consults it BEFORE applying a write, so
+// a stale leader refuses with StatusFenced without mutating the index.
+// One atomic load on the unfenced path.
+func (s *Store) FenceErr() error {
+	if !s.fenced.Load() {
+		return nil
+	}
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if s.fencedBy == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: this node is at epoch %d, fenced by epoch %d",
+		ErrFenced, s.epoch, s.fencedBy)
+}
+
+// Fence records that a higher epoch exists: the store flips into fenced
+// read-only mode (FenceErr non-nil) and persists the fence so a restart
+// cannot forget it. Fencing by an epoch not above the current one is
+// ignored (the caller is stale, not us); repeated fences keep the highest
+// epoch seen. Returns the persistence error, with the in-memory fence in
+// place regardless — refusing writes must not depend on a disk write.
+func (s *Store) Fence(epoch uint64) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	if epoch <= s.epoch || epoch <= s.fencedBy {
+		return nil
+	}
+	s.fencedBy = epoch
+	s.fenced.Store(true)
+	return s.persistEpochLocked()
+}
+
+// BumpEpoch starts a new leadership term: the new epoch is one past the
+// highest epoch this store has ever seen — its own, any epoch that fenced
+// it, and the caller-supplied floor (a follower passes the last leader
+// epoch it observed). The term is appended to the history starting at the
+// current per-shard end positions, persisted in the MANIFEST, stamped
+// in-band into every shard's WAL, and the stamps are flushed so the bump
+// is durable before the first write of the new term can be acknowledged.
+// Clears any fence: the promotion outbids it by construction.
+func (s *Store) BumpEpoch(observed uint64) (uint64, error) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	next := s.epoch
+	if s.fencedBy > next {
+		next = s.fencedBy
+	}
+	if observed > next {
+		next = observed
+	}
+	next++
+
+	start := make([]wal.Position, len(s.shards))
+	for i := range start {
+		if i < len(s.wals) && s.wals[i] != nil {
+			start[i] = s.wals[i].EndPos()
+		} else {
+			start[i] = wal.Genesis
+		}
+	}
+	s.epoch = next
+	s.history = append(s.history, EpochEntry{Epoch: next, Start: start})
+	s.fencedBy = 0
+	s.fenced.Store(false)
+
+	err := s.persistEpochLocked()
+	for _, st := range s.wals {
+		if st == nil {
+			continue
+		}
+		if aerr := st.AppendEpoch(next); aerr != nil && err == nil {
+			err = aerr
+		}
+	}
+	for _, st := range s.wals {
+		if st == nil {
+			continue
+		}
+		if ferr := st.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return next, err
+}
+
+// AdoptHistory replaces the store's epoch lineage with its leader's — the
+// final step of a follower's full snapshot resync, called only after
+// every shard's applied position has been corrected to the leader's
+// coordinates. Clears a fence the adopted lineage outbids: the node now
+// follows the very lineage that fenced it. Persisted before returning so
+// a crash after adoption re-handshakes with the adopted history.
+func (s *Store) AdoptHistory(epoch uint64, hist []EpochEntry) error {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	s.epoch = epoch
+	s.history = CloneHistory(hist)
+	if s.fencedBy <= epoch {
+		s.fencedBy = 0
+		s.fenced.Store(false)
+	}
+	return s.persistEpochLocked()
+}
+
+// persistEpochLocked rewrites the MANIFEST with the current epoch state.
+// Caller holds epochMu. Volatile stores (no dir) keep epochs in memory.
+func (s *Store) persistEpochLocked() error {
+	if s.dir == "" {
+		return nil
+	}
+	return writeManifest(s.fs, s.dir, s.part, manifestEpochs{
+		Epoch:    s.epoch,
+		FencedBy: s.fencedBy,
+		History:  s.history,
+	})
+}

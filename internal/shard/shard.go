@@ -17,9 +17,11 @@ package shard
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/repro/wormhole/internal/core"
 	"github.com/repro/wormhole/internal/index"
+	"github.com/repro/wormhole/internal/vfs"
 	"github.com/repro/wormhole/internal/wal"
 )
 
@@ -80,6 +82,15 @@ type Store struct {
 	// snapshot pair per shard, registered as that shard's mutation hook.
 	dir  string
 	wals []*wal.Store
+	fs   vfs.FS
+
+	// Replication epoch state (epoch.go). Durable stores persist it in
+	// the MANIFEST; volatile stores keep it in memory only.
+	epochMu  sync.Mutex
+	epoch    uint64
+	history  []EpochEntry
+	fencedBy uint64
+	fenced   atomic.Bool // mirrors fencedBy != 0 for lock-free write checks
 }
 
 // New creates an empty sharded store.
@@ -102,7 +113,7 @@ func New(o Options) *Store {
 	for i := range shards {
 		shards[i] = core.New(o.Core)
 	}
-	return &Store{part: p, shards: shards}
+	return &Store{part: p, shards: shards, epoch: 1, history: []EpochEntry{{Epoch: 1}}}
 }
 
 // NumShards returns the number of partitions.

@@ -126,13 +126,15 @@ func TestPositionMarkers(t *testing.T) {
 	if w2.Count() != 3 {
 		t.Fatalf("markers perturbed recovery: %d keys", w2.Count())
 	}
-	// The base survives reopen: new appends continue the file's ordinals.
-	if end := st2.EndPos(); end != (Position{Gen: 1, Seq: 5}) {
-		t.Fatalf("EndPos after reopen %v, want (1,5)", end)
+	// Reopen seals the recovered generation and rotates: new appends land
+	// in a fresh generation so a restart can never regrow a crash-lost
+	// tail under ordinals a replica already trusted.
+	if end := st2.EndPos(); end != (Position{Gen: 2, Seq: 0}) {
+		t.Fatalf("EndPos after reopen %v, want (2,0)", end)
 	}
 	w2.Set([]byte("d"), []byte("4"))
-	if end := st2.EndPos(); end != (Position{Gen: 1, Seq: 6}) {
-		t.Fatalf("EndPos after append %v, want (1,6)", end)
+	if end := st2.EndPos(); end != (Position{Gen: 2, Seq: 1}) {
+		t.Fatalf("EndPos after append %v, want (2,1)", end)
 	}
 	st2.Close()
 }

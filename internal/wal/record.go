@@ -28,20 +28,26 @@ import (
 // a degraded store writable again. Replay and replication count it as a
 // record ordinal (keeping positions aligned with file frame counts) but
 // apply nothing.
+// opEpoch stamps a replication-epoch bump in-band: a promoted leader
+// appends one per shard so the epoch boundary has a WAL ordinal and
+// streams to followers with the records it fences. Like opNoop it applies
+// nothing on replay — the authoritative epoch lives in the MANIFEST.
 const (
-	opSet  byte = 1
-	opDel  byte = 2
-	opPos  byte = 3
-	opNoop byte = 4
+	opSet   byte = 1
+	opDel   byte = 2
+	opPos   byte = 3
+	opNoop  byte = 4
+	opEpoch byte = 5
 )
 
 // Public record kinds, for replication consumers decoding streamed WAL
 // payloads with DecodeRecord.
 const (
-	RecordSet  = opSet
-	RecordDel  = opDel
-	RecordPos  = opPos
-	RecordNoop = opNoop
+	RecordSet   = opSet
+	RecordDel   = opDel
+	RecordPos   = opPos
+	RecordNoop  = opNoop
+	RecordEpoch = opEpoch
 )
 
 // appendSetRecord encodes a set mutation onto buf and returns it.
@@ -66,6 +72,12 @@ func appendPosRecord(buf []byte, p Position) []byte {
 	return binary.AppendUvarint(buf, p.Seq)
 }
 
+// appendEpochRecord encodes a replication-epoch stamp onto buf.
+func appendEpochRecord(buf []byte, epoch uint64) []byte {
+	buf = append(buf, opEpoch)
+	return binary.AppendUvarint(buf, epoch)
+}
+
 // decodeRecord parses one mutation payload. The returned key and val alias
 // payload; callers that retain them must copy. A malformed payload (unknown
 // op, short buffer, key length past the frame, or trailing bytes on a
@@ -82,6 +94,12 @@ func decodeRecord(payload []byte) (op byte, key, val []byte, err error) {
 	op = payload[0]
 	if op == opPos {
 		if _, err := DecodePosition(payload); err != nil {
+			return 0, nil, nil, err
+		}
+		return op, nil, nil, nil
+	}
+	if op == opEpoch {
+		if _, err := DecodeEpoch(payload); err != nil {
 			return 0, nil, nil, err
 		}
 		return op, nil, nil, nil
@@ -108,6 +126,18 @@ func decodeRecord(payload []byte) (op byte, key, val []byte, err error) {
 // alias payload.
 func DecodeRecord(payload []byte) (op byte, key, val []byte, err error) {
 	return decodeRecord(payload)
+}
+
+// DecodeEpoch parses an epoch-stamp payload (RecordEpoch).
+func DecodeEpoch(payload []byte) (uint64, error) {
+	if len(payload) < 2 || payload[0] != opEpoch {
+		return 0, fmt.Errorf("wal: not an epoch record")
+	}
+	epoch, n := binary.Uvarint(payload[1:])
+	if n <= 0 || 1+n != len(payload) {
+		return 0, fmt.Errorf("wal: bad epoch value")
+	}
+	return epoch, nil
 }
 
 // DecodePosition parses a position-marker payload (RecordPos).

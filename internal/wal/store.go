@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
@@ -254,6 +255,9 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 				s.recoveredPos, s.hasRecoveredPos = p, true
 			case opNoop:
 				// A heal probe: occupies a record ordinal, applies nothing.
+			case opEpoch:
+				// A replication-epoch stamp: metadata like opPos; the
+				// authoritative epoch is recovered from the MANIFEST.
 			}
 			replayed++
 			return nil
@@ -276,6 +280,31 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 		}
 	}
 
+	// Seal the recovered generation and append into a fresh one. Reopening
+	// mid-generation would let a restarted process regrow a crash-lost
+	// unsynced tail in place: a replica that had applied the lost records
+	// would see the same (gen,seq) ordinals carrying different mutations
+	// and trust them. Sealing at the recovered prefix makes every restart
+	// visible in the generation sequence — a replica holding a position
+	// past the sealed file's frame count cannot resume there and falls
+	// back to snapshot catch-up. Rotate only when the recovered
+	// generation's file actually exists: when it does not (recovery
+	// restarted the chain after dropping orphans), creating generation G+1
+	// without wal-G on disk would reintroduce exactly the gap the
+	// contiguity check above removes.
+	if fi, err := fsys.Stat(walPath(dir, appendGen)); err == nil {
+		if fi.Size() > appendOff {
+			// Drop the torn tail now: the sealed file must be exactly the
+			// record prefix recovery trusted, because replication skips
+			// sealed segments by frame count.
+			if err := sealRecoveredGen(fsys, walPath(dir, appendGen), appendOff); err != nil {
+				return fail(err)
+			}
+		}
+		appendGen++
+		appendOff, appendSeq = 0, 0
+	}
+
 	s.gen = appendGen
 	s.base = appendSeq
 	log, err := openLog(fsys, walPath(dir, appendGen), appendOff, opt.Sync, opt.Interval)
@@ -290,6 +319,25 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 	}
 	s.log = log
 	return s, nil
+}
+
+// sealRecoveredGen truncates a recovered WAL file to its valid record
+// prefix and fsyncs the cut, so the sealed generation holds exactly the
+// records recovery replayed.
+func sealRecoveredGen(fsys vfs.FS, path string, validLen int64) error {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // acquireDirLock takes an exclusive, non-blocking lock on dir/LOCK.

@@ -94,6 +94,28 @@ func (s *Store) AppendPosition(p Position) error {
 	return err
 }
 
+// AppendEpoch logs a replication-epoch stamp. A promoted leader appends
+// one per shard so the epoch bump occupies a WAL ordinal and streams to
+// followers in-band with the records it fences; replay applies nothing
+// for it (the MANIFEST is the authoritative epoch).
+func (s *Store) AppendEpoch(epoch uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	bp := recordPool.Get().(*[]byte)
+	rec := appendEpochRecord((*bp)[:0], epoch)
+	s.logMu.RLock()
+	gen := s.gen
+	_, err := s.log.Append(rec)
+	s.logMu.RUnlock()
+	*bp = rec[:0]
+	recordPool.Put(bp)
+	if err != nil {
+		s.recordFailure(err, gen)
+	}
+	return err
+}
+
 // RecoveredPosition returns the last position marker in the prefix Open
 // recovered, if any. Mutations replayed after the marker only advance the
 // true position past it, and streaming from a slightly-stale position

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/repro/wormhole/internal/repl"
+	"github.com/repro/wormhole/internal/shard"
 	"github.com/repro/wormhole/internal/wal"
 )
 
@@ -28,6 +29,17 @@ type FollowerConfig struct {
 	// AckInterval is how often applied positions are reported to the
 	// leader (its lag observability; default 100ms).
 	AckInterval time.Duration
+	// AutoPromote arms leader-loss failover: when no leader contact
+	// happens for HeartbeatTimeout, the follower promotes itself, bumping
+	// the replication epoch past any it has observed so the old leader is
+	// fenced on first contact with the new lineage.
+	AutoPromote bool
+	// HeartbeatTimeout is the leader silence that triggers auto-promotion
+	// (default 2s; the leader heartbeats idle streams every 200ms).
+	HeartbeatTimeout time.Duration
+	// OnPromote, when non-nil, runs after an automatic promotion with the
+	// newly-writable DB. Manual Promote calls do not invoke it.
+	OnPromote func(*DB)
 	// Logf, when non-nil, receives connection lifecycle messages
 	// (disconnects, reconnect attempts).
 	Logf func(format string, args ...any)
@@ -67,16 +79,23 @@ type Follower struct {
 // backoff until Promote or Close; Replicate itself fails fast when the
 // leader is unreachable or incompatible.
 func Replicate(c FollowerConfig) (*Follower, error) {
-	f, err := repl.Start(repl.Options{
+	o := repl.Options{
 		Leader: c.Leader,
 		Dir:    c.Dir,
 		Durability: wal.Options{
 			Sync:     wal.SyncPolicy(c.Sync),
 			Interval: c.SyncInterval,
 		},
-		AckInterval: c.AckInterval,
-		Logf:        c.Logf,
-	})
+		AckInterval:      c.AckInterval,
+		AutoPromote:      c.AutoPromote,
+		HeartbeatTimeout: c.HeartbeatTimeout,
+		Logf:             c.Logf,
+	}
+	if c.OnPromote != nil {
+		cb := c.OnPromote
+		o.OnPromote = func(s *shard.Store) { cb(&DB{Sharded{s: s}}) }
+	}
+	f, err := repl.Start(o)
 	if err != nil {
 		return nil, err
 	}
@@ -145,6 +164,16 @@ func (f *Follower) Lag() (records int64, known bool) { return f.f.Lag() }
 // Connected reports whether a stream to the leader is currently live.
 func (f *Follower) Connected() bool { return f.f.Connected() }
 
+// Epoch returns the replication epoch of the follower's own store. It
+// grows only on promotion: a follower created at epoch e keeps it until
+// Promote (manual or automatic) bumps past every epoch it has observed.
+func (f *Follower) Epoch() uint64 { return f.f.Store().Epoch() }
+
+// FencedBy returns the epoch that fenced this store, or zero while
+// unfenced. A non-zero value means a higher-epoch leader exists and this
+// store refuses writes until it resyncs into that lineage.
+func (f *Follower) FencedBy() uint64 { return f.f.Store().FencedBy() }
+
 // SnapshotsApplied returns how many shard snapshot catch-ups have run
 // (zero when every byte arrived by tail replay).
 func (f *Follower) SnapshotsApplied() int64 { return f.f.SnapshotsApplied() }
@@ -161,9 +190,16 @@ func (f *Follower) CatchingUp() []int { return f.f.CatchingUp() }
 // and, when the follower had a Dir, its durability lifecycle (the caller
 // now owns Close). Promoting mid snapshot catch-up abandons that merge:
 // check CatchingUp afterwards — affected shards may retain keys the
-// leader had deleted.
+// leader had deleted. Promotion bumps the store's replication epoch past
+// every epoch observed from the leader, so the old leader is fenced on
+// first contact with the new lineage. Returns nil after Close; repeated
+// calls return the same store — at most one call bumps the epoch.
 func (f *Follower) Promote() *DB {
-	return &DB{Sharded{s: f.f.Promote()}}
+	s := f.f.Promote()
+	if s == nil {
+		return nil
+	}
+	return &DB{Sharded{s: s}}
 }
 
 // Close stops replication and closes the follower store (unless Promote
