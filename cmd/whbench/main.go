@@ -54,6 +54,8 @@ func main() {
 		interlv  = flag.Int("interleave", 0, "extra GetBatch interleave depth for batchread's ladder")
 		dir      = flag.String("dir", "", "durability experiment: persist stores under this directory (default: a temp dir, removed afterwards)")
 		syncSel  = flag.String("sync", "", "durability experiment: comma-separated rows from {none,interval,always,recover} (default: all)")
+		segBytes = flag.Int("seg-bytes", 0, "recovery experiment: extra snapshot segment size for the 256KiB/1MiB ladder")
+		decodeW  = flag.Int("decode-workers", 0, "recovery experiment: extra decode-worker count for the 1/2/8 ladder")
 		jsonOut  = flag.String("json", "", "write machine-readable results (trajectory experiments, e.g. readpath) to this file")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -68,7 +70,8 @@ func main() {
 	cfg := &bench.Config{
 		Keys: *keys, Threads: *threads, Duration: *duration,
 		Seed: *seed, Batch: *batch, Shards: *shards,
-		Interleave: *interlv, Dir: *dir, Sync: *syncSel, Out: os.Stdout,
+		Interleave: *interlv, Dir: *dir, Sync: *syncSel,
+		SegBytes: *segBytes, DecodeWorkers: *decodeW, Out: os.Stdout,
 	}
 	cfg.Normalize()
 	var recorded []bench.Result

@@ -75,6 +75,9 @@ func serve(args []string) {
 	bounds := fs.String("bounds", "", "comma-separated shard boundary keys for -index wormhole-sharded (overrides -shards; place them at your keyspace's quantiles, since the default uniform byte ranges put all-ASCII keys in one shard)")
 	dir := fs.String("dir", "", "durable mode: persist to this directory (WAL + snapshots per shard; reopening recovers). Implies a sharded store; -index must be wormhole-sharded or unset")
 	syncMode := fs.String("sync", "none", "durable mode sync policy: none, interval or always")
+	segBytes := fs.Int("seg-bytes", 0, "durable mode: target snapshot segment size in bytes (0: 1MiB default); v2 snapshots split at this size so recovery decodes segments concurrently")
+	decodeWorkers := fs.Int("decode-workers", 0, "durable mode: snapshot segment decode workers per shard at recovery (0: GOMAXPROCS)")
+	snapV1 := fs.Bool("snap-v1", false, "durable mode: write monolithic v1 snapshots instead of v2 segments (both formats always recoverable)")
 	follow := fs.String("follow", "", "follower mode: replicate from this leader address, serve reads (writes answer StatusReadOnly); SIGUSR1 promotes to standalone. Combine with -dir so restarts resume the leader's WAL tail instead of resyncing")
 	connectTimeout := fs.Duration("connect-timeout", 0, "follower mode: keep retrying the first leader handshake this long before giving up and exiting non-zero (0: one attempt, fail fast)")
 	autoPromote := fs.Bool("auto-promote", false, "follower mode: promote automatically when the leader goes silent for -heartbeat-timeout, bumping the replication epoch so the old leader is fenced on first contact")
@@ -91,6 +94,7 @@ func serve(args []string) {
 	if *follow != "" {
 		serveFollower(followerConfig{
 			addr: *addr, leader: *follow, dir: *dir, syncMode: *syncMode,
+			segBytes: *segBytes, decodeWorkers: *decodeWorkers, snapV1: *snapV1,
 			connectTimeout: *connectTimeout, autoPromote: *autoPromote,
 			heartbeatTimeout: *heartbeatTimeout, hardening: hardening,
 		})
@@ -126,7 +130,12 @@ func serve(args []string) {
 			fmt.Fprintln(os.Stderr, "whkv:", err)
 			os.Exit(2)
 		}
-		o := shard.Options{Dir: *dir, Durability: wal.Options{Sync: policy}}
+		o := shard.Options{Dir: *dir, Durability: wal.Options{
+			Sync:          policy,
+			SegmentBytes:  *segBytes,
+			DecodeWorkers: *decodeWorkers,
+			SnapshotV1:    *snapV1,
+		}}
 		if *bounds != "" {
 			o.Partitioner = parseBounds()
 		}
@@ -204,6 +213,8 @@ func printDegraded(hs []wal.Health) {
 // followerConfig bundles serveFollower's knobs.
 type followerConfig struct {
 	addr, leader, dir, syncMode string
+	segBytes, decodeWorkers     int
+	snapV1                      bool
 	connectTimeout              time.Duration
 	autoPromote                 bool
 	heartbeatTimeout            time.Duration
@@ -227,9 +238,14 @@ func serveFollower(c followerConfig) {
 	srvReady := make(chan struct{})
 	var autoPromoted atomic.Bool
 	o := repl.Options{
-		Leader:     c.leader,
-		Dir:        c.dir,
-		Durability: wal.Options{Sync: policy},
+		Leader: c.leader,
+		Dir:    c.dir,
+		Durability: wal.Options{
+			Sync:          policy,
+			SegmentBytes:  c.segBytes,
+			DecodeWorkers: c.decodeWorkers,
+			SnapshotV1:    c.snapV1,
+		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "whkv: "+format+"\n", args...)
 		},

@@ -9,6 +9,8 @@ import (
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/indextest"
 	"github.com/repro/wormhole/internal/keyset"
+	"github.com/repro/wormhole/internal/shard"
+	"github.com/repro/wormhole/internal/wal"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -228,6 +230,36 @@ func TestBatchGetEquivalenceAllBackends(t *testing.T) {
 			indextest.BatchGetEquivalence(t, ix, 43, rounds/2, 64, indextest.GenASCII)
 		})
 	}
+}
+
+// TestRecoveryEquivalenceShardedDurable runs the recovery oracle over
+// the sharded durable backend: a store built through a mutation stream
+// with a mid-stream snapshot must recover byte-identically whether the
+// v2 snapshot segments are decoded serially or by 2 or 8 workers. Tiny
+// segments force every shard's snapshot into many segment files, so the
+// worker pool actually runs instead of degenerating to one segment per
+// shard.
+func TestRecoveryEquivalenceShardedDurable(t *testing.T) {
+	dir := t.TempDir()
+	open := func(workers int) indextest.RecoverableStore {
+		st, err := shard.Open(shard.Options{
+			Dir:    dir,
+			Shards: 3,
+			Durability: wal.Options{
+				SegmentBytes:  4 << 10,
+				DecodeWorkers: workers,
+			},
+		})
+		if err != nil {
+			t.Fatalf("open with %d decode workers: %v", workers, err)
+		}
+		return st
+	}
+	steps := 4000
+	if testing.Short() {
+		steps = 1000
+	}
+	indextest.RecoveryEquivalence(t, open, []int{1, 2, 8}, 99, steps, indextest.GenPrefixed)
 }
 
 func TestConcurrentAllBackends(t *testing.T) {

@@ -37,7 +37,15 @@ type Config struct {
 	// Sync filters the durability experiment's rows (comma-separated
 	// from {none, interval, always, recover}); empty means all.
 	Sync string
-	Out  io.Writer // result sink
+	// SegBytes: an explicitly requested snapshot segment size that the
+	// recovery experiment adds to its default ladder; 0 means the ladder
+	// alone.
+	SegBytes int
+	// DecodeWorkers: an explicitly requested snapshot decode-worker count
+	// that the recovery experiment adds to its default ladder; 0 means
+	// the ladder alone.
+	DecodeWorkers int
+	Out           io.Writer // result sink
 	// Record, when non-nil, receives every machine-readable benchmark
 	// cell an experiment produces (the -json trajectory output).
 	Record func(Result)

@@ -23,6 +23,10 @@ type Result struct {
 	MOPSCPU     float64 `json:"mops_cpu,omitempty"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Bytes carries an experiment-specific size figure — for recovery,
+	// the snapshot's total on-disk bytes (footer + segments, or the v1
+	// monolithic file), so the trajectory tracks file size next to speed.
+	Bytes int64 `json:"bytes,omitempty"`
 }
 
 // record reports one cell to the -json collector, if any is installed.

@@ -629,6 +629,102 @@ func ConcurrentOps(t *testing.T, ix MutableIndex, seed int64, workers, steps int
 	}
 }
 
+// RecoverableStore is the durable surface RecoveryEquivalence drives:
+// mutate, snapshot, close — then reopen through the harness's open
+// callback and compare scans.
+type RecoverableStore interface {
+	Set(key, val []byte)
+	Del([]byte) bool
+	Scan(start []byte, fn func(k, v []byte) bool)
+	Snapshot() error
+	Close() error
+}
+
+// RecoveryEquivalence is the recovery oracle: however much concurrency
+// the snapshot loader uses, it must be invisible in the recovered state.
+// The harness builds a store through a random mutation stream with a
+// mid-stream snapshot — so a recovery crosses both the snapshot
+// bulk-load and the WAL tail replayed over it — closes it, then reopens
+// the same directory once per entry in workerCounts (the open callback
+// maps each count onto the backend's decode-worker knob). Every
+// reopened store's full ordered scan must be byte-identical to the
+// in-memory model, which also pins every worker count to the serial
+// result when workerCounts includes 1.
+func RecoveryEquivalence(t *testing.T, open func(decodeWorkers int) RecoverableStore,
+	workerCounts []int, seed int64, steps int, gen func(*rand.Rand) []byte) {
+	t.Helper()
+	if len(workerCounts) == 0 {
+		t.Fatal("RecoveryEquivalence needs at least one worker count")
+	}
+
+	// Build phase: the loader concurrency under test plays no part here
+	// (the directory is fresh), so the first count serves.
+	st := open(workerCounts[0])
+	model := map[string]string{}
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		k := gen(r)
+		if r.Intn(5) == 0 {
+			st.Del(k)
+			delete(model, string(k))
+		} else {
+			v := fmt.Sprintf("r%d", i)
+			st.Set(k, []byte(v))
+			model[string(k)] = v
+		}
+		// Snapshot mid-stream: everything before this line recovers from
+		// the snapshot, everything after replays from the WAL tail.
+		if i == steps/2 {
+			if err := st.Snapshot(); err != nil {
+				t.Fatalf("snapshot: %v", err)
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("close after build: %v", err)
+	}
+
+	// The model's canonical dump, in the same framing the scans use.
+	frame := func(b []byte, k, v string) []byte {
+		b = append(b, byte(len(k)), byte(len(k)>>8), byte(len(k)>>16), byte(len(k)>>24))
+		b = append(b, k...)
+		b = append(b, byte(len(v)), byte(len(v)>>8), byte(len(v)>>16), byte(len(v)>>24))
+		return append(b, v...)
+	}
+	keys := make([]string, 0, len(model))
+	for k := range model {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var want []byte
+	for _, k := range keys {
+		want = frame(want, k, model[k])
+	}
+
+	for _, w := range workerCounts {
+		st := open(w)
+		var got []byte
+		var prev []byte
+		first := true
+		st.Scan(nil, func(k, v []byte) bool {
+			if !first && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("workers=%d: recovered scan out of order: %x then %x", w, prev, k)
+			}
+			first = false
+			prev = append(prev[:0], k...)
+			got = frame(got, string(k), string(v))
+			return true
+		})
+		if err := st.Close(); err != nil {
+			t.Fatalf("workers=%d: close: %v", w, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: recovered state diverges from the model (%d vs %d dump bytes)",
+				w, len(got), len(want))
+		}
+	}
+}
+
 // Generators for the regimes that stress different index mechanics.
 
 // GenBinary yields short keys over {0,1}: brutal for tries and anchors.

@@ -232,15 +232,27 @@ func (f *Follower) handshake() (net.Conn, *bufio.Reader, error) {
 	var positions []wal.Position
 	var ownEpoch uint64
 	var ownHist []shard.EpochEntry
+	var resume []snapResume
 	if f.st != nil {
 		positions = f.appliedSnapshot()
 		ownEpoch = f.st.Epoch()
 		ownHist = f.st.EpochHistory()
+		// Half-finished snapshot merges survive the reconnect: report each
+		// one's announced position and applied-through cursor so the leader
+		// can continue the scan instead of re-sending completed ranges.
+		f.mu.Lock()
+		for sh, st := range f.snap {
+			if st.cursor != nil {
+				resume = append(resume, snapResume{shard: sh, pos: st.pos, cursor: st.cursor})
+			}
+		}
+		f.mu.Unlock()
+		sort.Slice(resume, func(i, j int) bool { return resume[i].shard < resume[j].shard })
 	}
 	// The subscribe request travels as one netkv batch frame carrying a
 	// single OpSubscribe whose key is the handshake payload; the response
 	// and everything after it are this package's framing.
-	payload := encodeSubscribe(ownEpoch, ownHist, positions)
+	payload := encodeSubscribe(ownEpoch, ownHist, positions, resume)
 	var req []byte
 	req = binary.LittleEndian.AppendUint32(req, uint32(2+1+4+len(payload)+4))
 	req = binary.LittleEndian.AppendUint16(req, 1)
@@ -386,13 +398,14 @@ func (f *Follower) run(conn net.Conn, r *bufio.Reader) {
 	}
 }
 
-// discardSnapStates drops half-finished snapshot merges: on reconnect the
-// handshake resends our (unchanged) position, and the leader restarts the
-// snapshot from its beginning.
+// discardSnapStates resets per-connection catch-up state on reconnect.
+// Half-finished snapshot merges are KEPT: the next handshake offers them
+// as resume entries, and snapBegin decides per shard whether the leader
+// actually resumed (same announced position — cursor stands) or started
+// over (different position — fresh state).
 func (f *Follower) discardSnapStates() {
 	f.mu.Lock()
-	f.snap = make(map[int]*snapState)
-	// A half-finished lineage resync restarts from scratch too: the next
+	// A half-finished lineage resync restarts from scratch: the next
 	// handshake re-detects the history mismatch.
 	f.resync = nil
 	f.mu.Unlock()
@@ -563,7 +576,13 @@ func (f *Follower) snapBegin(body []byte, epoch uint64) error {
 		return fmt.Errorf("%w: snapshot for shard %d", errProto, shard)
 	}
 	f.mu.Lock()
-	f.snap[shard] = &snapState{pos: pos}
+	if st := f.snap[shard]; st != nil && st.pos == pos {
+		// The leader resumed our half-finished snapshot (it announced the
+		// same position we reported): keep the cursor, chunks continue
+		// from where the previous connection died.
+	} else {
+		f.snap[shard] = &snapState{pos: pos}
+	}
 	f.mu.Unlock()
 	return nil
 }
@@ -623,30 +642,12 @@ func (f *Follower) snapChunk(body []byte) error {
 	if st == nil {
 		return fmt.Errorf("%w: snapshot chunk without begin", errProto)
 	}
-	// Parse the chunk's pairs (aliasing the message buffer; only consumed
-	// within this call), then reconcile the local key range they cover,
-	// then apply them.
-	keys := make([][]byte, 0, count)
-	vals := make([][]byte, 0, count)
-	for i := uint32(0); i < count; i++ {
-		if len(rest) < 4 {
-			return fmt.Errorf("%w: truncated snapshot pair", errProto)
-		}
-		klen := binary.LittleEndian.Uint32(rest[:4])
-		rest = rest[4:]
-		if uint64(klen)+4 > uint64(len(rest)) {
-			return fmt.Errorf("%w: truncated snapshot key", errProto)
-		}
-		key := rest[:klen]
-		rest = rest[klen:]
-		vlen := binary.LittleEndian.Uint32(rest[:4])
-		rest = rest[4:]
-		if uint64(vlen) > uint64(len(rest)) {
-			return fmt.Errorf("%w: truncated snapshot value", errProto)
-		}
-		keys = append(keys, key)
-		vals = append(vals, rest[:vlen])
-		rest = rest[vlen:]
+	// Decode the chunk's prefix-compressed pairs (values alias the message
+	// buffer; only consumed within this call), then reconcile the local
+	// key range they cover, then apply them.
+	keys, vals, err := decodeChunkPairs(rest, count)
+	if err != nil {
+		return err
 	}
 	if len(keys) == 0 {
 		return nil

@@ -15,31 +15,38 @@ import (
 // canonical: re-encoding the decoded values reproduces the input byte for
 // byte, so there is exactly one wire form per logical handshake.
 func FuzzSubscribeHandshake(f *testing.F) {
-	f.Add(encodeSubscribe(0, nil, nil))
-	f.Add(encodeSubscribe(1, []shard.EpochEntry{{Epoch: 1}}, []wal.Position{{Gen: 1, Seq: 0}}))
+	f.Add(encodeSubscribe(0, nil, nil, nil))
+	f.Add(encodeSubscribe(1, []shard.EpochEntry{{Epoch: 1}}, []wal.Position{{Gen: 1, Seq: 0}}, nil))
 	hist := []shard.EpochEntry{
 		{Epoch: 1},
 		{Epoch: 4, Start: []wal.Position{{Gen: 2, Seq: 17}, {Gen: 1, Seq: 3}, {Gen: 5, Seq: 1 << 33}}},
 	}
-	full := encodeSubscribe(7, hist, []wal.Position{{Gen: 3, Seq: 99}, {Gen: 1, Seq: 0}})
+	full := encodeSubscribe(7, hist, []wal.Position{{Gen: 3, Seq: 99}, {Gen: 1, Seq: 0}}, nil)
 	f.Add(full)
-	f.Add(full[:len(full)-1])                       // truncated positions
+	withResume := encodeSubscribe(7, hist, []wal.Position{{Gen: 3, Seq: 99}, {Gen: 1, Seq: 0}},
+		[]snapResume{
+			{shard: 0, pos: wal.Position{Gen: 3, Seq: 12}, cursor: []byte("user/0042\x00")},
+			{shard: 1, pos: wal.Position{Gen: 1, Seq: 0}, cursor: []byte{0x00}},
+		})
+	f.Add(withResume)
+	f.Add(withResume[:len(withResume)-1])           // truncated resume cursor
+	f.Add(full[:len(full)-1])                       // truncated resume count
 	f.Add(full[:len(magic)+1])                      // header only
-	f.Add([]byte("WHRPX\x02junk"))                  // bad magic
+	f.Add([]byte("WHRPX\x03junk"))                  // bad magic
 	f.Add(append(full[:0:0], full...)[:len(magic)]) // magic alone
 	f.Add(bytes.Repeat([]byte{0xff}, 64))           // hostile counts
 
 	f.Fuzz(func(t *testing.T, payload []byte) {
-		epoch, hist, positions, err := decodeSubscribe(payload)
+		epoch, hist, positions, resume, err := decodeSubscribe(payload)
 		if err != nil {
 			return
 		}
-		out := encodeSubscribe(epoch, hist, positions)
+		out := encodeSubscribe(epoch, hist, positions, resume)
 		if !bytes.Equal(out, payload) {
 			t.Fatalf("accepted non-canonical payload:\n in  %x\n out %x", payload, out)
 		}
 		// And the canonical form must round-trip to the same values.
-		e2, h2, p2, err := decodeSubscribe(out)
+		e2, h2, p2, r2, err := decodeSubscribe(out)
 		if err != nil {
 			t.Fatalf("re-decoding own encoding failed: %v", err)
 		}
@@ -50,6 +57,15 @@ func FuzzSubscribeHandshake(f *testing.F) {
 		for i := range p2 {
 			if p2[i] != positions[i] {
 				t.Fatalf("position %d changed: %v -> %v", i, positions[i], p2[i])
+			}
+		}
+		if len(r2) != len(resume) {
+			t.Fatalf("resume count changed: %d -> %d", len(resume), len(r2))
+		}
+		for i := range r2 {
+			if r2[i].shard != resume[i].shard || r2[i].pos != resume[i].pos ||
+				!bytes.Equal(r2[i].cursor, resume[i].cursor) {
+				t.Fatalf("resume %d changed: %+v -> %+v", i, resume[i], r2[i])
 			}
 		}
 	})

@@ -24,6 +24,7 @@ package repl
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -38,9 +39,16 @@ import (
 // follower's epoch and leadership history, the handshake response carries
 // the leader's, and every leader→follower stream frame plus the upstream
 // acks are stamped with the sender's epoch.
+// Version 3 changed snapshot catch-up to the v2 segment encoding:
+// msgSnapChunk bodies carry prefix-compressed pairs (the same
+// shared-prefix-length + suffix layout snapshot segments use on disk),
+// and the subscribe payload grew a resume section — the follower's
+// partially applied snapshot cursors — so a reconnect mid-catch-up
+// continues from the last applied key instead of re-sending the
+// already-shipped range.
 const (
 	magic        = "WHRP1"
-	protoVersion = 2
+	protoVersion = 3
 )
 
 // Handshake status codes.
@@ -57,7 +65,7 @@ const (
 const (
 	msgBatch     byte = 1 // epoch u64, shard u16, gen u64, startSeq u64, count u32, count×(len u32, payload)
 	msgSnapBegin byte = 2 // epoch u64, shard u16, gen u64, seq u64 — the position the tail resumes from
-	msgSnapChunk byte = 3 // shard u16, count u32, count×(klen u32, key, vlen u32, val)
+	msgSnapChunk byte = 3 // shard u16, count u32, count×(plen uvarint, slen uvarint, vlen uvarint, suffix, val); first pair's plen is 0
 	msgSnapEnd   byte = 4 // shard u16
 	msgHeartbeat byte = 5 // epoch u64, shard u16, gen u64, endSeq u64 — the leader's current end
 	msgAck       byte = 6 // epoch u64, shard u16, gen u64, seq u64 — follower's applied position
@@ -168,11 +176,25 @@ func decodeHistory(rest []byte) ([]shard.EpochEntry, []byte, error) {
 	return hist, rest, nil
 }
 
+// snapResume is one shard's partially applied snapshot state, carried in
+// the subscribe payload: the snapshot's tail-resume position as the
+// leader announced it, and the key cursor the follower had applied
+// through when the previous connection died.
+type snapResume struct {
+	shard  int
+	pos    wal.Position
+	cursor []byte
+}
+
+// maxResumeCursor bounds one resume entry's cursor key on the wire.
+const maxResumeCursor = 1 << 20
+
 // encodeSubscribe builds the OpSubscribe request payload: the follower's
-// epoch, its leadership history, and its per-shard applied positions — or
-// no positions when it is fresh and the leader should assume genesis
-// everywhere.
-func encodeSubscribe(epoch uint64, hist []shard.EpochEntry, positions []wal.Position) []byte {
+// epoch, its leadership history, its per-shard applied positions — or no
+// positions when it is fresh and the leader should assume genesis
+// everywhere — and its in-progress snapshot resume entries, ascending by
+// shard.
+func encodeSubscribe(epoch uint64, hist []shard.EpochEntry, positions []wal.Position, resume []snapResume) []byte {
 	b := append([]byte(magic), protoVersion)
 	b = binary.LittleEndian.AppendUint64(b, epoch)
 	b = appendHistory(b, hist)
@@ -181,42 +203,152 @@ func encodeSubscribe(epoch uint64, hist []shard.EpochEntry, positions []wal.Posi
 		b = binary.LittleEndian.AppendUint64(b, p.Gen)
 		b = binary.LittleEndian.AppendUint64(b, p.Seq)
 	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(resume)))
+	for _, r := range resume {
+		b = binary.LittleEndian.AppendUint16(b, uint16(r.shard))
+		b = binary.LittleEndian.AppendUint64(b, r.pos.Gen)
+		b = binary.LittleEndian.AppendUint64(b, r.pos.Seq)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.cursor)))
+		b = append(b, r.cursor...)
+	}
 	return b
 }
 
 // decodeSubscribe parses the handshake payload; nil positions with nil
-// error mean a fresh follower.
-func decodeSubscribe(payload []byte) (epoch uint64, hist []shard.EpochEntry, positions []wal.Position, err error) {
+// error mean a fresh follower. Resume entries must be strictly ascending
+// by shard (the encoding is canonical) and their cursors bounded, so a
+// hostile payload cannot smuggle duplicates or balloon allocation.
+func decodeSubscribe(payload []byte) (epoch uint64, hist []shard.EpochEntry, positions []wal.Position, resume []snapResume, err error) {
 	if len(payload) < len(magic)+1+8+2+2 || string(payload[:len(magic)]) != magic {
-		return 0, nil, nil, fmt.Errorf("%w: bad subscribe magic", errProto)
+		return 0, nil, nil, nil, fmt.Errorf("%w: bad subscribe magic", errProto)
 	}
 	if v := payload[len(magic)]; v != protoVersion {
-		return 0, nil, nil, fmt.Errorf("%w: protocol version %d (want %d)", errProto, v, protoVersion)
+		return 0, nil, nil, nil, fmt.Errorf("%w: protocol version %d (want %d)", errProto, v, protoVersion)
 	}
 	rest := payload[len(magic)+1:]
 	epoch = binary.LittleEndian.Uint64(rest[:8])
 	hist, rest, err = decodeHistory(rest[8:])
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	if len(rest) < 2 {
-		return 0, nil, nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
+		return 0, nil, nil, nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
 	}
 	n := int(binary.LittleEndian.Uint16(rest[:2]))
 	rest = rest[2:]
-	if len(rest) != n*16 {
-		return 0, nil, nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
+	if len(rest) < n*16 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: subscribe positions truncated", errProto)
 	}
-	if n == 0 {
-		return epoch, hist, nil, nil
+	if n > 0 {
+		positions = make([]wal.Position, n)
+		for i := range positions {
+			positions[i].Gen = binary.LittleEndian.Uint64(rest[:8])
+			positions[i].Seq = binary.LittleEndian.Uint64(rest[8:16])
+			rest = rest[16:]
+		}
+	} else {
+		rest = rest[n*16:]
 	}
-	positions = make([]wal.Position, n)
-	for i := range positions {
-		positions[i].Gen = binary.LittleEndian.Uint64(rest[:8])
-		positions[i].Seq = binary.LittleEndian.Uint64(rest[8:16])
-		rest = rest[16:]
+	if len(rest) < 2 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: subscribe resume truncated", errProto)
 	}
-	return epoch, hist, positions, nil
+	nr := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	for i := 0; i < nr; i++ {
+		if len(rest) < 2+16+4 {
+			return 0, nil, nil, nil, fmt.Errorf("%w: resume entry truncated", errProto)
+		}
+		r := snapResume{
+			shard: int(binary.LittleEndian.Uint16(rest[:2])),
+			pos: wal.Position{
+				Gen: binary.LittleEndian.Uint64(rest[2:10]),
+				Seq: binary.LittleEndian.Uint64(rest[10:18]),
+			},
+		}
+		cl := binary.LittleEndian.Uint32(rest[18:22])
+		rest = rest[22:]
+		if cl > maxResumeCursor || uint32(len(rest)) < cl {
+			return 0, nil, nil, nil, fmt.Errorf("%w: resume cursor truncated", errProto)
+		}
+		r.cursor = append([]byte(nil), rest[:cl]...)
+		rest = rest[cl:]
+		if len(resume) > 0 && resume[len(resume)-1].shard >= r.shard {
+			return 0, nil, nil, nil, fmt.Errorf("%w: resume entries out of order", errProto)
+		}
+		resume = append(resume, r)
+	}
+	if len(rest) != 0 {
+		return 0, nil, nil, nil, fmt.Errorf("%w: subscribe trailing bytes", errProto)
+	}
+	return epoch, hist, positions, resume, nil
+}
+
+// appendChunkPair appends one prefix-compressed pair to a msgSnapChunk
+// body being built: the shared-prefix length against the previous key in
+// the chunk, the suffix, and the value — the disk segment entry layout,
+// reused on the wire so catch-up ships compressed bytes.
+func appendChunkPair(b []byte, prev, key, val []byte) []byte {
+	plen := 0
+	if prev != nil {
+		n := min(len(prev), len(key))
+		for plen < n && prev[plen] == key[plen] {
+			plen++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(plen))
+	b = binary.AppendUvarint(b, uint64(len(key)-plen))
+	b = binary.AppendUvarint(b, uint64(len(val)))
+	b = append(b, key[plen:]...)
+	return append(b, val...)
+}
+
+// decodeChunkPairs parses a msgSnapChunk body's pair section (after the
+// shard and count header) into materialized keys and aliased values.
+// The first pair's prefix length must be 0 (chunks decode with no
+// cross-chunk context) and keys must be strictly ascending. Allocation
+// is bounded by the body length: keys cost their decoded bytes, values
+// alias the frame.
+func decodeChunkPairs(rest []byte, count uint32) (keys, vals [][]byte, err error) {
+	keys = make([][]byte, 0, min(int(count), len(rest)/3+1))
+	vals = make([][]byte, 0, cap(keys))
+	var prev []byte
+	for i := uint32(0); i < count; i++ {
+		plen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: chunk pair truncated", errProto)
+		}
+		rest = rest[n:]
+		slen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: chunk pair truncated", errProto)
+		}
+		rest = rest[n:]
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("%w: chunk pair truncated", errProto)
+		}
+		rest = rest[n:]
+		if plen > uint64(len(prev)) || (i == 0 && plen != 0) ||
+			slen > uint64(len(rest)) || vlen > uint64(len(rest))-slen {
+			return nil, nil, fmt.Errorf("%w: chunk pair lengths", errProto)
+		}
+		suffix := rest[:slen:slen]
+		val := rest[slen : slen+vlen : slen+vlen]
+		rest = rest[slen+vlen:]
+		if i > 0 && bytes.Compare(suffix, prev[plen:]) <= 0 {
+			return nil, nil, fmt.Errorf("%w: chunk keys out of order", errProto)
+		}
+		key := make([]byte, 0, int(plen)+len(suffix))
+		key = append(key, prev[:plen]...)
+		key = append(key, suffix...)
+		keys = append(keys, key)
+		vals = append(vals, val)
+		prev = key
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%w: chunk trailing bytes", errProto)
+	}
+	return keys, vals, nil
 }
 
 // writeHandshake sends the leader's handshake response: status, the

@@ -511,7 +511,7 @@ func TestSubscribePayloadRoundTrip(t *testing.T) {
 	} {
 		hist := histories[hi]
 		epoch := uint64(hi * 5)
-		gotEpoch, gotHist, got, err := decodeSubscribe(encodeSubscribe(epoch, hist, positions))
+		gotEpoch, gotHist, got, _, err := decodeSubscribe(encodeSubscribe(epoch, hist, positions, nil))
 		if err != nil {
 			t.Fatalf("%v: %v", positions, err)
 		}
@@ -530,12 +530,13 @@ func TestSubscribePayloadRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if _, _, _, err := decodeSubscribe([]byte("WHRPX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")); err == nil {
+	if _, _, _, _, err := decodeSubscribe([]byte("WHRPX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	full := encodeSubscribe(7, histories[2], []wal.Position{{Gen: 1, Seq: 2}})
+	full := encodeSubscribe(7, histories[2], []wal.Position{{Gen: 1, Seq: 2}},
+		[]snapResume{{shard: 0, pos: wal.Position{Gen: 1, Seq: 1}, cursor: []byte("k\x00")}})
 	for cut := 1; cut < len(full); cut++ {
-		if _, _, _, err := decodeSubscribe(full[:cut]); err == nil {
+		if _, _, _, _, err := decodeSubscribe(full[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
 		}
 	}

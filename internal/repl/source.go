@@ -170,7 +170,7 @@ func (s *Source) unregister(sub *subscriber) {
 func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer, payload []byte) {
 	n := s.st.NumShards()
 	bounds := s.st.Bounds()
-	fe, fhist, positions, err := decodeSubscribe(payload)
+	fe, fhist, positions, resume, err := decodeSubscribe(payload)
 	if err != nil || !s.st.Durable() {
 		writeHandshake(w, hsUnavailable, s.st.Epoch(), nil, n, nil)
 		return
@@ -210,6 +210,20 @@ func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 	} else if !shard.HistoryEqual(fhist, leaderHist) {
 		forceSnap = true
 	}
+	// Snapshot-resume entries: a follower that lost its connection mid
+	// catch-up reports how far each shard's snapshot had applied, and the
+	// leader continues the scan from that cursor instead of re-sending
+	// the completed range. Only meaningful when the histories match — a
+	// foreign lineage's cursor pairs with a foreign resume position.
+	resumeFor := make([]*snapResume, n)
+	if !forceSnap {
+		for i := range resume {
+			if resume[i].shard < n {
+				r := resume[i]
+				resumeFor[r.shard] = &r
+			}
+		}
+	}
 	sub := &subscriber{
 		src:    s,
 		epoch:  leaderEpoch,
@@ -232,7 +246,7 @@ func (s *Source) ServeSubscriber(conn net.Conn, r *bufio.Reader, w *bufio.Writer
 	sub.wg.Add(1 + n)
 	go sub.readAcks(r)
 	for i := 0; i < n; i++ {
-		go sub.streamShard(s.st, i, positions[i], forceSnap)
+		go sub.streamShard(s.st, i, positions[i], forceSnap, resumeFor[i])
 	}
 	sub.wg.Wait()
 }
@@ -359,13 +373,31 @@ func (sub *subscriber) readAcks(r *bufio.Reader) {
 // the GC horizon (its generation was deleted by a covering snapshot),
 // beyond the leader's history (the follower applied records a crashed
 // leader lost), or pointing into a sealed generation past its end.
-func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position, forceSnap bool) {
+func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position, forceSnap bool, resume *snapResume) {
 	defer sub.wg.Done()
 	ws := st.WAL(shard)
+	// takeSnap sends the correcting snapshot. The first one may resume a
+	// previous connection's partial snapshot: the scan restarts at the
+	// follower's cursor and msgSnapBegin re-announces the ORIGINAL resume
+	// position — the tail replayed from there covers every mutation to the
+	// already-shipped range since the original scan, so skipping that
+	// range loses nothing. Valid only while the original position is still
+	// reachable; once consumed (or unusable) later snapshots are full.
+	takeSnap := func() (wal.Position, bool) {
+		r := resume
+		resume = nil
+		if r != nil {
+			active := ws.ActiveGen()
+			if r.pos.Gen == active || (r.pos.Gen < active && ws.HasWAL(r.pos.Gen)) {
+				return sub.sendSnapshotFrom(st, shard, r.pos, r.cursor)
+			}
+		}
+		return sub.sendSnapshot(st, shard)
+	}
 	if forceSnap {
 		// History mismatch at handshake: the follower's position is in a
 		// foreign lineage's coordinates — correct it before any tailing.
-		next, ok := sub.sendSnapshot(st, shard)
+		next, ok := takeSnap()
 		if !ok {
 			return
 		}
@@ -376,7 +408,7 @@ func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position,
 		reachable := pos.Gen == active ||
 			(pos.Gen < active && ws.HasWAL(pos.Gen))
 		if !reachable {
-			next, ok := sub.sendSnapshot(st, shard)
+			next, ok := takeSnap()
 			if !ok {
 				return // transport dead; fail() already ran
 			}
@@ -396,7 +428,7 @@ func (sub *subscriber) streamShard(st *shard.Store, shard int, pos wal.Position,
 		next, fallback := sub.streamSegment(ws, shard, sr, pos)
 		sr.Close()
 		if fallback {
-			next, ok := sub.sendSnapshot(st, shard)
+			next, ok := takeSnap()
 			if !ok {
 				return
 			}
@@ -504,15 +536,27 @@ func (sub *subscriber) streamSegment(ws *wal.Store, shard int, sr *wal.SegmentRe
 // history (a crashed leader that lost an unsynced tail), and a leader
 // that has never snapshotted, identically.
 func (sub *subscriber) sendSnapshot(st *shard.Store, shard int) (wal.Position, bool) {
-	ws := st.WAL(shard)
-	pos := ws.EndPos()
+	return sub.sendSnapshotFrom(st, shard, st.WAL(shard).EndPos(), nil)
+}
+
+// sendSnapshotFrom is sendSnapshot's general form: the scan starts at
+// `start` (nil for the whole shard) and msgSnapBegin announces `pos` —
+// for a full snapshot the EndPos just read, for a resumed one the
+// previous connection's original position (which the caller verified is
+// still reachable; re-reading EndPos here would skip mutations to the
+// already-shipped range). Pairs ship prefix-compressed in the disk
+// segment entry layout; each chunk restarts compression so it decodes
+// with no cross-chunk context.
+func (sub *subscriber) sendSnapshotFrom(st *shard.Store, shard int, pos wal.Position, start []byte) (wal.Position, bool) {
 	var body []byte
 	if !sub.send(msgSnapBegin, appendPosMsg(body, sub.epoch, shard, pos)) {
 		return wal.Position{}, false
 	}
+	var prev []byte
 	newChunk := func() []byte {
 		body = binary.LittleEndian.AppendUint16(body[:0], uint16(shard))
 		body = append(body, 0, 0, 0, 0)
+		prev = prev[:0]
 		return body
 	}
 	flushChunk := func(count uint32) bool {
@@ -522,11 +566,13 @@ func (sub *subscriber) sendSnapshot(st *shard.Store, shard int) (wal.Position, b
 	body = newChunk()
 	count := uint32(0)
 	ok := true
-	st.ShardScan(shard, nil, func(k, v []byte) bool {
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(k)))
-		body = append(body, k...)
-		body = binary.LittleEndian.AppendUint32(body, uint32(len(v)))
-		body = append(body, v...)
+	st.ShardScan(shard, start, func(k, v []byte) bool {
+		if count == 0 {
+			body = appendChunkPair(body, nil, k, v)
+		} else {
+			body = appendChunkPair(body, prev, k, v)
+		}
+		prev = append(prev[:0], k...)
 		count++
 		if len(body) >= maxChunkBytes {
 			if ok = flushChunk(count); !ok {

@@ -232,6 +232,19 @@ func (s *Store) RecoveredRecords() int {
 	return n
 }
 
+// RecoveredSegments returns the total v2 snapshot segments decoded at
+// Open across all shards (0 when every snapshot was v1 monolithic, or
+// for volatile stores). Combined with the per-shard open fan-out, it is
+// the recovery parallelism actually available: segments × shards decode
+// units.
+func (s *Store) RecoveredSegments() int {
+	n := 0
+	for _, st := range s.wals {
+		n += st.RecoveredSegments()
+	}
+	return n
+}
+
 // Flush forces every shard's logged mutations to stable storage,
 // regardless of the sync policy, fanning the fsyncs out across shards so
 // a barrier costs the slowest shard's sync, not the sum. A no-op on

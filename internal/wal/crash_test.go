@@ -122,7 +122,8 @@ func recoverDamaged(t *testing.T, srcDir string, gen uint64, walData []byte) (*c
 			t.Fatal(err)
 		}
 		for _, e := range ents {
-			if filepath.Ext(e.Name()) == ".snap" {
+			// A v2 snapshot is a .snap footer plus its .seg segment files.
+			if ext := filepath.Ext(e.Name()); ext == ".snap" || ext == ".seg" {
 				data, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
 				if err != nil {
 					t.Fatal(err)

@@ -65,8 +65,17 @@ func runFaultWorkload(w *core.Wormhole, st *Store, ops []crashOp, snapAt int) (a
 
 func openFaultStore(t *testing.T, fsys vfs.FS) (*core.Wormhole, *Store) {
 	t.Helper()
+	return openFaultStoreOpt(t, fsys, Options{})
+}
+
+// openFaultStoreOpt opens the harness store with the format-selecting
+// fields of opt (SnapshotV1, SegmentBytes) layered onto the harness
+// defaults.
+func openFaultStoreOpt(t *testing.T, fsys vfs.FS, opt Options) (*core.Wormhole, *Store) {
+	t.Helper()
+	opt.Sync, opt.FS, opt.NoSelfHeal = SyncAlways, fsys, true
 	w := backend()
-	st, err := Open("/db", w, Options{Sync: SyncAlways, FS: fsys, NoSelfHeal: true})
+	st, err := Open("/db", w, opt)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -74,7 +83,27 @@ func openFaultStore(t *testing.T, fsys vfs.FS) (*core.Wormhole, *Store) {
 	return w, st
 }
 
+// TestCrashPointMatrix runs the crash-point harness once per snapshot
+// format: the legacy monolithic v1 writer, the segmented v2 writer at
+// its default budget (one segment at this scale — crash points around
+// the footer rename), and v2 with a tiny segment budget so the mid-
+// workload snapshot writes MANY segments — every temp write, rename and
+// directory sync between segments and before the footer becomes a crash
+// point, and recovery must never observe a half-visible segment set.
 func TestCrashPointMatrix(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opt  Options
+	}{
+		{"v1-monolithic", Options{SnapshotV1: true}},
+		{"v2-default", Options{}},
+		{"v2-tiny-segments", Options{SegmentBytes: 32}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { runCrashPointMatrix(t, tc.opt) })
+	}
+}
+
+func runCrashPointMatrix(t *testing.T, opt Options) {
 	const nops = 40
 	const snapAt = 20
 	ops := crashScript(nops)
@@ -83,7 +112,7 @@ func TestCrashPointMatrix(t *testing.T) {
 	var schedule []int64
 	{
 		inj := vfs.NewInjector(vfs.NewMemFS())
-		w, st := openFaultStore(t, inj)
+		w, st := openFaultStoreOpt(t, inj, opt)
 		start := inj.Ops()
 		inj.Observe = func(n int64, kind vfs.Kind, path string) {
 			if n >= start && kind&vfs.KindMutating != 0 {
@@ -113,7 +142,7 @@ func TestCrashPointMatrix(t *testing.T) {
 			return int(uint64(idx) * 2654435761 % uint64(unsynced+1))
 		}
 		inj := vfs.NewInjector(mem)
-		w, st := openFaultStore(t, inj)
+		w, st := openFaultStoreOpt(t, inj, opt)
 		inj.AddRule(vfs.Rule{Kind: vfs.KindMutating, After: idx, Count: 1, Crash: true})
 		acked, started := runFaultWorkload(w, st, ops, snapAt)
 		st.Close()
@@ -121,7 +150,9 @@ func TestCrashPointMatrix(t *testing.T) {
 		mem.Restart()
 		inj.ClearRules()
 		w2 := backend()
-		st2, err := Open("/db", w2, Options{Sync: SyncAlways, FS: inj, NoSelfHeal: true})
+		recoverOpt := opt
+		recoverOpt.Sync, recoverOpt.FS, recoverOpt.NoSelfHeal = SyncAlways, inj, true
+		st2, err := Open("/db", w2, recoverOpt)
 		if err != nil {
 			t.Fatalf("crash@%d: recovery failed: %v", idx, err)
 		}

@@ -2,6 +2,8 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"testing"
@@ -97,6 +99,122 @@ func FuzzWALDecode(f *testing.F) {
 		}
 		if w2.Count() < 1 {
 			t.Fatal("appended record lost across recovery cycle")
+		}
+	})
+}
+
+// FuzzSegmentLoad feeds hostile bytes to the v2 segment and footer
+// parsers three ways: raw (magic/CRC/truncation rejection), as a
+// CRC-corrected segment image (the fuzzer reaches past the checksum into
+// entry parsing: corrupt prefix lengths, truncated suffixes, unsorted
+// keys), and as a CRC-corrected footer image driven through the full
+// segment-set loader over an empty directory (boundary lies, count
+// mismatches, missing segments). Nothing may panic; allocation may never
+// exceed the passed budgets on a corrupt length's say-so; anything
+// accepted must be strictly ascending and bulk-loadable.
+func FuzzSegmentLoad(f *testing.F) {
+	// Budgets a CRC-valid-but-hostile image must not break: a prefix
+	// ladder (each entry extending the previous key) costs the attacker
+	// ~1 input byte per key byte squared, so the decoder must cut off at
+	// the budget, not allocate through it.
+	const maxPairs, maxKeyBytes = 1 << 16, 1 << 20
+
+	seedDir := func(pairs ...string) vfs.FS {
+		fsys := vfs.NewMemFS()
+		if err := fsys.MkdirAll("/db", 0o755); err != nil {
+			f.Fatal(err)
+		}
+		err := writeSnapshotV2FS(fsys, "/db", 1, 64, func(fn func(k, v []byte) bool) {
+			for i := 0; i+1 < len(pairs); i += 2 {
+				if !fn([]byte(pairs[i]), []byte(pairs[i+1])) {
+					return
+				}
+			}
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return fsys
+	}
+	fsys := seedDir(
+		"https://a.example/1", "v1",
+		"https://a.example/2", "v2",
+		"https://b.example/1", "v3",
+	)
+	if seg, err := fsys.ReadFile(segPath("/db", 1, 0)); err == nil {
+		f.Add(seg)
+		f.Add(seg[:len(seg)-3]) // truncated
+		flip := append([]byte(nil), seg...)
+		flip[len(flip)/2] ^= 0x20 // CRC mismatch
+		f.Add(flip)
+	}
+	if footer, err := fsys.ReadFile(snapPath("/db", 1)); err == nil {
+		f.Add(footer)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("WHSSEG2\n"))
+	f.Add([]byte("WHSNAP2\n"))
+	// Fix-up-format seeds: [count byte][entries...] — two ascending pairs,
+	// then a non-ascending pair the harness must reject.
+	f.Add([]byte{2, 0, 1, 1, 'a', '1', 1, 1, 1, 'b', '2'})
+	f.Add([]byte{2, 0, 1, 1, 'b', '1', 0, 1, 1, 'a', '2'})
+
+	check := func(t *testing.T, keys, vals [][]byte) {
+		t.Helper()
+		if len(keys) != len(vals) {
+			t.Fatalf("%d keys but %d vals", len(keys), len(vals))
+		}
+		var kb uint64
+		for i := range keys {
+			kb += uint64(len(keys[i]))
+			if i > 0 && bytes.Compare(keys[i-1], keys[i]) >= 0 {
+				t.Fatalf("accepted segment with unsorted keys at %d", i)
+			}
+		}
+		if uint64(len(keys)) > maxPairs || kb > maxKeyBytes {
+			t.Fatalf("decode exceeded its budgets: %d pairs, %d key bytes", len(keys), kb)
+		}
+		o := core.DefaultOptions()
+		o.Concurrent = false
+		w := core.New(o)
+		if err := w.BulkLoad(keys, vals); err != nil {
+			t.Fatalf("accepted segment failed bulkload: %v", err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Raw: arbitrary bytes straight into both parsers.
+		if keys, vals, err := decodeSegment(data, maxPairs, maxKeyBytes); err == nil {
+			check(t, keys, vals)
+		}
+		_, _, _ = parseSnapshotFooter(data)
+
+		if len(data) == 0 {
+			return
+		}
+		// CRC-corrected segment: first input byte is the claimed count, the
+		// rest the entry bytes; magic, count field and CRC are made valid so
+		// only the entry structure is under test.
+		seg := append([]byte(nil), segMagic...)
+		seg = append(seg, data[1:]...)
+		seg = binary.LittleEndian.AppendUint32(seg, uint32(data[0]))
+		seg = binary.LittleEndian.AppendUint32(seg, crc32.Checksum(seg, castagnoli))
+		if keys, vals, err := decodeSegment(seg, maxPairs, maxKeyBytes); err == nil {
+			check(t, keys, vals)
+		}
+
+		// CRC-corrected footer through the full loader: an empty directory
+		// means any accepted footer must fail on its missing or mis-sized
+		// segments — never a partial load.
+		footer := append([]byte(nil), snapMagic2...)
+		footer = append(footer, data...)
+		footer = binary.LittleEndian.AppendUint32(footer, crc32.Checksum(footer, castagnoli))
+		empty := vfs.NewMemFS()
+		if err := empty.MkdirAll("/db", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if keys, _, _, err := loadSnapshotV2FS(empty, "/db", 1, footer, 2); err == nil && len(keys) != 0 {
+			t.Fatalf("loader produced %d pairs from a directory with no segments", len(keys))
 		}
 	})
 }

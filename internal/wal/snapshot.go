@@ -139,6 +139,11 @@ func loadSnapshotFS(fsys vfs.FS, path string) (keys, vals [][]byte, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return loadSnapshotBytes(data)
+}
+
+// loadSnapshotBytes parses a v1 monolithic snapshot image.
+func loadSnapshotBytes(data []byte) (keys, vals [][]byte, err error) {
 	if len(data) < len(snapMagic)+8+snapTrailer || !bytes.Equal(data[:len(snapMagic)], snapMagic) {
 		return nil, nil, errSnapshot
 	}

@@ -48,6 +48,18 @@ type Options struct {
 	// degraded until an explicit Snapshot succeeds. Crash harnesses use
 	// it to keep fault schedules deterministic.
 	NoSelfHeal bool
+	// SegmentBytes bounds one v2 snapshot segment's encoded size
+	// (default DefaultSegmentBytes). Smaller segments mean more parallel
+	// decode units on recovery at the cost of per-segment overhead.
+	SegmentBytes int
+	// DecodeWorkers caps the goroutines decoding v2 snapshot segments at
+	// Open; <= 0 means GOMAXPROCS. Recovery is byte-identical at any
+	// setting — workers fill disjoint ranges of the result.
+	DecodeWorkers int
+	// SnapshotV1 forces Snapshot to write the legacy monolithic v1
+	// format. Recovery always reads both formats regardless; the bench
+	// harness uses this to compare v1 and v2 in one binary.
+	SnapshotV1 bool
 }
 
 // Store manages one backend's persistence directory: an active WAL, the
@@ -112,6 +124,7 @@ type Store struct {
 	// Recovery statistics, fixed at Open.
 	recoveredSnap int // pairs bulk-loaded from the snapshot
 	recoveredTail int // WAL records replayed after it
+	recoveredSegs int // v2 segments decoded for it (0 for v1)
 
 	// Last replication position marker seen during replay, fixed at Open.
 	recoveredPos    Position
@@ -183,7 +196,10 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 	// (normally none exists: each snapshot GCs its predecessors).
 	var snapGen uint64
 	for i := len(snaps) - 1; i >= 0; i-- {
-		keys, vals, err := loadSnapshotFS(fsys, snapPath(dir, snaps[i]))
+		// Format-blind fallback: a v2 footer whose segment set is damaged
+		// (missing file, CRC flip, boundary lie) fails exactly like a
+		// corrupt v1 file and the loop tries the older generation.
+		keys, vals, segs, err := loadAnySnapshotFS(fsys, dir, snaps[i], opt.DecodeWorkers)
 		if err != nil {
 			continue
 		}
@@ -192,6 +208,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 		}
 		snapGen = snaps[i]
 		s.recoveredSnap = len(keys)
+		s.recoveredSegs = segs
 		break
 	}
 
@@ -367,6 +384,11 @@ func (s *Store) tornAt(gen uint64, validLen int64) bool {
 // after it.
 func (s *Store) RecoveredPairs() int   { return s.recoveredSnap }
 func (s *Store) RecoveredRecords() int { return s.recoveredTail }
+
+// RecoveredSegments returns how many v2 snapshot segments the snapshot
+// restored at Open decoded (0 when the snapshot was v1 monolithic, or
+// when recovery started from an empty index).
+func (s *Store) RecoveredSegments() int { return s.recoveredSegs }
 
 // recordPool recycles mutation-record encode buffers: the append path
 // runs inside every Set/Del, so it must not allocate per operation.
@@ -555,9 +577,13 @@ func (s *Store) Snapshot() error {
 	s.log, s.gen, s.base = newLog, newGen, 0
 	s.logMu.Unlock()
 
-	if err := writeSnapshotFS(s.fs, snapPath(s.dir, newGen), func(fn func(k, v []byte) bool) {
-		s.b.Scan(nil, fn)
-	}); err != nil {
+	scan := func(fn func(k, v []byte) bool) { s.b.Scan(nil, fn) }
+	if s.opt.SnapshotV1 {
+		err = writeSnapshotFS(s.fs, snapPath(s.dir, newGen), scan)
+	} else {
+		err = writeSnapshotV2FS(s.fs, s.dir, newGen, s.opt.SegmentBytes, scan)
+	}
+	if err != nil {
 		return errors.Join(closeErr, err)
 	}
 	// The durable snapshot covers every mutation of the generations before
@@ -588,6 +614,9 @@ func (s *Store) Snapshot() error {
 			s.fs.Remove(walPath(s.dir, g))
 		}
 	}
+	// Old generations' segment files — including orphans from a snapshot
+	// that crashed before publishing its footer.
+	removeSegsBelow(s.fs, s.dir, newGen)
 	return nil
 }
 
