@@ -10,6 +10,7 @@
 //	whkv serve -dir /var/lib/whkv -sync interval        # durable store (WAL + snapshots)
 //	whkv serve -dir /var/lib/whkv2 -follow host:7070    # replication follower (read-only)
 //	whkv serve -read-timeout 5m -write-timeout 30s -max-inflight 64  # hardened edges
+//	whkv serve -metrics-addr 127.0.0.1:9090 -slow-op 50ms  # /metrics, /healthz, pprof, slow-op ring
 //	whkv set   -addr 127.0.0.1:7070 -key a -val 1
 //	whkv get   -addr 127.0.0.1:7070 -key a
 //	whkv scan  -addr 127.0.0.1:7070 -key a -limit 10
@@ -85,11 +86,15 @@ func serve(args []string) {
 	readTimeout := fs.Duration("read-timeout", 0, "drop a connection idle longer than this between batches (0: never)")
 	writeTimeout := fs.Duration("write-timeout", 0, "drop a connection that cannot absorb a response within this (0: never)")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently executing request batches across all connections; excess connections queue (0: unlimited)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /healthz, /debug/pprof and /debug/slowops on this address (empty: no listener; metrics are still recorded)")
+	slowOp := fs.Duration("slow-op", 100*time.Millisecond, "ops slower than this land in the slow-op ring (/debug/slowops and whkv stat)")
 	fs.Parse(args)
+	obs := newObservability(*slowOp)
 	hardening := netkv.ServerOptions{
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		MaxInflight:  *maxInflight,
+		Metrics:      obs.srv,
 	}
 	if *follow != "" {
 		serveFollower(followerConfig{
@@ -97,6 +102,7 @@ func serve(args []string) {
 			segBytes: *segBytes, decodeWorkers: *decodeWorkers, snapV1: *snapV1,
 			connectTimeout: *connectTimeout, autoPromote: *autoPromote,
 			heartbeatTimeout: *heartbeatTimeout, hardening: hardening,
+			metricsAddr: *metricsAddr, obs: obs,
 		})
 		return
 	}
@@ -135,6 +141,7 @@ func serve(args []string) {
 			SegmentBytes:  *segBytes,
 			DecodeWorkers: *decodeWorkers,
 			SnapshotV1:    *snapV1,
+			Metrics:       obs.wal,
 		}}
 		if *bounds != "" {
 			o.Partitioner = parseBounds()
@@ -174,6 +181,16 @@ func serve(args []string) {
 		fmt.Fprintln(os.Stderr, "whkv:", err)
 		os.Exit(1)
 	}
+	obs.armIndex(ix)
+	health := func() error { return nil }
+	if st, ok := ix.(*shard.Store); ok {
+		obs.armStore(st)
+		health = storeHealth(st)
+	}
+	if src != nil {
+		obs.armLeader(src.FillStat)
+	}
+	obs.serveDebug(*metricsAddr, health)
 	fmt.Printf("whkv: serving %s on %s\n", served, srv.Addr())
 	// Run until killed; on SIGINT/SIGTERM drain connections and, in
 	// durable mode, flush and close the WALs so a clean shutdown loses
@@ -219,6 +236,8 @@ type followerConfig struct {
 	autoPromote                 bool
 	heartbeatTimeout            time.Duration
 	hardening                   netkv.ServerOptions
+	metricsAddr                 string
+	obs                         *observability
 }
 
 // serveFollower runs replication-follower mode: stream the leader's WAL
@@ -237,6 +256,8 @@ func serveFollower(c followerConfig) {
 	var srvP atomic.Pointer[netkv.Server]
 	srvReady := make(chan struct{})
 	var autoPromoted atomic.Bool
+	promotions := c.obs.reg.Counter("whkv_promotions_total",
+		"Promotions of this follower to a writable leader.")
 	o := repl.Options{
 		Leader: c.leader,
 		Dir:    c.dir,
@@ -245,6 +266,7 @@ func serveFollower(c followerConfig) {
 			SegmentBytes:  c.segBytes,
 			DecodeWorkers: c.decodeWorkers,
 			SnapshotV1:    c.snapV1,
+			Metrics:       c.obs.wal,
 		},
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "whkv: "+format+"\n", args...)
@@ -259,6 +281,7 @@ func serveFollower(c followerConfig) {
 				srv.SetReadOnly(false)
 			}
 			autoPromoted.Store(true)
+			promotions.Inc()
 			fmt.Printf("whkv: leader %s silent for %v: auto-promoted to epoch %d (writes enabled)\n",
 				c.leader, c.heartbeatTimeout, st.Epoch())
 			// Best-effort fence of the old leader, should it still be alive
@@ -302,6 +325,10 @@ func serveFollower(c followerConfig) {
 	}
 	srvP.Store(srv)
 	close(srvReady)
+	c.obs.armIndex(st)
+	c.obs.armStore(st)
+	c.obs.armFollower(f.FillStat)
+	c.obs.serveDebug(c.metricsAddr, storeHealth(st))
 	persisted := "volatile; resyncs on restart"
 	if c.dir != "" {
 		persisted = "durable in " + c.dir
@@ -325,6 +352,7 @@ func serveFollower(c followerConfig) {
 			if f.Promote() != nil {
 				srv.SetReadOnly(false)
 				promoted = true
+				promotions.Inc()
 				fmt.Printf("whkv: promoted to epoch %d (writes enabled, replication stopped)\n", st.Epoch())
 			}
 			continue
@@ -379,8 +407,18 @@ func stat(args []string) {
 	}
 	fmt.Printf("durable:   %v\n", st.Durable)
 	if st.Durable {
-		fmt.Printf("wal bytes: %d\n", st.WALBytes)
+		fmt.Printf("wal bytes: %s (%d)\n", humanBytes(st.WALBytes), st.WALBytes)
 		fmt.Printf("gens:      %v\n", st.Gens)
+	}
+	if st.UptimeS > 0 || st.GoVersion != "" {
+		fmt.Printf("uptime:    %v\n", time.Duration(st.UptimeS)*time.Second)
+		fmt.Printf("runtime:   %s, %d goroutines, heap %s (sys %s), %d GCs\n",
+			st.GoVersion, st.Goroutines,
+			humanBytes(int64(st.HeapAllocBytes)), humanBytes(int64(st.HeapSysBytes)),
+			st.GCCycles)
+	}
+	if st.SlowOps > 0 {
+		fmt.Printf("slow ops:  %d traced (see /debug/slowops on the metrics listener)\n", st.SlowOps)
 	}
 	healthy := 0
 	for _, h := range st.Health {
@@ -401,8 +439,8 @@ func stat(args []string) {
 		if fo.LagRecords < 0 {
 			lag = "spans a WAL rotation"
 		}
-		fmt.Printf("follower:  %s lag %s, last ack %dms ago, %d snapshots sent\n",
-			fo.Remote, lag, fo.AckAgeMS, fo.SnapshotsSent)
+		fmt.Printf("follower:  %s lag %s, last ack %v ago, %d snapshots sent\n",
+			fo.Remote, lag, time.Duration(fo.AckAgeMS)*time.Millisecond, fo.SnapshotsSent)
 	}
 	if st.Role == "follower" {
 		fmt.Printf("leader:    %s (connected: %v)\n", st.Leader, st.Connected)

@@ -82,12 +82,25 @@ func BatchRead(c *Config) {
 			if cpu > 0 && wall > 0 {
 				mopsCPU = mops * wall.Seconds() / cpu.Seconds()
 			}
+			// Per-lookup latency percentiles from a separate sampling
+			// pass: time whole GetBatch calls, then divide by the batch
+			// size (quantiles commute with the positive scaling, and
+			// dividing after avoids sub-bucket truncation).
+			lr := NewRng(uint64(c.Seed) + uint64(b))
+			p50, p99, p999 := SampleLatency(c.Duration/4, func() {
+				for j := range batch {
+					batch[j] = keys[lr.Intn(len(keys))]
+				}
+				rd.GetBatch(batch, vals, found, nil)
+			})
+			p50, p99, p999 = p50/float64(b), p99/float64(b), p999/float64(b)
 			c.printf("%8.2f", mops)
 			c.record(Result{
 				Exp: "batchread", Op: fmt.Sprintf("%s/b%d", d.label, b),
 				Index: "wormhole", Threads: 1, Keys: len(keys),
 				MOPS: mops, MOPSCPU: mopsCPU, NsPerOp: 1e3 / mops,
 				AllocsPerOp: allocs,
+				P50Ns:       p50, P99Ns: p99, P999Ns: p999,
 			})
 		}
 		c.printf("%14.4f\n", allocs)

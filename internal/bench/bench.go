@@ -14,6 +14,7 @@ import (
 
 	"github.com/repro/wormhole/internal/index"
 	"github.com/repro/wormhole/internal/keyset"
+	"github.com/repro/wormhole/internal/metrics"
 )
 
 // Config scales the experiments. Defaults (via Normalize) are laptop-sized:
@@ -272,4 +273,24 @@ func (c *Config) Keyset(name string) [][]byte {
 
 func (c *Config) printf(format string, args ...any) {
 	fmt.Fprintf(c.Out, format, args...)
+}
+
+// SampleLatency runs op single-threaded for roughly dur, timing every
+// call into a metrics histogram, and returns the p50/p99/p999
+// nanoseconds. It is a separate pass from the throughput loop on
+// purpose: two clock reads per operation would deflate MOPS, so
+// throughput and latency are measured on the same workload but never in
+// the same loop.
+func SampleLatency(dur time.Duration, op func()) (p50, p99, p999 float64) {
+	h := metrics.NewHistogram()
+	deadline := time.Now().Add(dur)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 16; i++ {
+			t0 := time.Now()
+			op()
+			h.ObserveNs(int64(time.Since(t0)))
+		}
+	}
+	s := h.Snapshot()
+	return s.Quantile(0.5), s.Quantile(0.99), s.Quantile(0.999)
 }

@@ -27,6 +27,13 @@ type Result struct {
 	// the snapshot's total on-disk bytes (footer + segments, or the v1
 	// monolithic file), so the trajectory tracks file size next to speed.
 	Bytes int64 `json:"bytes,omitempty"`
+	// P50Ns/P99Ns/P999Ns are wall-clock latency percentiles in
+	// nanoseconds from the metrics histogram, measured in a separate
+	// single-threaded sampling pass (timing inside the throughput loop
+	// would deflate MOPS); 0 when the experiment does not sample latency.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
 }
 
 // record reports one cell to the -json collector, if any is installed.

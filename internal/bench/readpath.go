@@ -36,7 +36,14 @@ func ReadPath(c *Config) {
 	}
 	c.printf("%14s\n", "allocs/op")
 
-	row := func(op string, pts []int, allocs float64, cell func(threads int) float64) {
+	row := func(op string, pts []int, allocs float64, sample func(), cell func(threads int) float64) {
+		// Latency percentiles come from one single-threaded sampling pass
+		// per operation (see SampleLatency); the throughput cells stay
+		// clock-free. The same numbers annotate every thread count's cell.
+		var p50, p99, p999 float64
+		if sample != nil {
+			p50, p99, p999 = SampleLatency(c.Duration/4, sample)
+		}
 		c.printf("%-12s", op)
 		for _, t := range points {
 			in := false
@@ -63,21 +70,29 @@ func ReadPath(c *Config) {
 				Exp: "readpath", Op: op, Index: "wormhole", Threads: t,
 				Keys: len(keys), MOPS: mops, MOPSCPU: mopsCPU,
 				NsPerOp: 1e3 / mops, AllocsPerOp: allocs,
+				P50Ns: p50, P99Ns: p99, P999Ns: p999,
 			})
 		}
 		c.printf("%14.2f\n", allocs)
+		if p50 > 0 {
+			c.printf("%-12s p50 %.0fns  p99 %.0fns  p999 %.0fns (sampled 1 thread)\n",
+				"  "+op+" lat", p50, p99, p999)
+		}
 	}
 
-	row("get", points, getAllocs, func(t int) float64 {
+	n := len(keys)
+	getRng := NewRng(uint64(c.Seed))
+	row("get", points, getAllocs, func() { ix.Get(keys[getRng.Intn(n)]) }, func(t int) float64 {
 		return LookupThroughput(ix, keys, t, c.Duration, c.Seed)
 	})
 	if rp, ok := ix.(index.ReadPinner); ok {
 		h := rp.NewReadHandle()
 		pinnedAllocs := allocsPerOp(2000, func() { h.Get(keys[0]) })
-		h.Close()
-		row("get-pinned", points, pinnedAllocs, func(t int) float64 {
+		pinRng := NewRng(uint64(c.Seed) + 1)
+		row("get-pinned", points, pinnedAllocs, func() { h.Get(keys[pinRng.Intn(n)]) }, func(t int) float64 {
 			return PinnedLookupThroughput(rp, keys, t, c.Duration, c.Seed)
 		})
+		h.Close()
 	}
 
 	setAllocs := func() float64 {
@@ -89,7 +104,16 @@ func ReadPath(c *Config) {
 			i++
 		})
 	}()
-	row("set", []int{1}, setAllocs, func(int) float64 {
+	setSample := func() func() {
+		info, _ := index.Lookup("wormhole")
+		fresh := info.New()
+		i := 0
+		return func() {
+			fresh.Set(keys[i%n], keys[i%n])
+			i++
+		}
+	}()
+	row("set", []int{1}, setAllocs, setSample, func(int) float64 {
 		return InsertThroughput("wormhole", keys)
 	})
 }

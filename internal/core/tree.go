@@ -130,6 +130,18 @@ func New(opt Options) *Wormhole {
 // Count returns the number of keys in the index.
 func (w *Wormhole) Count() int64 { return w.count.Load() }
 
+// QSBRReaderLag reports how many grace-period epochs behind the slowest
+// active reader section is (0 when no section runs, or when the index
+// was built without Concurrent and has no QSBR domain). A lag that stays
+// high across observations means a stuck reader is stalling meta-table
+// reclamation.
+func (w *Wormhole) QSBRReaderLag() uint64 {
+	if w.q == nil {
+		return 0
+	}
+	return w.q.ReaderLag()
+}
+
 // getUnsafe is the single-threaded lookup (no reader section, no leaf
 // validation).
 func (w *Wormhole) getUnsafe(h uint32, key []byte) ([]byte, bool) {

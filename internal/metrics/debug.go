@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux assembles the operator HTTP surface a whkv process exposes on
+// its -metrics-addr listener:
+//
+//   - /metrics        Prometheus text exposition of reg
+//   - /healthz        200 "ok" while health() returns nil, 503 with the
+//     error text otherwise — wired to the degraded/fenced state machines
+//   - /debug/slowops  JSON dump of the slow-op tracer ring
+//   - /debug/pprof/*  the standard Go profiler endpoints
+//
+// Any argument may be nil; its endpoint then answers 404 (healthz: a nil
+// checker means unconditionally healthy).
+func DebugMux(reg *Registry, slow *SlowLog, health func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if health != nil {
+			if err := health(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write([]byte(err.Error() + "\n"))
+				return
+			}
+		}
+		w.Write([]byte("ok\n"))
+	})
+	if slow != nil {
+		mux.HandleFunc("/debug/slowops", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			doc := struct {
+				ThresholdUS int64    `json:"threshold_us"`
+				Total       uint64   `json:"total"`
+				Ops         []SlowOp `json:"ops"`
+			}{
+				ThresholdUS: slow.Threshold().Microseconds(),
+				Total:       slow.Total(),
+				Ops:         slow.Snapshot(),
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(doc)
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The latency grid: 41 finite bucket bounds placed geometrically at five
+// per decade from 100ns to 10s inclusive (ratio 10^(1/5) ≈ 1.585), plus
+// an overflow (+Inf) bucket. Every histogram shares the grid, which is
+// what makes snapshots mergeable across stripes, shards and processes:
+// merging is element-wise addition, never re-bucketing.
+//
+// Five per decade keeps any recorded value within ~26% of its bucket
+// bound — tight enough that a p99 read off the grid is within one
+// resolution step of the true order statistic — while the whole armed
+// footprint stays one small array per stripe.
+const (
+	// NumBuckets counts the finite buckets (excluding +Inf).
+	NumBuckets = 41
+	// minBoundNs and maxBoundNs are the first and last finite bounds.
+	minBoundNs = 100
+	maxBoundNs = 10_000_000_000 // 10s
+)
+
+// BucketBounds holds the finite upper bounds in nanoseconds, ascending.
+// bounds[i] = 100ns * 10^(i/5), with the endpoints pinned exactly.
+var BucketBounds = makeBounds()
+
+func makeBounds() [NumBuckets]int64 {
+	var b [NumBuckets]int64
+	for i := range b {
+		b[i] = int64(math.Round(minBoundNs * math.Pow(10, float64(i)/5)))
+	}
+	b[0] = minBoundNs
+	b[NumBuckets-1] = maxBoundNs
+	return b
+}
+
+// bucketCand maps a value's bit length to its candidate buckets. A
+// factor-of-two range spans at most two bounds (consecutive bounds
+// differ by ×~1.585, and 1.585² > 2), so for any ns the bucket is
+// base, base+1 or base+2 — resolved branchlessly from the two candidate
+// bounds b0/b1 (math.MaxInt64 past the grid, so the compare never
+// fires).
+var bucketCand = makeBucketCand()
+
+type candidate struct {
+	b0, b1 int64
+	base   int64
+}
+
+func makeBucketCand() [65]candidate {
+	bound := func(i int) int64 {
+		if i < NumBuckets {
+			return BucketBounds[i]
+		}
+		return math.MaxInt64
+	}
+	var t [65]candidate
+	for l := 0; l <= 64; l++ {
+		// Smallest value with bit length l is 2^(l-1) (0 for l == 0).
+		var v int64
+		if l > 0 {
+			if l > 63 {
+				v = math.MaxInt64
+			} else {
+				v = int64(1) << (l - 1)
+			}
+		}
+		i := 0
+		for i < NumBuckets && BucketBounds[i] < v {
+			i++
+		}
+		t[l] = candidate{base: int64(i), b0: bound(i), b1: bound(i + 1)}
+	}
+	return t
+}
+
+// bucketOf returns the index of the bucket counting ns: the first bucket
+// whose bound is >= ns, or NumBuckets (the +Inf bucket) past the grid.
+// Near branch-free: one table load keyed by bit length, then two
+// sign-bit compares against the candidate bounds.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	c := &bucketCand[bits.Len64(uint64(ns))]
+	// (c.bN - ns) is negative exactly when ns exceeds the bound; the
+	// shifted sign bit adds 0 or 1 without a branch.
+	return int(c.base + int64(uint64(c.b0-ns)>>63) + int64(uint64(c.b1-ns)>>63))
+}
+
+// histStripe is one stripe's bucket array plus the ns sum. 41 finite
+// buckets + overflow + sum = 43 words; the trailing pad rounds the
+// stripe to a cache-line multiple so adjacent stripes never share a
+// line.
+type histStripe struct {
+	counts [NumBuckets + 1]atomic.Uint64
+	sum    atomic.Int64
+	_      [40]byte
+}
+
+// Histogram is a striped latency histogram on the shared geometric grid.
+// Observe is safe for concurrent use, allocation-free, and costs a
+// stripe-hash, a table-guided bucket search (≤2 compares) and two atomic
+// adds on the stripe's own cache lines.
+type Histogram struct {
+	stripes []histStripe
+	mask    uint64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{stripes: make([]histStripe, numStripes), mask: uint64(numStripes - 1)}
+}
+
+// NewHistogram returns an unregistered histogram (for harnesses that
+// want quantiles without a registry; servers register via
+// Registry.Histogram).
+func NewHistogram() *Histogram { return newHistogram() }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one duration given in nanoseconds. Negative values
+// clamp to the first bucket (a clock step backwards must not corrupt the
+// sum with a negative contribution — it records as 0).
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s := &h.stripes[stripeHint()&h.mask]
+	s.counts[bucketOf(ns)].Add(1)
+	s.sum.Add(ns)
+}
+
+// HistogramSnapshot is a merged, point-in-time view of a histogram:
+// per-bucket counts (Counts[NumBuckets] is the +Inf overflow), the total
+// observation count, and the sum of observed nanoseconds.
+type HistogramSnapshot struct {
+	Counts [NumBuckets + 1]uint64
+	Count  uint64
+	SumNs  int64
+}
+
+// Snapshot merges the stripes. A snapshot racing concurrent Observe
+// calls may split an observation's bucket increment from its sum
+// contribution; both are monotone, so successive scrapes converge.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		for b := range st.counts {
+			n := st.counts[b].Load()
+			s.Counts[b] += n
+			s.Count += n
+		}
+		s.SumNs += st.sum.Load()
+	}
+	return s
+}
+
+// Merge adds o into s element-wise — valid because every histogram
+// shares one grid.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) in nanoseconds by
+// linear interpolation within the bucket holding the target rank. An
+// empty histogram reports 0; ranks landing in the overflow bucket report
+// the last finite bound (read it as ">= 10s").
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i := 0; i < NumBuckets; i++ {
+		n := float64(s.Counts[i])
+		if cum+n >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(BucketBounds[i-1])
+			}
+			hi := float64(BucketBounds[i])
+			if n == 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-cum)/n
+		}
+		cum += n
+	}
+	return float64(BucketBounds[NumBuckets-1])
+}
+
+// Mean returns the average observed duration in nanoseconds (0 when
+// empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

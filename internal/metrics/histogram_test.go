@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestBucketBounds(t *testing.T) {
+	if BucketBounds[0] != 100 {
+		t.Fatalf("first bound = %dns, want 100ns", BucketBounds[0])
+	}
+	if BucketBounds[NumBuckets-1] != 10_000_000_000 {
+		t.Fatalf("last bound = %dns, want 10s", BucketBounds[NumBuckets-1])
+	}
+	for i := 1; i < NumBuckets; i++ {
+		if BucketBounds[i] <= BucketBounds[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %d <= %d",
+				i, BucketBounds[i], BucketBounds[i-1])
+		}
+		// The grid is geometric at 10^(1/5) ≈ 1.585; integer rounding may
+		// wobble the ratio slightly, never structurally.
+		ratio := float64(BucketBounds[i]) / float64(BucketBounds[i-1])
+		if ratio < 1.55 || ratio > 1.62 {
+			t.Fatalf("bucket ratio at %d = %.4f, want ~1.585", i, ratio)
+		}
+	}
+}
+
+// bucketOfRef is the trivially correct linear-search reference.
+func bucketOfRef(ns int64) int {
+	for i := 0; i < NumBuckets; i++ {
+		if ns <= BucketBounds[i] {
+			return i
+		}
+	}
+	return NumBuckets
+}
+
+func TestBucketOfBoundaries(t *testing.T) {
+	cases := []int64{0, 1, 99, 100, 101}
+	for i := 0; i < NumBuckets; i++ {
+		b := BucketBounds[i]
+		cases = append(cases, b-1, b, b+1)
+	}
+	cases = append(cases, maxBoundNs*3, 1<<62)
+	for _, ns := range cases {
+		if got, want := bucketOf(ns), bucketOfRef(ns); got != want {
+			t.Errorf("bucketOf(%d) = %d, want %d", ns, got, want)
+		}
+	}
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100_000; i++ {
+		ns := int64(r.Uint64() >> uint(r.IntN(40)))
+		if got, want := bucketOf(ns), bucketOfRef(ns); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", ns, got, want)
+		}
+	}
+}
+
+// TestHistogramMerge checks the merge property: recording a stream into
+// two histograms and merging their snapshots equals recording the whole
+// stream into one — the guarantee that lets stripes, shards and
+// processes aggregate by addition.
+func TestHistogramMerge(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 4))
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	for i := 0; i < 50_000; i++ {
+		ns := int64(r.Uint64() >> uint(r.IntN(42)))
+		if i%2 == 0 {
+			a.ObserveNs(ns)
+		} else {
+			b.ObserveNs(ns)
+		}
+		all.ObserveNs(ns)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	if merged != all.Snapshot() {
+		t.Fatalf("merged snapshot differs from single-histogram snapshot:\n%+v\nvs\n%+v",
+			merged, all.Snapshot())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	h := NewHistogram()
+	// 1000 observations at exactly 1µs and 10 at 1ms: p50 must sit in the
+	// 1µs bucket, p999+ in the 1ms region.
+	for i := 0; i < 1000; i++ {
+		h.ObserveNs(1_000)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveNs(1_000_000)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.50); p50 > float64(BucketBounds[bucketOf(1_000)]) {
+		t.Fatalf("p50 = %.0fns, want <= the 1µs bucket bound", p50)
+	}
+	p999 := s.Quantile(0.999)
+	if p999 < 500_000 || p999 > 2_000_000 {
+		t.Fatalf("p999 = %.0fns, want around 1ms", p999)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.99); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// Overflow observations report the last finite bound.
+	o := NewHistogram()
+	o.Observe(time.Minute)
+	if got := o.Snapshot().Quantile(0.5); got != float64(maxBoundNs) {
+		t.Fatalf("overflow quantile = %v, want %d", got, int64(maxBoundNs))
+	}
+}
+
+func TestSnapshotSumAndMean(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveNs(100)
+	h.ObserveNs(300)
+	s := h.Snapshot()
+	if s.Count != 2 || s.SumNs != 400 {
+		t.Fatalf("count/sum = %d/%d, want 2/400", s.Count, s.SumNs)
+	}
+	if s.Mean() != 200 {
+		t.Fatalf("mean = %v, want 200", s.Mean())
+	}
+	// Negative (clock-step) observations clamp rather than corrupt.
+	h.ObserveNs(-50)
+	if s := h.Snapshot(); s.SumNs != 400 || s.Counts[0] != 2 {
+		t.Fatalf("negative observation mishandled: %+v", s)
+	}
+}

@@ -1,0 +1,235 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRecordZeroAllocs is the hot-path contract: an armed counter,
+// gauge, histogram and below-threshold slow-op trace must not allocate —
+// they live on the PR 2/6 zero-allocation read path.
+func TestRecordZeroAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_ops_total", "ops", "op", "get")
+	g := reg.Gauge("t_inflight", "inflight")
+	h := reg.Histogram("t_latency_seconds", "latency")
+	slow := NewSlowLog(32, time.Second)
+	key := []byte("key-under-threshold")
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(7)
+		h.ObserveNs(1234)
+		slow.Record("get", key, "ok", 10*time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("record path allocates %v per op, want 0", n)
+	}
+}
+
+// TestConcurrentRecordScrape hammers counters and a histogram from many
+// goroutines while scraping concurrently (run under -race), then checks
+// the final totals are exact.
+func TestConcurrentRecordScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_ops_total", "ops")
+	h := reg.Histogram("t_lat_seconds", "lat")
+	const workers, perWorker = 8, 20_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if err := reg.WriteText(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.ObserveNs(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if s := h.Snapshot(); s.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, workers*perWorker)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_ops_total", "Operations served.", "op", "get", "status", "ok").Add(3)
+	reg.Counter("x_ops_total", "Operations served.", "op", "set", "status", "ok").Add(1)
+	reg.Gauge("x_inflight", "Batches in flight.").Set(2)
+	reg.GaugeFunc("x_uptime_seconds", "Uptime.", func() float64 { return 1.5 })
+	h := reg.Histogram("x_lat_seconds", "Latency.", "op", "get")
+	h.ObserveNs(150)           // first bucket (le 1e-07)
+	h.ObserveNs(200)           // third bucket
+	h.Observe(2 * time.Minute) // +Inf
+	reg.CollectFunc("x_lag_records", "Follower lag.", KindGauge, func(emit func([]string, float64)) {
+		emit([]string{"remote", "10.0.0.2:9"}, 42)
+	})
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP x_ops_total Operations served.",
+		"# TYPE x_ops_total counter",
+		`x_ops_total{op="get",status="ok"} 3`,
+		`x_ops_total{op="set",status="ok"} 1`,
+		"# TYPE x_inflight gauge",
+		"x_inflight 2",
+		"x_uptime_seconds 1.5",
+		"# TYPE x_lat_seconds histogram",
+		`x_lat_seconds_bucket{op="get",le="+Inf"} 3`,
+		`x_lat_seconds_count{op="get"} 3`,
+		`x_lag_records{remote="10.0.0.2:9"} 42`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape output missing %q\n---\n%s", want, text)
+		}
+	}
+	// HELP/TYPE emitted once per family even with several series.
+	if n := strings.Count(text, "# TYPE x_ops_total"); n != 1 {
+		t.Errorf("x_ops_total TYPE emitted %d times, want 1", n)
+	}
+	// Histogram bucket series are cumulative and end at count.
+	assertCumulative(t, text, "x_lat_seconds")
+}
+
+// assertCumulative parses a histogram's bucket lines and checks
+// monotonicity plus the +Inf == _count invariant.
+func assertCumulative(t *testing.T, text, name string) {
+	t.Helper()
+	last := -1.0
+	var inf, count float64
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+"_bucket") {
+			v, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < last {
+				t.Fatalf("bucket series not cumulative at %q", line)
+			}
+			last = v
+			if strings.Contains(line, `le="+Inf"`) {
+				inf = v
+			}
+		}
+		if strings.HasPrefix(line, name+"_count") {
+			count, _ = strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		}
+	}
+	if inf != count {
+		t.Fatalf("+Inf bucket %v != count %v", inf, count)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := renderLabels([]string{"k", `a"b\c` + "\n"}); got != `k="a\"b\\c\n"` {
+		t.Fatalf("escaped labels = %s", got)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(16, time.Millisecond)
+	l.Record("get", []byte("fast"), "ok", 10*time.Microsecond) // below threshold
+	for i := 0; i < 20; i++ {                                  // wraps the 16-slot ring
+		l.Record("set", []byte(fmt.Sprintf("k%02d", i)), "ok", time.Duration(i+2)*time.Millisecond)
+	}
+	ops := l.Snapshot()
+	if len(ops) != 16 {
+		t.Fatalf("ring holds %d, want 16", len(ops))
+	}
+	if ops[0].Key != "k19" || ops[15].Key != "k04" {
+		t.Fatalf("snapshot not newest-first: first=%s last=%s", ops[0].Key, ops[15].Key)
+	}
+	if l.Total() != 20 {
+		t.Fatalf("total = %d, want 20", l.Total())
+	}
+	for _, o := range ops {
+		if o.Op != "set" || o.DurationUS < 2000 {
+			t.Fatalf("unexpected traced op %+v", o)
+		}
+	}
+	// Disarmed and nil tracers are inert.
+	l.SetThreshold(0)
+	l.Record("get", nil, "ok", time.Hour)
+	if l.Total() != 20 {
+		t.Fatal("disarmed tracer recorded")
+	}
+	var nilLog *SlowLog
+	nilLog.Record("get", nil, "ok", time.Hour) // must not panic
+	if nilLog.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot not nil")
+	}
+	// Long keys truncate.
+	l.SetThreshold(time.Nanosecond)
+	l.Record("get", bytes.Repeat([]byte("x"), 200), "ok", time.Second)
+	if got := l.Snapshot()[0].Key; len(got) != maxSlowKey {
+		t.Fatalf("key len %d, want %d", len(got), maxSlowKey)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNs(int64(i)*7 + 100)
+	}
+}
+
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ns := int64(100)
+		for pb.Next() {
+			h.ObserveNs(ns)
+			ns += 997
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := newCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkSlowLogBelowThreshold(b *testing.B) {
+	l := NewSlowLog(64, time.Second)
+	key := []byte("bench-key")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Record("get", key, "ok", time.Microsecond)
+	}
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// Prometheus text exposition format (version 0.0.4), hand-rolled: the
+// format is `# HELP`/`# TYPE` headers followed by `name{labels} value`
+// sample lines; histograms expand into cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`. Durations are exposed in seconds (the
+// Prometheus base unit), so the ns grid divides by 1e9 at encode time.
+
+// WriteText encodes every registered family in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	for _, f := range r.snapshotFamilies() {
+		if err := f.writeText(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns the /metrics HTTP handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func (f *family) writeText(w *bufio.Writer) error {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.help)
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind)
+	w.WriteByte('\n')
+	if f.collect != nil {
+		f.collect(func(labels []string, value float64) {
+			writeSample(w, f.name, "", sortedLabelPairs(labels), formatFloat(value))
+		})
+		return nil
+	}
+	for _, s := range f.series {
+		switch {
+		case s.counter != nil:
+			writeSample(w, f.name, "", s.labels, strconv.FormatUint(s.counter.Value(), 10))
+		case s.gauge != nil:
+			writeSample(w, f.name, "", s.labels, strconv.FormatInt(s.gauge.Value(), 10))
+		case s.gaugeFn != nil:
+			writeSample(w, f.name, "", s.labels, formatFloat(s.gaugeFn()))
+		case s.hist != nil:
+			writeHistogram(w, f.name, s.labels, s.hist.Snapshot())
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative bucket series, sum and count for
+// one snapshot.
+func writeHistogram(w *bufio.Writer, name, labels string, s HistogramSnapshot) {
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Counts[i]
+		le := `le="` + formatFloat(float64(BucketBounds[i])/1e9) + `"`
+		writeSample(w, name, "_bucket", joinLabels(labels, le), strconv.FormatUint(cum, 10))
+	}
+	writeSample(w, name, "_bucket", joinLabels(labels, `le="+Inf"`), strconv.FormatUint(s.Count, 10))
+	writeSample(w, name, "_sum", labels, formatFloat(float64(s.SumNs)/1e9))
+	writeSample(w, name, "_count", labels, strconv.FormatUint(s.Count, 10))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func writeSample(w *bufio.Writer, name, suffix, labels, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SlowLog is the always-on slow-operation tracer: a fixed ring of the
+// last N operations that exceeded the armed threshold. The fast path — an
+// operation under the threshold — is one atomic load and a compare, so
+// the tracer can sit on the zero-allocation read path permanently; only
+// an actually-slow operation pays the ring insert (a mutex and a key
+// copy), and by definition a slow operation has time to spare.
+type SlowLog struct {
+	threshold atomic.Int64 // ns; <= 0 disarms the tracer
+	total     atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SlowOp
+	next int
+	full bool
+}
+
+// SlowOp is one traced operation. Keys are truncated to maxSlowKey bytes
+// and recorded as strings (a traced op's key must survive the caller
+// reusing its buffer).
+type SlowOp struct {
+	Time       time.Time `json:"time"`
+	Op         string    `json:"op"`
+	Key        string    `json:"key,omitempty"`
+	Status     string    `json:"status"`
+	DurationUS int64     `json:"duration_us"`
+}
+
+const maxSlowKey = 64
+
+// NewSlowLog returns a tracer keeping the last capacity slow operations
+// (minimum 16) at the given threshold. A zero threshold disarms it.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 16 {
+		capacity = 16
+	}
+	l := &SlowLog{ring: make([]SlowOp, capacity)}
+	l.threshold.Store(int64(threshold))
+	return l
+}
+
+// Threshold returns the armed threshold (0 when disarmed).
+func (l *SlowLog) Threshold() time.Duration {
+	return time.Duration(l.threshold.Load())
+}
+
+// SetThreshold rearms the tracer at runtime.
+func (l *SlowLog) SetThreshold(d time.Duration) {
+	l.threshold.Store(int64(d))
+}
+
+// Total counts every operation traced since start (the ring keeps only
+// the newest capacity of them).
+func (l *SlowLog) Total() uint64 { return l.total.Load() }
+
+// Record traces the operation if it exceeded the threshold. Safe on a
+// nil receiver (an unarmed server passes nil) and allocation-free below
+// the threshold.
+func (l *SlowLog) Record(op string, key []byte, status string, d time.Duration) {
+	if l == nil {
+		return
+	}
+	t := l.threshold.Load()
+	if t <= 0 || int64(d) < t {
+		return
+	}
+	if len(key) > maxSlowKey {
+		key = key[:maxSlowKey]
+	}
+	e := SlowOp{
+		Time:       time.Now(),
+		Op:         op,
+		Key:        string(key),
+		Status:     status,
+		DurationUS: d.Microseconds(),
+	}
+	l.total.Add(1)
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next++
+	if l.next == len(l.ring) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns the traced operations, newest first.
+func (l *SlowLog) Snapshot() []SlowOp {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.ring)
+	}
+	out := make([]SlowOp, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +126,19 @@ type Stat struct {
 	LagRecords       *int64         `json:"lag_records,omitempty"` // -1: spans a rotation, uncountable
 	SnapshotsApplied int64          `json:"snapshots_applied,omitempty"`
 	Connected        bool           `json:"connected,omitempty"`
+
+	// Process runtime fields: uptime, toolchain and heap/GC gauges, so a
+	// bare `whkv stat` answers "how long has it been up and how is the
+	// runtime doing" without a metrics scrape.
+	UptimeS        int64  `json:"uptime_s,omitempty"`
+	GoVersion      string `json:"go_version,omitempty"`
+	Goroutines     int    `json:"goroutines,omitempty"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes,omitempty"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes,omitempty"`
+	GCCycles       uint32 `json:"gc_cycles,omitempty"`
+	// SlowOps counts operations traced by the slow-op tracer since start
+	// (0 when tracing is disarmed).
+	SlowOps uint64 `json:"slow_ops,omitempty"`
 }
 
 // FollowerStat is one subscriber's lag as the leader sees it.
@@ -172,6 +186,10 @@ type ServerOptions struct {
 	// backpressure degrades latency smoothly instead of letting load
 	// spikes pile unbounded work onto the workers.
 	MaxInflight int
+	// Metrics, when non-nil, arms per-operation counters, latency
+	// histograms and the slow-op tracer (NewServerMetrics). Nil costs
+	// nothing: the serving path never reads the clock.
+	Metrics *ServerMetrics
 }
 
 // Request is one operation in a batch.
@@ -235,6 +253,10 @@ type Server struct {
 	fc fencer
 	// sem is the MaxInflight semaphore; nil means uncapped.
 	sem chan struct{}
+	// mx is the armed instrument bundle (opt.Metrics); nil records
+	// nothing. start feeds OpStat's uptime.
+	mx    *ServerMetrics
+	start time.Time
 
 	workers  []chan func(index.ReadHandle) // one job channel per shard
 	workerWG sync.WaitGroup
@@ -265,7 +287,7 @@ func ServeOpts(addr string, ix index.Index, opt ServerOptions) (*Server, error) 
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ix: ix, ln: ln, opt: opt}
+	s := &Server{ix: ix, ln: ln, opt: opt, mx: opt.Metrics, start: time.Now()}
 	s.ro.Store(opt.ReadOnly)
 	if opt.MaxInflight > 0 {
 		s.sem = make(chan struct{}, opt.MaxInflight)
@@ -374,6 +396,10 @@ func (s *Server) handle(conn net.Conn) {
 	// index edge case, a bug in a handler) drops the connection, never the
 	// process: every other connection keeps serving.
 	defer func() { recover() }()
+	if s.mx != nil {
+		s.mx.conns.Inc()
+		defer s.mx.conns.Dec()
+	}
 	r := bufio.NewReaderSize(conn, 1<<20)
 	w := bufio.NewWriterSize(conn, 1<<20)
 	h := s.newReadHandle() // one pinned reader per connection
@@ -391,6 +417,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if len(reqs) == 1 && reqs[0].Op == OpSubscribe {
 			if s.opt.Subscribe == nil {
+				s.mx.record(OpSubscribe, StatusNotFound, nil, 0)
 				// Not a replication leader: a regular one-response frame
 				// says so and the connection stays usable.
 				var hdr [6]byte
@@ -408,11 +435,37 @@ func (s *Server) handle(conn net.Conn) {
 			// idle stretches are its normal state, so the per-batch
 			// deadlines must not apply.
 			conn.SetDeadline(time.Time{})
+			s.mx.record(OpSubscribe, StatusOK, nil, 0)
+			if s.mx != nil {
+				s.mx.subscribers.Inc()
+			}
 			s.opt.Subscribe(conn, r, w, reqs[0].Key)
+			if s.mx != nil {
+				s.mx.subscribers.Dec()
+			}
 			return
 		}
 		if s.sem != nil {
-			s.sem <- struct{}{}
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				// The cap is full: this batch waits its turn. Count the wait
+				// so operators can see backpressure engaging before latency
+				// SLOs notice it.
+				if s.mx != nil {
+					s.mx.bpWaits.Inc()
+					s.mx.bpWaiting.Inc()
+				}
+				s.sem <- struct{}{}
+				if s.mx != nil {
+					s.mx.bpWaiting.Dec()
+				}
+			}
+		}
+		var t0 time.Time
+		if s.mx != nil {
+			t0 = time.Now()
+			s.mx.inflight.Inc()
 		}
 		var perr error
 		if s.dispatchable(reqs) {
@@ -425,6 +478,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if perr == nil {
 			perr = w.Flush()
+		}
+		if s.mx != nil {
+			s.mx.inflight.Dec()
+			s.mx.batches.Inc()
+			s.mx.batchOps.Add(uint64(len(reqs)))
+			s.mx.batchSeconds.Observe(time.Since(t0))
 		}
 		if s.sem != nil {
 			<-s.sem
@@ -552,12 +611,25 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 			if len(run) == 0 {
 				return
 			}
+			var t0 time.Time
+			if s.mx != nil {
+				t0 = time.Now()
+			}
 			vals, found := bh.GetBatch(keys)
+			// The run executes as one memory-parallel pipeline, so
+			// per-operation latency is the run's wall time divided evenly —
+			// the fair per-op cost of a batched lookup.
+			var per time.Duration
+			if s.mx != nil {
+				per = time.Since(t0) / time.Duration(len(run))
+			}
 			for j, i := range run {
 				if found[j] {
 					results[i] = result{status: StatusOK, val: vals[j], hasVal: true}
+					s.mx.record(OpGet, StatusOK, keys[j], per)
 				} else {
 					results[i] = result{status: StatusNotFound, hasVal: true}
+					s.mx.record(OpGet, StatusNotFound, keys[j], per)
 				}
 			}
 			keys, run = keys[:0], run[:0]
@@ -569,7 +641,14 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 				continue
 			}
 			flush()
+			var t0 time.Time
+			if s.mx != nil {
+				t0 = time.Now()
+			}
 			st, v, hasVal := s.execPoint(&reqs[i], h)
+			if s.mx != nil {
+				s.mx.record(reqs[i].Op, st, reqs[i].Key, time.Since(t0))
+			}
 			results[i] = result{status: st, val: v, hasVal: hasVal}
 		}
 		flush()
@@ -597,6 +676,9 @@ func (s *Server) processSharded(w *bufio.Writer, reqs []Request, connHandle inde
 					if recover() != nil {
 						for _, i := range g {
 							results[i] = result{status: StatusErr, hasVal: reqs[i].Op == OpGet}
+							// No honest duration for a panicked group: count
+							// the outcome, skip the histogram.
+							s.mx.record(reqs[i].Op, StatusErr, reqs[i].Key, 0)
 						}
 					}
 				}()
@@ -653,6 +735,17 @@ func (s *Server) stat() *Stat {
 		st.Epoch = s.fc.Epoch()
 		st.FencedBy = s.fc.FencedBy()
 	}
+	st.UptimeS = int64(time.Since(s.start).Seconds())
+	st.GoVersion = runtime.Version()
+	st.Goroutines = runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) // stat is a rare, operator-driven request
+	st.HeapAllocBytes = ms.HeapAlloc
+	st.HeapSysBytes = ms.HeapSys
+	st.GCCycles = ms.NumGC
+	if s.mx != nil && s.mx.Slow != nil {
+		st.SlowOps = s.mx.Slow.Total()
+	}
 	if s.opt.StatFill != nil {
 		s.opt.StatFill(st)
 	}
@@ -688,6 +781,14 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 	// The frame length is not known upfront; buffer the body.
 	var body []byte
 	for _, rq := range reqs {
+		// Every case writes its status byte first, so body[stAt] after the
+		// switch is this operation's outcome — one timing site covers all
+		// opcodes.
+		stAt := len(body)
+		var t0 time.Time
+		if s.mx != nil {
+			t0 = time.Now()
+		}
 		switch rq.Op {
 		case OpGet, OpSet, OpDel:
 			st, v, hasVal := s.execPoint(&rq, h)
@@ -757,6 +858,9 @@ func (s *Server) process(w *bufio.Writer, reqs []Request, h index.ReadHandle) er
 			binary.LittleEndian.PutUint16(body[lenAt:], uint16(n))
 		default:
 			return fmt.Errorf("netkv: bad opcode %d", rq.Op)
+		}
+		if s.mx != nil {
+			s.mx.record(rq.Op, body[stAt], rq.Key, time.Since(t0))
 		}
 	}
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+2))

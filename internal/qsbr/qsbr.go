@@ -251,6 +251,28 @@ func (q *QSBR) ActiveReaders() int {
 	return n
 }
 
+// ReaderLag reports how many epochs behind the global epoch the slowest
+// active reader section is (0 when no section is running). A lag that
+// stays large across scrapes means a reader is stuck inside a section,
+// stalling grace periods — the writer-side symptom is Synchronize
+// spinning in its backoff loop.
+func (q *QSBR) ReaderLag() uint64 {
+	epoch := q.epoch.Load()
+	var min uint64
+	have := false
+	for b := q.head; b != nil; b = b.next.Load() {
+		for i := range b.slots {
+			if v := b.slots[i].state.Load(); v >= firstEpoch && (!have || v < min) {
+				min, have = v, true
+			}
+		}
+	}
+	if !have || min >= epoch {
+		return 0
+	}
+	return epoch - min
+}
+
 // Slots reports the current slot capacity across all banks; exposed for
 // tests.
 func (q *QSBR) Slots() int {

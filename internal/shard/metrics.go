@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"time"
+
+	"github.com/repro/wormhole/internal/metrics"
+)
+
+// BatchMetrics holds the store-level batch-path histograms: whole-call
+// latency of GetBatch/SetBatch/DelBatch, covering shard grouping, the
+// fan-out handoff and every shard's memory-level-parallel pipeline. Armed
+// via SetBatchMetrics; a nil bundle (the default) records nothing.
+type BatchMetrics struct {
+	GetBatchSeconds *metrics.Histogram
+	SetBatchSeconds *metrics.Histogram
+	DelBatchSeconds *metrics.Histogram
+	// BatchKeys counts keys entering batch operations (the histogram
+	// counts calls; the ratio is the mean batch size).
+	BatchKeys *metrics.Counter
+}
+
+// NewBatchMetrics registers the shard_* batch families on reg.
+func NewBatchMetrics(reg *metrics.Registry) *BatchMetrics {
+	return &BatchMetrics{
+		GetBatchSeconds: reg.Histogram("shard_batch_seconds",
+			"Whole-call batch latency across shards.", "op", "get"),
+		SetBatchSeconds: reg.Histogram("shard_batch_seconds",
+			"Whole-call batch latency across shards.", "op", "set"),
+		DelBatchSeconds: reg.Histogram("shard_batch_seconds",
+			"Whole-call batch latency across shards.", "op", "del"),
+		BatchKeys: reg.Counter("shard_batch_keys_total",
+			"Keys entering batch operations."),
+	}
+}
+
+// SetBatchMetrics arms (or, with nil, disarms) the batch-path
+// histograms. Safe to call while the store serves traffic.
+func (s *Store) SetBatchMetrics(m *BatchMetrics) { s.bmx.Store(m) }
+
+// observeBatch records one batch call on h; nil-safe on every level.
+func (m *BatchMetrics) observeBatch(h *metrics.Histogram, keys int, t0 time.Time) {
+	if m == nil {
+		return
+	}
+	h.Observe(time.Since(t0))
+	m.BatchKeys.Add(uint64(keys))
+}
+
+// QSBRReaderLag reports the largest per-shard QSBR reader lag: how many
+// grace-period epochs behind the slowest active reader section is on any
+// shard (0 for single-threaded cores or idle readers).
+func (s *Store) QSBRReaderLag() uint64 {
+	var max uint64
+	for _, w := range s.shards {
+		if lag := w.QSBRReaderLag(); lag > max {
+			max = lag
+		}
+	}
+	return max
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/repro/wormhole/internal/core"
 	"github.com/repro/wormhole/internal/index"
@@ -91,6 +92,10 @@ type Store struct {
 	history  []EpochEntry
 	fencedBy uint64
 	fenced   atomic.Bool // mirrors fencedBy != 0 for lock-free write checks
+
+	// bmx is the armed batch-path instrument bundle (SetBatchMetrics);
+	// nil records nothing.
+	bmx atomic.Pointer[BatchMetrics]
 }
 
 // New creates an empty sharded store.
@@ -296,11 +301,19 @@ func (s *Store) fanOut(groups [][]int, total int, run func(shard int, idxs []int
 // each shard group enters one QSBR reader section for its whole group
 // instead of one per key.
 func (s *Store) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	var t0 time.Time
+	bmx := s.bmx.Load()
+	if bmx != nil {
+		t0 = time.Now()
+	}
 	vals = make([][]byte, len(keys))
 	found = make([]bool, len(keys))
 	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
 		s.shards[sh].GetBatch(keys, vals, found, idxs)
 	})
+	if bmx != nil {
+		bmx.observeBatch(bmx.GetBatchSeconds, len(keys), t0)
+	}
 	return vals, found
 }
 
@@ -337,12 +350,20 @@ func (r *Reader) Get(key []byte) ([]byte, bool) {
 // caller's goroutine (the handles are single-goroutine); use the store's
 // GetBatch for fan-out across shards.
 func (r *Reader) GetBatch(keys [][]byte) (vals [][]byte, found []bool) {
+	var t0 time.Time
+	bmx := r.s.bmx.Load()
+	if bmx != nil {
+		t0 = time.Now()
+	}
 	vals = make([][]byte, len(keys))
 	found = make([]bool, len(keys))
 	for sh, idxs := range r.s.group(keys) {
 		if len(idxs) > 0 {
 			r.rs[sh].GetBatch(keys, vals, found, idxs)
 		}
+	}
+	if bmx != nil {
+		bmx.observeBatch(bmx.GetBatchSeconds, len(keys), t0)
 	}
 	return vals, found
 }
@@ -400,16 +421,29 @@ func (r *Reader) Close() {
 // SetBatch inserts or replaces keys[i] -> vals[i], grouped by shard.
 // Duplicate keys within one batch apply in batch order.
 func (s *Store) SetBatch(keys, vals [][]byte) {
+	var t0 time.Time
+	bmx := s.bmx.Load()
+	if bmx != nil {
+		t0 = time.Now()
+	}
 	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
 		w := s.shards[sh]
 		for _, i := range idxs {
 			w.Set(keys[i], vals[i])
 		}
 	})
+	if bmx != nil {
+		bmx.observeBatch(bmx.SetBatchSeconds, len(keys), t0)
+	}
 }
 
 // DelBatch removes keys grouped by shard, reporting presence per key.
 func (s *Store) DelBatch(keys [][]byte) []bool {
+	var t0 time.Time
+	bmx := s.bmx.Load()
+	if bmx != nil {
+		t0 = time.Now()
+	}
 	found := make([]bool, len(keys))
 	s.fanOut(s.group(keys), len(keys), func(sh int, idxs []int) {
 		w := s.shards[sh]
@@ -417,6 +451,9 @@ func (s *Store) DelBatch(keys [][]byte) []bool {
 			found[i] = w.Del(keys[i])
 		}
 	})
+	if bmx != nil {
+		bmx.observeBatch(bmx.DelBatchSeconds, len(keys), t0)
+	}
 	return found
 }
 

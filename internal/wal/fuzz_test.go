@@ -18,7 +18,7 @@ func buildWAL(t testing.TB, payloads ...[]byte) []byte {
 	t.Helper()
 	dir := t.TempDir()
 	p := filepath.Join(dir, "seed.log")
-	l, err := openLog(vfs.OS(), p, 0, SyncNone, 0)
+	l, err := openLog(vfs.OS(), p, 0, SyncNone, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -60,6 +60,11 @@ type Options struct {
 	// format. Recovery always reads both formats regardless; the bench
 	// harness uses this to compare v1 and v2 in one binary.
 	SnapshotV1 bool
+	// Metrics, when non-nil, arms append/fsync/commit-wait latency
+	// histograms and byte/record/rotation counters. A sharded store
+	// passes one bundle to every shard, so the series aggregate. Nil
+	// costs nothing on the append path.
+	Metrics *Metrics
 }
 
 // Store manages one backend's persistence directory: an active WAL, the
@@ -324,7 +329,7 @@ func Open(dir string, b Backend, opt Options) (*Store, error) {
 
 	s.gen = appendGen
 	s.base = appendSeq
-	log, err := openLog(fsys, walPath(dir, appendGen), appendOff, opt.Sync, opt.Interval)
+	log, err := openLog(fsys, walPath(dir, appendGen), appendOff, opt.Sync, opt.Interval, opt.Metrics)
 	if err != nil {
 		return fail(err)
 	}
@@ -414,6 +419,9 @@ func (s *Store) recordFailure(err error, gen uint64) {
 	if err == nil || err == ErrClosed {
 		return
 	}
+	if mx := s.opt.Metrics; mx != nil {
+		mx.Failures.Inc()
+	}
 	s.failMu.Lock()
 	if s.failure == nil {
 		s.failure, s.failGen = err, gen
@@ -495,6 +503,10 @@ func (s *Store) Barrier(token uint64) {
 	current := s.gen == gen
 	s.logMu.RUnlock()
 	if current {
+		if mx := s.opt.Metrics; mx != nil {
+			t0 := time.Now()
+			defer func() { mx.CommitWaitSeconds.Observe(time.Since(t0)) }()
+		}
 		if err := log.WaitDurable(seq); err != nil {
 			// The record was appended but its fsync failed; the mutating
 			// caller cannot be told, so the condition surfaces on
@@ -544,11 +556,12 @@ func (s *Store) Snapshot() error {
 	if s.closed.Load() {
 		return ErrClosed
 	}
+	t0 := time.Now()
 
 	s.logMu.Lock()
 	oldLog, oldGen := s.log, s.gen
 	newGen := oldGen + 1
-	newLog, err := openLog(s.fs, walPath(s.dir, newGen), 0, s.opt.Sync, s.opt.Interval)
+	newLog, err := openLog(s.fs, walPath(s.dir, newGen), 0, s.opt.Sync, s.opt.Interval, s.opt.Metrics)
 	if err != nil {
 		s.logMu.Unlock()
 		return err
@@ -576,6 +589,9 @@ func (s *Store) Snapshot() error {
 	s.recordFailure(closeErr, oldGen)
 	s.log, s.gen, s.base = newLog, newGen, 0
 	s.logMu.Unlock()
+	if mx := s.opt.Metrics; mx != nil {
+		mx.Rotations.Inc()
+	}
 
 	scan := func(fn func(k, v []byte) bool) { s.b.Scan(nil, fn) }
 	if s.opt.SnapshotV1 {
@@ -617,6 +633,10 @@ func (s *Store) Snapshot() error {
 	// Old generations' segment files — including orphans from a snapshot
 	// that crashed before publishing its footer.
 	removeSegsBelow(s.fs, s.dir, newGen)
+	if mx := s.opt.Metrics; mx != nil {
+		mx.Snapshots.Inc()
+		mx.SnapshotSeconds.Observe(time.Since(t0))
+	}
 	return nil
 }
 

@@ -99,6 +99,7 @@ var ErrClosed = errors.New("wal: closed")
 type Log struct {
 	policy   SyncPolicy
 	interval time.Duration
+	mx       *Metrics // nil records nothing
 
 	mu     sync.Mutex // guards f, w, appended, err, closed
 	f      vfs.File
@@ -121,7 +122,7 @@ type Log struct {
 // openLog opens path for appending (creating it if needed) at offset off,
 // which must be the validated record-prefix length — the file is truncated
 // there so a torn tail is never appended after.
-func openLog(fsys vfs.FS, path string, off int64, policy SyncPolicy, interval time.Duration) (*Log, error) {
+func openLog(fsys vfs.FS, path string, off int64, policy SyncPolicy, interval time.Duration, mx *Metrics) (*Log, error) {
 	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
@@ -140,6 +141,7 @@ func openLog(fsys vfs.FS, path string, off int64, policy SyncPolicy, interval ti
 	l := &Log{
 		policy:   policy,
 		interval: interval,
+		mx:       mx,
 		f:        f,
 		w:        bufio.NewWriterSize(f, 1<<16),
 		size:     off,
@@ -181,6 +183,10 @@ func (l *Log) Append(payload []byte) (seq uint64, err error) {
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
 
+	var t0 time.Time
+	if l.mx != nil {
+		t0 = time.Now()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -199,6 +205,11 @@ func (l *Log) Append(payload []byte) (seq uint64, err error) {
 	}
 	l.size += int64(frameHeader + len(payload))
 	l.seq++
+	if l.mx != nil {
+		l.mx.AppendSeconds.Observe(time.Since(t0))
+		l.mx.AppendedBytes.Add(uint64(frameHeader + len(payload)))
+		l.mx.AppendedRecords.Inc()
+	}
 	return l.seq, nil
 }
 
@@ -252,6 +263,13 @@ func (l *Log) syncNow() error {
 		return err
 	}
 	// Fsync outside l.mu so appenders keep buffering during the syscall.
+	if l.mx != nil {
+		t0 := time.Now()
+		defer func() {
+			l.mx.FsyncSeconds.Observe(time.Since(t0))
+			l.mx.Fsyncs.Inc()
+		}()
+	}
 	if err := f.Sync(); err != nil {
 		l.mu.Lock()
 		l.err = err

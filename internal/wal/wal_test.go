@@ -16,7 +16,7 @@ import (
 
 func TestLogAppendReplayRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "w.log")
-	l, err := openLog(vfs.OS(), path, 0, SyncNone, 0)
+	l, err := openLog(vfs.OS(), path, 0, SyncNone, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestLogReplayMissingFile(t *testing.T) {
 
 func TestLogGroupCommitConcurrent(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "w.log")
-	l, err := openLog(vfs.OS(), path, 0, SyncAlways, 0)
+	l, err := openLog(vfs.OS(), path, 0, SyncAlways, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestLogGroupCommitConcurrent(t *testing.T) {
 }
 
 func TestLogDoubleCloseIdempotent(t *testing.T) {
-	l, err := openLog(vfs.OS(), filepath.Join(t.TempDir(), "w.log"), 0, SyncInterval, time.Millisecond)
+	l, err := openLog(vfs.OS(), filepath.Join(t.TempDir(), "w.log"), 0, SyncInterval, time.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
